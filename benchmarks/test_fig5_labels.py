@@ -1,0 +1,56 @@
+"""Figure 5: performance and scalability vs number of distinct labels.
+
+Shape claims checked (from §5.2.3):
+
+* exhaustive-enumeration methods' indexing time is relatively
+  unaffected by the label count (bounded ratio across the sweep);
+* frequent-mining methods fail (or are slowest) at the *lowest* label
+  counts — few labels make every feature frequent, exploding the
+  mining search space;
+* filtering power generally improves (FP ratio does not increase) as
+  labels increase, comparing the sweep's ends for the path methods.
+"""
+
+from repro.core.experiments import labels_sweep
+from repro.core.report import render_sweep, series_values
+
+from conftest import save_and_print
+
+
+def test_fig5(benchmark, profile, results_dir):
+    sweep = benchmark.pedantic(
+        labels_sweep, kwargs={"profile": profile}, rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "fig5_labels.txt", render_sweep(sweep, "5"))
+
+    indexing = sweep.indexing_time()
+
+    # Exhaustive methods complete the whole sweep and stay flat-ish.
+    for method in ("ggsx", "grapes", "ctindex", "gcode"):
+        values = series_values(indexing, method)
+        assert len(values) == len(sweep.x_values), f"{method} broke on labels sweep"
+        assert max(values) / max(min(values), 1e-9) < 100.0
+
+    # Mining methods struggle at the low-label end: either missing data
+    # there, or their worst (slowest) point sits in the lower half of
+    # the sweep.
+    for method in ("gindex", "tree+delta"):
+        points = indexing[method]
+        low_half = [v for x, v in points[: len(points) // 2 + 1]]
+        if any(v is None for v in low_half):
+            continue  # broke at the low end: exactly the paper's story
+        values = series_values(indexing, method)
+        worst_x = max(
+            (v, x) for (x, v) in points if v is not None
+        )[1]
+        assert worst_x <= sweep.x_values[len(sweep.x_values) // 2], (
+            f"{method} should be slowest at few labels, worst at {worst_x}"
+        )
+
+    # More labels -> no worse filtering for the path methods (compare
+    # first vs last completed points).
+    fp = sweep.fp_ratio()
+    for method in ("ggsx", "grapes"):
+        values = series_values(fp, method)
+        if len(values) >= 2:
+            assert values[-1] <= values[0] + 0.15

@@ -1,0 +1,52 @@
+"""Figure 6: performance and scalability vs number of graphs.
+
+Shape claims checked (from §5.2.4):
+
+* all metrics scale roughly linearly in the number of graphs — for
+  methods completing the sweep, indexing time grows by no more than
+  ~3x the growth of the dataset;
+* the false positive ratio is comparatively unaffected by dataset
+  count (path methods: bounded drift across the sweep);
+* GGSX completes the whole sweep (it was the only method to index
+  100,000 graphs in the paper).
+"""
+
+from repro.core.experiments import graph_count_sweep
+from repro.core.report import render_sweep, series_values
+
+from conftest import save_and_print
+
+
+def test_fig6(benchmark, profile, results_dir):
+    sweep = benchmark.pedantic(
+        graph_count_sweep, kwargs={"profile": profile}, rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "fig6_graph_count.txt", render_sweep(sweep, "6"))
+
+    indexing = sweep.indexing_time()
+
+    # GGSX completes the whole sweep.
+    assert len(series_values(indexing, "ggsx")) == len(sweep.x_values)
+
+    # Near-linear scaling for completing exhaustive methods.
+    growth = sweep.x_values[-1] / sweep.x_values[0]
+    for method in ("ggsx", "grapes", "ctindex"):
+        values = series_values(indexing, method)
+        if len(values) == len(sweep.x_values):
+            assert values[-1] / max(values[0], 1e-9) < 3.0 * growth, (
+                f"{method} indexing grew superlinearly in graph count"
+            )
+
+    # Index size also tracks the dataset linearly for trie methods.
+    sizes = sweep.index_size_mb()
+    for method in ("ggsx", "grapes"):
+        values = series_values(sizes, method)
+        if len(values) == len(sweep.x_values):
+            assert values[-1] / max(values[0], 1e-9) < 3.0 * growth
+
+    # FP ratio roughly unaffected by dataset count for path methods.
+    fp = sweep.fp_ratio()
+    for method in ("ggsx", "grapes"):
+        values = series_values(fp, method)
+        if len(values) >= 2:
+            assert abs(values[-1] - values[0]) < 0.35

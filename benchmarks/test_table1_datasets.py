@@ -1,0 +1,53 @@
+"""Table 1: characteristics of the (stand-in) real datasets.
+
+Regenerates the paper's Table 1 from the synthesized AIDS/PDBS/PCM/PPI
+stand-ins and checks the row-level relationships the paper highlights:
+AIDS = many small sparse graphs, PDBS = moderate count of large sparse
+graphs, PCM = medium graphs with high degree, PPI = few huge graphs of
+medium degree.
+"""
+
+import pytest
+
+from repro.generators.realsets import REAL_DATASET_SPECS, make_real_dataset
+from repro.graphs.statistics import dataset_statistics
+from repro.core.report import render_table1
+
+from conftest import save_and_print
+
+
+def _collect(profile):
+    stats = {}
+    for name in profile.real_dataset_names:
+        dataset = make_real_dataset(name, scale=profile.real_dataset_scale, seed=0)
+        stats[name] = dataset_statistics(dataset, name=name)
+    return stats
+
+
+def test_table1(benchmark, profile, results_dir):
+    stats = benchmark.pedantic(_collect, args=(profile,), rounds=1, iterations=1)
+    save_and_print(results_dir, "table1.txt", render_table1(stats))
+
+    # Relative relationships of Table 1 that survive any uniform scale
+    # (>= where the 5-graph floor can make tiny scales clamp equal).
+    assert stats["AIDS"].num_graphs > stats["PDBS"].num_graphs >= stats["PCM"].num_graphs >= stats["PPI"].num_graphs
+    assert stats["PCM"].avg_degree > stats["PPI"].avg_degree > stats["AIDS"].avg_degree
+    assert stats["PPI"].avg_vertices > stats["PCM"].avg_vertices >= stats["AIDS"].avg_vertices
+    # PCM and PPI are entirely disconnected graphs (Table 1).
+    assert stats["PCM"].num_disconnected == stats["PCM"].num_graphs
+    assert stats["PPI"].num_disconnected == stats["PPI"].num_graphs
+    # Label alphabet sizes are scale-independent.
+    for name, stat in stats.items():
+        assert stat.num_labels <= REAL_DATASET_SPECS[name].num_labels
+
+
+def test_full_scale_spec_fidelity(benchmark):
+    """Per-graph statistics at full scale (sampled), vs Table 1."""
+
+    def sample():
+        return dataset_statistics(make_real_dataset("AIDS", num_graphs=150, seed=1))
+
+    stats = benchmark.pedantic(sample, rounds=1, iterations=1)
+    spec = REAL_DATASET_SPECS["AIDS"]
+    assert stats.avg_vertices == pytest.approx(spec.avg_nodes, rel=0.2)
+    assert stats.avg_degree == pytest.approx(spec.avg_degree, rel=0.2)

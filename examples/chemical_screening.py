@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Chemical-compound screening: substructure search over an AIDS-like set.
+
+The motivating workload of the paper's introduction: a database of
+small molecules (the AIDS antiviral screen), queried for functional
+groups — "find every compound containing this substructure".  We
+synthesize an AIDS-like dataset (Table 1 statistics, skewed element
+alphabet), build the two best query-time methods (Grapes, GGSX) plus
+CT-Index, and screen for hand-built functional-group-style patterns as
+well as random-walk queries.
+
+Run:  python examples/chemical_screening.py
+"""
+
+from repro import (
+    CTIndex,
+    Graph,
+    GraphGrepSXIndex,
+    GrapesIndex,
+    generate_queries,
+    make_real_dataset,
+)
+from repro.core.metrics import summarize_results
+
+
+def chain_pattern(dataset, length: int) -> Graph:
+    """A chain of the dataset's most common label — the analog of a
+    carbon-backbone query."""
+    histogram: dict = {}
+    for graph in dataset:
+        for label, count in graph.label_histogram().items():
+            histogram[label] = histogram.get(label, 0) + count
+    backbone = max(histogram, key=histogram.__getitem__)
+    return Graph([backbone] * length, [(i, i + 1) for i in range(length - 1)])
+
+
+def main() -> None:
+    # An AIDS-like screen: 300 molecules at full per-graph scale
+    # (45-node molecules, 62-label skewed alphabet, ~8% disconnected).
+    dataset = make_real_dataset("AIDS", num_graphs=300, seed=11)
+    print(f"screening database: {dataset}")
+
+    indexes = [
+        GrapesIndex(max_path_edges=4, workers=2),
+        GraphGrepSXIndex(max_path_edges=4),
+        CTIndex(fingerprint_bits=4096, feature_edges=4),
+    ]
+    for index in indexes:
+        report = index.build(dataset)
+        print(
+            f"  {index.name:8s} indexed in {report.seconds:6.2f}s "
+            f"({report.size_bytes / 1024:9.1f} KiB)"
+        )
+
+    # --- screen 1: backbone chains of increasing length --------------
+    print("\nbackbone-chain screens:")
+    for length in (3, 5, 7):
+        pattern = chain_pattern(dataset, length)
+        hits = {index.name: index.query(pattern) for index in indexes}
+        reference = next(iter(hits.values())).answers
+        assert all(result.answers == reference for result in hits.values())
+        print(f"  chain x{length}: {len(reference):4d} compounds match")
+        for name, result in hits.items():
+            print(
+                f"    {name:8s} candidates={len(result.candidates):4d} "
+                f"fp={result.false_positive_ratio:.2f} "
+                f"t={result.total_seconds * 1e3:7.2f}ms"
+            )
+
+    # --- screen 2: realistic substructure workload --------------------
+    print("\nrandom substructure workload (20 queries x 8 edges):")
+    queries = generate_queries(dataset, 20, 8, seed=2)
+    for index in indexes:
+        stats = summarize_results([index.query(q) for q in queries])
+        print(
+            f"  {index.name:8s} avg time {stats.avg_query_seconds * 1e3:7.2f}ms  "
+            f"avg candidates {stats.avg_candidates:6.1f}  "
+            f"avg answers {stats.avg_answers:6.1f}  "
+            f"FP ratio {stats.false_positive_ratio:.3f}"
+        )
+
+    print(
+        "\nNote the paper's §5.1 shape: Grapes/GGSX give the tightest"
+        " candidate sets and fastest queries; CT-Index trades filtering"
+        " power for a tiny, fixed-size index."
+    )
+
+
+if __name__ == "__main__":
+    main()

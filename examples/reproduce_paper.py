@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Produces Table 1 and Figures 1–6 at the active scale (CI by default,
+``REPRO_SCALE=paper`` for the full configuration) and writes each as a
+text table under ``results/``.  This is the example to start from when
+extending the study with new methods or parameters.
+
+Run:  python examples/reproduce_paper.py [output_dir]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.core.experiments import (
+    density_sweep,
+    graph_count_sweep,
+    labels_sweep,
+    nodes_sweep,
+    real_dataset_experiment,
+)
+from repro.core.presets import active_profile
+from repro.core.report import render_series_table, render_sweep, render_table1
+
+
+def main() -> None:
+    output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    output_dir.mkdir(parents=True, exist_ok=True)
+    profile = active_profile()
+    print(f"reproducing all figures at scale '{profile.name}' into {output_dir}/")
+
+    def emit(name: str, text: str) -> None:
+        (output_dir / name).write_text(text, encoding="utf-8")
+        print(f"  wrote {output_dir / name}")
+
+    progress = lambda msg: print(f"    {msg}", end="\r")
+
+    started = time.time()
+
+    real = real_dataset_experiment(profile, progress=progress)
+    emit("table1.txt", render_table1(real.dataset_stats))
+    emit("fig1_real_datasets.txt", render_sweep(real, "1"))
+
+    nodes = nodes_sweep(profile, progress=progress)
+    emit("fig2_nodes.txt", render_sweep(nodes, "2"))
+
+    density = density_sweep(profile, progress=progress)
+    emit("fig3_density.txt", render_sweep(density, "3"))
+    fig4_panels = [
+        render_series_table(
+            f"Figure 4 (query size {size}): query time (s) vs density",
+            density.query_time_for_size(size),
+            "density",
+        )
+        for size in density.query_sizes
+    ]
+    emit("fig4_query_sizes.txt", "\n".join(fig4_panels))
+
+    labels = labels_sweep(profile, progress=progress)
+    emit("fig5_labels.txt", render_sweep(labels, "5"))
+
+    counts = graph_count_sweep(profile, progress=progress)
+    emit("fig6_graph_count.txt", render_sweep(counts, "6"))
+
+    print(f"\ndone in {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Stress-test: find each method's breaking point, like §5.2 does.
+
+The paper's scalability methodology in miniature: fix the sane
+defaults, grow one parameter (here: nodes per graph), give every method
+a fixed budget per experiment, and report the largest configuration
+each method survives — the "breaking point".  The output is the
+reproduction of §6's scalability-limits discussion.
+
+Run:  python examples/scalability_stress.py          (a few minutes)
+      REPRO_SCALE=paper python examples/scalability_stress.py  (days!)
+"""
+
+from dataclasses import replace
+
+from repro.core.experiments import nodes_sweep
+from repro.core.presets import active_profile
+from repro.core.report import breaking_point, render_sweep
+
+
+def main() -> None:
+    profile = active_profile()
+    if profile.name == "ci":
+        # Push a little further than the CI default so breaking points
+        # are visible for more methods.
+        profile = replace(
+            profile,
+            nodes_values=(10, 16, 24, 36, 52),
+            default_num_graphs=30,
+            queries_per_size=4,
+            build_budget_seconds=12.0,
+            query_budget_seconds=12.0,
+        )
+    print(f"profile: {profile.name}; sweeping nodes {profile.nodes_values}")
+    print("(each method gets "
+          f"{profile.build_budget_seconds:.0f}s to build, "
+          f"{profile.query_budget_seconds:.0f}s per query workload)\n")
+
+    sweep = nodes_sweep(profile, progress=lambda msg: print(f"  running {msg}"))
+
+    print()
+    print(render_sweep(sweep, "2"))
+
+    print("breaking points (first x where the method produced no data):")
+    indexing = sweep.indexing_time()
+    for method in sweep.methods:
+        broke_at = breaking_point(indexing, method)
+        if broke_at is None:
+            print(f"  {method:11s} survived the whole sweep")
+        else:
+            print(f"  {method:11s} broke at {broke_at} nodes")
+
+    print(
+        "\nExpected shape (paper §5.2.1): the frequent-mining methods"
+        " (gIndex, Tree+Δ) break first; the exhaustive path methods"
+        " (Grapes, GGSX) go furthest."
+    )
+
+
+if __name__ == "__main__":
+    main()

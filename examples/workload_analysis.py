@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Workload analysis: understand *why* a method wins on your data.
+
+The paper reports aggregate numbers; in practice you want to know how
+your own workload behaves — how selective the queries are, where the
+candidate sets bloat, which queries each index filters perfectly.
+This example profiles two contrasting workloads (small vs large
+queries, per §5.2.2's query-size analysis) over one dataset and three
+indexes, using :mod:`repro.core.workloads`.
+
+Run:  python examples/workload_analysis.py
+"""
+
+from repro import GraphGenConfig, generate_dataset, generate_queries
+from repro.core.workloads import (
+    characterize_queries,
+    filtering_profile,
+    selectivity_profile,
+)
+from repro.indexes import CTIndex, GraphGrepSXIndex, GrapesIndex
+
+
+def main() -> None:
+    config = GraphGenConfig(
+        num_graphs=60, mean_nodes=24, mean_density=0.12, num_labels=5
+    )
+    dataset = generate_dataset(config, seed=13)
+    print(f"dataset: {dataset}\n")
+
+    indexes = [
+        GrapesIndex(max_path_edges=3, workers=2),
+        GraphGrepSXIndex(max_path_edges=3),
+        CTIndex(fingerprint_bits=1024, feature_edges=3),
+    ]
+    for index in indexes:
+        index.build(dataset)
+
+    for size in (4, 16):
+        queries = generate_queries(dataset, 12, size, seed=size)
+        shape = characterize_queries(queries)
+        selectivity = selectivity_profile(dataset, queries)
+        print(f"workload: {shape.num_queries} queries x {size} edges")
+        print(
+            f"  structure:   avg {shape.avg_vertices:.1f} vertices, "
+            f"density {shape.avg_density:.3f}, "
+            f"{shape.num_distinct_labels} labels used"
+        )
+        print(
+            f"  selectivity: avg {selectivity.avg_selectivity:.1%} of the dataset, "
+            f"median {selectivity.percentile(0.5)} answers, "
+            f"p90 {selectivity.percentile(0.9)}, "
+            f"{selectivity.num_empty} empty"
+        )
+        for index in indexes:
+            profile = filtering_profile(index, queries)
+            print(
+                f"  {index.name:8s} avg candidates {profile.avg_candidates:6.1f}  "
+                f"fp {profile.false_positive_ratio:.3f}  "
+                f"perfect on {profile.perfect_queries}/{profile.num_queries} queries"
+            )
+        print()
+
+    print(
+        "Expected shape (§5.2.2): larger queries are more selective, and\n"
+        "the paths-based filters stay near-perfect on them, while hashed\n"
+        "fingerprints admit more false positives."
+    )
+
+
+if __name__ == "__main__":
+    main()

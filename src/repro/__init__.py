@@ -1,0 +1,89 @@
+"""repro — reproduction of Katsarou, Ntarmos & Triantafillou,
+"Performance and Scalability of Indexed Subgraph Query Processing
+Methods", PVLDB 8(12), 2015.
+
+A pure-Python graph-database laboratory: six subgraph-query indexing
+methods (Grapes, GraphGrepSX, CT-Index, gCode, gIndex, Tree+Δ) built
+from scratch on shared substrates (VF2 subgraph isomorphism, canonical
+labels, feature enumeration, frequent-pattern mining), plus the paper's
+full evaluation framework (dataset/query generators, budgets, metric
+collection, per-figure sweeps).
+
+Quickstart
+----------
+>>> from repro import GraphGenConfig, generate_dataset, generate_queries
+>>> from repro import GrapesIndex
+>>> dataset = generate_dataset(GraphGenConfig(num_graphs=30, mean_nodes=16,
+...                                           mean_density=0.15, num_labels=4))
+>>> index = GrapesIndex(max_path_edges=3, workers=2)
+>>> _ = index.build(dataset)
+>>> query = generate_queries(dataset, 1, 4)[0]
+>>> result = index.query(query)
+>>> result.answers <= result.candidates
+True
+"""
+
+from repro.core.metrics import false_positive_ratio, summarize_results
+from repro.core.presets import CI_PROFILE, PAPER_PROFILE, ScaleProfile, active_profile
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.generators.realsets import REAL_DATASET_SPECS, make_real_dataset
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.statistics import dataset_statistics, graph_statistics
+from repro.indexes import (
+    ALL_INDEX_CLASSES,
+    CTIndex,
+    GCodeIndex,
+    GIndex,
+    GraphGrepSXIndex,
+    GrapesIndex,
+    NaiveIndex,
+    TreeDeltaIndex,
+)
+from repro.indexes.base import BuildReport, GraphIndex, QueryResult
+from repro.isomorphism.vf2 import count_embeddings, find_embedding, is_subgraph
+from repro.utils.budget import Budget, BudgetExceeded
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph model
+    "Graph",
+    "GraphError",
+    "GraphDataset",
+    "graph_statistics",
+    "dataset_statistics",
+    # isomorphism
+    "is_subgraph",
+    "find_embedding",
+    "count_embeddings",
+    # indexes
+    "GraphIndex",
+    "BuildReport",
+    "QueryResult",
+    "NaiveIndex",
+    "GraphGrepSXIndex",
+    "GrapesIndex",
+    "CTIndex",
+    "GCodeIndex",
+    "GIndex",
+    "TreeDeltaIndex",
+    "ALL_INDEX_CLASSES",
+    # generators
+    "GraphGenConfig",
+    "generate_dataset",
+    "generate_queries",
+    "make_real_dataset",
+    "REAL_DATASET_SPECS",
+    # evaluation core
+    "Budget",
+    "BudgetExceeded",
+    "ScaleProfile",
+    "PAPER_PROFILE",
+    "CI_PROFILE",
+    "active_profile",
+    "false_positive_ratio",
+    "summarize_results",
+]

@@ -1,0 +1,51 @@
+"""Canonical labels for labeled simple cycles.
+
+A simple cycle feature is the cyclic sequence of vertex labels around
+it.  Two cycles are isomorphic iff one label sequence is a rotation of
+the other, possibly reversed.  The canonical label is the
+lexicographically minimal sequence over all rotations of both
+directions.  Used by CT-Index (cycle features) and Tree+Δ (Δ features
+start from simple cycles).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.canonical.order import label_key
+
+__all__ = ["cycle_canonical"]
+
+
+def cycle_canonical(labels: Sequence[object]) -> tuple:
+    """Canonical label of the cycle with vertex *labels* in cyclic order.
+
+    The input lists each cycle vertex exactly once (the wrap-around edge
+    back to the first vertex is implicit).
+
+    Examples
+    --------
+    >>> cycle_canonical(["O", "C", "N"])
+    ('C', 'N', 'O')
+    >>> cycle_canonical(["N", "O", "C"])
+    ('C', 'N', 'O')
+    """
+    ring = tuple(labels)
+    if len(ring) < 3:
+        raise ValueError(f"a simple cycle has at least 3 vertices, got {len(ring)}")
+    best: tuple | None = None
+    best_key: list | None = None
+    for candidate in _rotations(ring):
+        key = [label_key(label) for label in candidate]
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    assert best is not None
+    return best
+
+
+def _rotations(ring: tuple):
+    """Yield every rotation of *ring* in both directions."""
+    n = len(ring)
+    for direction in (ring, ring[::-1]):
+        for start in range(n):
+            yield direction[start:] + direction[:start]

@@ -1,0 +1,212 @@
+"""Minimum DFS codes (gSpan) for connected labeled graphs.
+
+gIndex identifies its graph-structured features by gSpan's *minimum DFS
+code* canonical form (Yan & Han, SIGMOD 2004 [21] builds directly on
+gSpan), and our frequent-subgraph miner (:mod:`repro.mining.gspan`) uses
+the same machinery for duplicate elimination.
+
+A DFS code is a sequence of edge tuples ``(i, j, l_i, l_j)`` where ``i``
+and ``j`` are DFS discovery indexes and ``l_i``/``l_j`` vertex labels
+(edge labels are not used; the benchmarked implementations all work on
+vertex-labeled graphs).  A *forward* edge has ``j == max_index + 1``; a
+*backward* edge has ``j < i`` with ``i`` the current rightmost vertex.
+The canonical form of a graph is the lexicographically smallest code
+over all DFS traversals, under gSpan's edge order:
+
+* backward extensions precede forward extensions;
+* among backward extensions (all from the rightmost vertex), smaller
+  target index first;
+* among forward extensions, deeper source on the rightmost path first,
+  then smaller new-vertex label.
+
+The computation below is the standard greedy embedding-set search: keep
+every partial traversal realizing the minimal code prefix and extend all
+of them by the minimal next edge.  Greedy per-step minimization is
+exact here because, under the gSpan candidate order, the minimal
+extension never strands an unexplored edge (backward edges are always
+drained before forward ones, and deeper forward candidates precede
+shallower ones, so vertices only leave the rightmost path once all
+their incident edges are used).
+"""
+
+from __future__ import annotations
+
+from repro.canonical.order import label_key
+from repro.graphs.graph import Graph, GraphError
+
+__all__ = [
+    "DfsCode",
+    "min_dfs_code",
+    "is_min_dfs_code",
+    "dfs_code_graph",
+    "rightmost_path",
+]
+
+#: One DFS-code entry: (from_index, to_index, from_label, to_label).
+CodeEdge = tuple[int, int, object, object]
+DfsCode = tuple[CodeEdge, ...]
+
+
+class _Embedding:
+    """A partial DFS traversal realizing the current minimal code prefix."""
+
+    __slots__ = ("vmap", "mapped", "rpath", "used")
+
+    def __init__(self, vmap: tuple[int, ...], rpath: tuple[int, ...], used: frozenset) -> None:
+        self.vmap = vmap                   # DFS index -> graph vertex
+        self.mapped = set(vmap)            # graph vertices already visited
+        self.rpath = rpath                 # DFS indexes on the rightmost path
+        self.used = used                   # frozenset of frozenset edges
+
+
+def min_dfs_code(graph: Graph) -> DfsCode:
+    """Compute the minimum DFS code of a connected graph with ≥ 1 edge.
+
+    Raises
+    ------
+    GraphError
+        If the graph has no edges or is disconnected (patterns are
+        always connected).
+    """
+    if graph.size == 0:
+        raise GraphError("min_dfs_code requires at least one edge")
+    if not graph.is_connected():
+        raise GraphError("min_dfs_code requires a connected graph")
+
+    code: list[CodeEdge] = []
+    embeddings = _initial_embeddings(graph, code)
+    for _ in range(graph.size - 1):
+        embeddings = _extend_minimally(graph, code, embeddings)
+    return tuple(code)
+
+
+def is_min_dfs_code(code: DfsCode) -> bool:
+    """True iff *code* is the minimum DFS code of the graph it describes."""
+    return code == min_dfs_code(dfs_code_graph(code))
+
+
+def dfs_code_graph(code: DfsCode) -> Graph:
+    """Reconstruct the pattern graph described by a DFS code."""
+    if not code:
+        raise GraphError("empty DFS code")
+    labels: dict[int, object] = {}
+    for i, j, li, lj in code:
+        labels.setdefault(i, li)
+        labels.setdefault(j, lj)
+        if labels[i] != li or labels[j] != lj:
+            raise GraphError(f"inconsistent labels in DFS code at edge ({i}, {j})")
+    n = max(labels) + 1
+    if sorted(labels) != list(range(n)):
+        raise GraphError("DFS code does not use dense vertex indexes")
+    graph = Graph([labels[v] for v in range(n)])
+    for i, j, _, _ in code:
+        graph.add_edge(i, j)
+    return graph
+
+
+def rightmost_path(code: DfsCode) -> tuple[int, ...]:
+    """DFS indexes on the rightmost path of *code*, root first.
+
+    The rightmost vertex is the target of the last forward edge; the
+    path follows forward-edge parents back to the root (index 0).
+    """
+    parent: dict[int, int] = {}
+    rightmost = 0
+    for i, j, _, _ in code:
+        if j > i:  # forward edge
+            parent[j] = i
+            rightmost = max(rightmost, j)
+    path = [rightmost]
+    while path[-1] in parent:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return tuple(path)
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+
+
+def _initial_embeddings(graph: Graph, code: list[CodeEdge]) -> list[_Embedding]:
+    """Pick the minimal first edge and seed embeddings for it."""
+    best_key = None
+    best: list[tuple[int, int]] = []
+    for u, v in graph.edges():
+        for a, b in ((u, v), (v, u)):
+            key = (label_key(graph.label(a)), label_key(graph.label(b)))
+            if best_key is None or key < best_key:
+                best_key, best = key, [(a, b)]
+            elif key == best_key:
+                best.append((a, b))
+    a0, b0 = best[0]
+    code.append((0, 1, graph.label(a0), graph.label(b0)))
+    return [
+        _Embedding(vmap=(a, b), rpath=(0, 1), used=frozenset((frozenset((a, b)),)))
+        for a, b in best
+    ]
+
+
+def _extend_minimally(
+    graph: Graph, code: list[CodeEdge], embeddings: list[_Embedding]
+) -> list[_Embedding]:
+    """Append the minimal next code edge; return the surviving embeddings."""
+    best_key = None
+    best: list[tuple[_Embedding, tuple]] = []
+
+    for emb in embeddings:
+        rm_index = emb.rpath[-1]
+        rm_vertex = emb.vmap[rm_index]
+        # Backward candidates: rightmost vertex -> rightmost-path ancestor.
+        for j_index in emb.rpath[:-1]:
+            target = emb.vmap[j_index]
+            if target in graph.neighbors(rm_vertex):
+                edge = frozenset((rm_vertex, target))
+                if edge not in emb.used:
+                    key = (0, j_index)
+                    if best_key is None or key < best_key:
+                        best_key, best = key, [(emb, ("b", j_index, target))]
+                    elif key == best_key:
+                        best.append((emb, ("b", j_index, target)))
+        # Forward candidates: rightmost-path vertex -> unmapped neighbor.
+        for i_index in emb.rpath:
+            source = emb.vmap[i_index]
+            for w in graph.neighbors(source):
+                if w not in emb.mapped:
+                    key = (1, -i_index, label_key(graph.label(w)))
+                    if best_key is None or key < best_key:
+                        best_key, best = key, [(emb, ("f", i_index, w))]
+                    elif key == best_key:
+                        best.append((emb, ("f", i_index, w)))
+
+    if best_key is None:
+        raise GraphError("no DFS extension found; graph must be connected")
+
+    next_index = max(max(i, j) for i, j, _, _ in code) + 1
+    survivors: list[_Embedding] = []
+    seen_states: set[tuple] = set()
+    first = True
+    for emb, (kind, idx, w) in best:
+        rm_index = emb.rpath[-1]
+        if kind == "b":
+            if first:
+                code.append((rm_index, idx, graph.label(emb.vmap[rm_index]), graph.label(w)))
+                first = False
+            used = emb.used | {frozenset((emb.vmap[rm_index], w))}
+            state = (emb.vmap, used)
+            if state not in seen_states:
+                seen_states.add(state)
+                survivors.append(_Embedding(emb.vmap, emb.rpath, used))
+        else:
+            if first:
+                code.append((idx, next_index, graph.label(emb.vmap[idx]), graph.label(w)))
+                first = False
+            vmap = emb.vmap + (w,)
+            position = emb.rpath.index(idx)
+            rpath = emb.rpath[: position + 1] + (next_index,)
+            used = emb.used | {frozenset((emb.vmap[idx], w))}
+            state = (vmap, used)
+            if state not in seen_states:
+                seen_states.add(state)
+                survivors.append(_Embedding(vmap, rpath, used))
+    return survivors

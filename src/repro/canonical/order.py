@@ -1,0 +1,35 @@
+"""A total order over arbitrary hashable vertex labels.
+
+Canonical-form algorithms need to *sort* labels.  Datasets in the wild
+mix label types (our generators use strings, tests use ints), and Python
+refuses to order unlike types.  ``label_key`` maps any hashable label to
+a tuple ``(type_tag, comparable)`` that sorts consistently: first by
+type name, then by natural order within the type (falling back to
+``repr`` for exotic types).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = ["label_key"]
+
+
+@lru_cache(maxsize=65536)
+def label_key(label: object) -> tuple[str, object]:
+    """Return a sort key that totally orders any mix of labels.
+
+    The key is deterministic across processes (no ``id``/``hash`` use),
+    which canonical labels require.
+    """
+    if isinstance(label, bool):  # bool is an int subclass; keep it distinct
+        return ("bool", label)
+    if isinstance(label, int):
+        return ("int", label)
+    if isinstance(label, float):
+        return ("float", label)
+    if isinstance(label, str):
+        return ("str", label)
+    if isinstance(label, bytes):
+        return ("bytes", label)
+    return (type(label).__name__, repr(label))

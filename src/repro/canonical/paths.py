@@ -1,0 +1,37 @@
+"""Canonical labels for labeled simple paths.
+
+A path feature is fully described by the sequence of vertex labels along
+it.  An undirected path can be read in two directions; the canonical
+label is whichever reading sorts first, so both traversals of one path
+(and any two isomorphic paths) share a label.  Used by GraphGrepSX and
+Grapes (path features) and by gCode's path-based signatures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.canonical.order import label_key
+
+__all__ = ["path_canonical"]
+
+
+def path_canonical(labels: Sequence[object]) -> tuple:
+    """Canonical label of the path whose vertices carry *labels* in order.
+
+    Returns a tuple of the original label objects, read in the direction
+    that is lexicographically smaller under
+    :func:`~repro.canonical.order.label_key`.
+
+    Examples
+    --------
+    >>> path_canonical(["C", "O", "N"])
+    ('C', 'O', 'N')
+    >>> path_canonical(["N", "O", "C"])
+    ('C', 'O', 'N')
+    """
+    forward = tuple(labels)
+    backward = forward[::-1]
+    forward_key = [label_key(label) for label in forward]
+    backward_key = forward_key[::-1]
+    return forward if forward_key <= backward_key else backward

@@ -1,0 +1,18 @@
+"""Command-line interface: the benchmark study as a tool.
+
+``python -m repro`` exposes the library's pipeline as subcommands::
+
+    repro generate out.gfd --graphs 100 --nodes 24 --density 0.12 --labels 6
+    repro generate out.gfd --real AIDS --scale 0.02
+    repro stats out.gfd
+    repro queries out.gfd queries.gfd --count 10 --edges 8
+    repro build out.gfd --method grapes --save grapes.idx
+    repro query out.gfd queries.gfd --method grapes --method ggsx
+    repro sweep nodes --plot
+
+All randomized commands accept ``--seed`` and are exactly reproducible.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["main", "build_parser"]

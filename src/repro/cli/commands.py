@@ -1,0 +1,279 @@
+"""Implementations of the ``repro`` subcommands."""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+from pathlib import Path
+
+from repro.core.experiments import (
+    density_sweep,
+    graph_count_sweep,
+    labels_sweep,
+    nodes_sweep,
+    real_dataset_experiment,
+)
+from repro.core.metrics import summarize_results
+from repro.core.plots import ascii_plot
+from repro.core.presets import active_profile
+from repro.core.report import render_sweep, render_table1
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.generators.realsets import make_real_dataset
+from repro.graphs.graph import GraphError
+from repro.graphs.io import read_dataset, write_dataset
+from repro.graphs.statistics import dataset_statistics
+from repro.indexes import ALL_INDEX_CLASSES
+from repro.indexes.persistence import IndexFileError, load_index, save_index
+from repro.core.runner import make_method
+from repro.utils.budget import Budget, BudgetExceeded
+
+__all__ = ["CliError"]
+
+
+class CliError(Exception):
+    """User-facing command failure (bad input, missing file, timeout)."""
+
+
+def _load_dataset(path: str):
+    try:
+        return read_dataset(path)
+    except FileNotFoundError:
+        raise CliError(f"dataset file not found: {path}")
+    except GraphError as exc:
+        raise CliError(f"malformed dataset {path}: {exc}")
+
+
+def _supported_options(method: str, options: dict) -> dict:
+    """The subset of *options* the method's constructor accepts.
+
+    ``repro query`` applies one ``--option`` list to several methods
+    with different knobs; silently dropping inapplicable keys keeps the
+    comparison runnable (e.g. ``max_path_edges`` means nothing to the
+    naive baseline).
+    """
+    accepted = inspect.signature(ALL_INDEX_CLASSES[method].__init__).parameters
+    return {key: value for key, value in options.items() if key in accepted}
+
+
+def _parse_options(pairs: list[str]) -> dict:
+    """Parse --option KEY=VALUE pairs with numeric coercion."""
+    options: dict = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator:
+            raise CliError(f"--option expects KEY=VALUE, got {pair!r}")
+        value: object = raw
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                if raw.lower() in ("true", "false"):
+                    value = raw.lower() == "true"
+        options[key] = value
+    return options
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.real:
+        dataset = make_real_dataset(args.real, scale=args.scale, seed=args.seed)
+    else:
+        config = GraphGenConfig(
+            num_graphs=args.graphs,
+            mean_nodes=args.nodes,
+            mean_density=args.density,
+            num_labels=args.labels,
+        )
+        dataset = generate_dataset(config, seed=args.seed)
+    write_dataset(dataset, args.output)
+    stats = dataset_statistics(dataset)
+    print(
+        f"wrote {stats.num_graphs} graphs "
+        f"(avg {stats.avg_vertices:.1f} nodes, {stats.avg_edges:.1f} edges, "
+        f"{stats.num_labels} labels) to {args.output}"
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    stats = dataset_statistics(dataset, name=Path(args.dataset).stem)
+    print(render_table1({stats.name: stats}))
+    return 0
+
+
+def cmd_queries(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    try:
+        queries = generate_queries(dataset, args.count, args.edges, seed=args.seed)
+    except ValueError as exc:
+        raise CliError(str(exc))
+    from repro.graphs.dataset import GraphDataset
+
+    workload = GraphDataset(queries, name="queries")
+    write_dataset(workload, args.output)
+    print(f"wrote {len(queries)} queries of {args.edges} edges to {args.output}")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    if args.method not in ALL_INDEX_CLASSES:
+        known = ", ".join(ALL_INDEX_CLASSES)
+        raise CliError(f"unknown method {args.method!r}; expected one of {known}")
+    index = make_method(args.method, _parse_options(args.option))
+    budget = Budget(args.budget, phase=f"{args.method} build") if args.budget else None
+    try:
+        report = index.build(dataset, budget=budget)
+    except BudgetExceeded:
+        raise CliError(
+            f"{args.method} exceeded the {args.budget:.0f}s build budget "
+            "(the paper's 'failed to index')"
+        )
+    print(
+        f"built {args.method} over {len(dataset)} graphs in "
+        f"{report.seconds:.3f}s ({report.size_bytes / 1024:.1f} KiB)"
+    )
+    for key, value in report.details.items():
+        print(f"  {key}: {value}")
+    if args.save:
+        save_index(index, args.save)
+        print(f"saved index to {args.save}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    workload = _load_dataset(args.queries)
+    queries = list(workload)
+    if not queries:
+        raise CliError(f"no queries in {args.queries}")
+    options = _parse_options(args.option)
+
+    indexes = []
+    if args.load:
+        try:
+            index = load_index(args.load, expect_dataset=dataset)
+        except (FileNotFoundError, IndexFileError) as exc:
+            raise CliError(str(exc))
+        indexes.append(index)
+    methods = args.method or list(ALL_INDEX_CLASSES)
+    for method in methods:
+        if args.load and indexes and indexes[0].name == method:
+            continue  # already covered by the loaded index
+        if method not in ALL_INDEX_CLASSES:
+            known = ", ".join(ALL_INDEX_CLASSES)
+            raise CliError(f"unknown method {method!r}; expected one of {known}")
+        index = make_method(method, _supported_options(method, options))
+        index.build(dataset)
+        indexes.append(index)
+
+    print(f"{len(queries)} queries against {len(dataset)} graphs:")
+    reference = None
+    for index in indexes:
+        budget = (
+            Budget(args.budget, phase=f"{index.name} queries")
+            if args.budget
+            else None
+        )
+        try:
+            results = [index.query(q, budget=budget) for q in queries]
+        except BudgetExceeded:
+            print(f"  {index.name:11s} TIMED OUT")
+            continue
+        stats = summarize_results(results)
+        answers = [r.answers for r in results]
+        if reference is None:
+            reference = answers
+        agreement = "" if answers == reference else "  !! DISAGREES"
+        print(
+            f"  {index.name:11s} avg {stats.avg_query_seconds * 1e3:8.3f}ms  "
+            f"candidates {stats.avg_candidates:7.1f}  "
+            f"answers {stats.avg_answers:6.1f}  "
+            f"fp {stats.false_positive_ratio:.3f}{agreement}"
+        )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    profile = active_profile()
+    runners = {
+        "nodes": (nodes_sweep, "2"),
+        "density": (density_sweep, "3"),
+        "labels": (labels_sweep, "5"),
+        "graphs": (graph_count_sweep, "6"),
+        "real": (real_dataset_experiment, "1"),
+    }
+    run, figure = runners[args.experiment]
+    print(f"running {args.experiment} sweep at scale '{profile.name}'...")
+    sweep = run(profile, seed=args.seed, progress=lambda m: print(f"  {m}", end="\r"))
+    print()
+
+    output = []
+    if args.experiment == "real":
+        output.append(render_table1(sweep.dataset_stats))
+    output.append(render_sweep(sweep, figure))
+    if args.plot and args.experiment != "real":
+        output.append(
+            ascii_plot(
+                f"Figure {figure}(a): indexing time vs {sweep.x_name}",
+                sweep.indexing_time(),
+            )
+        )
+        output.append(
+            ascii_plot(
+                f"Figure {figure}(c): query time vs {sweep.x_name}",
+                sweep.query_time(),
+            )
+        )
+    text = "\n".join(part for part in output if part)
+    print(text)
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"fig{figure}_{args.experiment}.txt").write_text(
+            text, encoding="utf-8"
+        )
+        print(f"wrote {out_dir / f'fig{figure}_{args.experiment}.txt'}")
+    if args.json:
+        from repro.core.serialization import save_sweep
+
+        save_sweep(sweep, args.json)
+        print(f"wrote raw results to {args.json}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_sweep
+
+    try:
+        sweep = load_sweep(args.results)
+    except FileNotFoundError:
+        raise CliError(f"results file not found: {args.results}")
+    except ValueError as exc:
+        raise CliError(f"{args.results}: {exc}")
+    figure = args.figure or "?"
+    if sweep.dataset_stats and sweep.x_name == "dataset":
+        print(render_table1(sweep.dataset_stats))
+    print(render_sweep(sweep, figure))
+    if args.plot:
+        print(
+            ascii_plot(
+                f"Figure {figure}(a): indexing time vs {sweep.x_name}",
+                sweep.indexing_time(),
+            )
+        )
+        print(
+            ascii_plot(
+                f"Figure {figure}(c): query time vs {sweep.x_name}",
+                sweep.query_time(),
+            )
+        )
+    return 0

@@ -1,0 +1,127 @@
+"""Argument parsing and dispatch for the ``repro`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.cli import commands
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Indexed subgraph query processing: six methods, one "
+            "evaluation framework (PVLDB 8(12), 2015 reproduction)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic or stand-in dataset file"
+    )
+    generate.add_argument("output", help="output dataset file (.gfd)")
+    generate.add_argument("--graphs", type=int, default=100)
+    generate.add_argument("--nodes", type=int, default=24)
+    generate.add_argument("--density", type=float, default=0.12)
+    generate.add_argument("--labels", type=int, default=6)
+    generate.add_argument(
+        "--real",
+        choices=["AIDS", "PDBS", "PCM", "PPI"],
+        help="generate a Table 1 stand-in instead of GraphGen output",
+    )
+    generate.add_argument("--scale", type=float, default=1.0,
+                          help="shrink factor for --real stand-ins")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=commands.cmd_generate)
+
+    stats = subparsers.add_parser("stats", help="print a dataset's Table 1 row")
+    stats.add_argument("dataset", help="dataset file (.gfd)")
+    stats.set_defaults(handler=commands.cmd_stats)
+
+    queries = subparsers.add_parser(
+        "queries", help="generate a random-walk query workload"
+    )
+    queries.add_argument("dataset", help="dataset file (.gfd)")
+    queries.add_argument("output", help="output query file (.gfd)")
+    queries.add_argument("--count", type=int, default=10)
+    queries.add_argument("--edges", type=int, default=8)
+    queries.add_argument("--seed", type=int, default=0)
+    queries.set_defaults(handler=commands.cmd_queries)
+
+    build = subparsers.add_parser("build", help="build an index over a dataset")
+    build.add_argument("dataset", help="dataset file (.gfd)")
+    build.add_argument("--method", required=True, help="index method name")
+    build.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="method constructor option (repeatable)",
+    )
+    build.add_argument("--budget", type=float, help="build time budget (s)")
+    build.add_argument("--save", help="persist the built index to this file")
+    build.set_defaults(handler=commands.cmd_build)
+
+    query = subparsers.add_parser(
+        "query", help="run a query workload through one or more methods"
+    )
+    query.add_argument("dataset", help="dataset file (.gfd)")
+    query.add_argument("queries", help="query file (.gfd)")
+    query.add_argument(
+        "--method",
+        action="append",
+        default=[],
+        help="method name (repeatable; default: all)",
+    )
+    query.add_argument("--load", help="load a persisted index instead of building")
+    query.add_argument("--budget", type=float, help="per-workload budget (s)")
+    query.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="method constructor option (applies to every --method)",
+    )
+    query.set_defaults(handler=commands.cmd_query)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run one of the paper's sweeps (Figures 1-6)"
+    )
+    sweep.add_argument(
+        "experiment",
+        choices=["nodes", "density", "labels", "graphs", "real"],
+        help="which parameter sweep to run",
+    )
+    sweep.add_argument("--out", help="directory for rendered outputs")
+    sweep.add_argument("--plot", action="store_true", help="ASCII plots too")
+    sweep.add_argument("--json", help="also save raw results as JSON")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(handler=commands.cmd_sweep)
+
+    report = subparsers.add_parser(
+        "report", help="re-render a sweep saved with 'sweep --json'"
+    )
+    report.add_argument("results", help="JSON file from 'sweep --json'")
+    report.add_argument("--plot", action="store_true", help="ASCII plots too")
+    report.add_argument(
+        "--figure", default="", help="figure number label (e.g. 2)"
+    )
+    report.set_defaults(handler=commands.cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except commands.CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,70 @@
+"""The evaluation framework — the paper's primary contribution.
+
+The paper's value is not a new index but a *systematic methodology*:
+build every method over datasets that vary one key parameter at a time,
+enforce a per-experiment time limit, and report four metrics (indexing
+time, index size, query time, false positive ratio) so the methods'
+performance *and scalability* become comparable.  This package is that
+methodology as a library:
+
+* :mod:`~repro.core.presets` — scale profiles: the paper's §4.1/§4.2
+  configuration, and a CI-sized profile with identical structure;
+* :mod:`~repro.core.runner` — build/query execution with budgets,
+  producing per-(method, dataset) measurement cells;
+* :mod:`~repro.core.experiments` — the sweeps behind Figures 1–6 and
+  Table 1;
+* :mod:`~repro.core.metrics` — Eq. (3) and aggregation;
+* :mod:`~repro.core.report` — ASCII rendering of every figure/table,
+  plus the qualitative "shape checks" of §6 (who wins, where methods
+  break).
+"""
+
+from repro.core.metrics import WorkloadStats, false_positive_ratio, summarize_results
+from repro.core.presets import CI_PROFILE, PAPER_PROFILE, ScaleProfile, active_profile
+from repro.core.runner import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    MethodCell,
+    SizeStats,
+    evaluate_method,
+    make_method,
+)
+from repro.core.experiments import (
+    SweepResult,
+    density_sweep,
+    graph_count_sweep,
+    labels_sweep,
+    nodes_sweep,
+    real_dataset_experiment,
+)
+from repro.core.report import render_series_table, render_sweep, render_table1
+from repro.utils.budget import Budget, BudgetExceeded
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "ScaleProfile",
+    "PAPER_PROFILE",
+    "CI_PROFILE",
+    "active_profile",
+    "false_positive_ratio",
+    "WorkloadStats",
+    "summarize_results",
+    "MethodCell",
+    "SizeStats",
+    "evaluate_method",
+    "make_method",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "STATUS_ERROR",
+    "SweepResult",
+    "nodes_sweep",
+    "density_sweep",
+    "labels_sweep",
+    "graph_count_sweep",
+    "real_dataset_experiment",
+    "render_series_table",
+    "render_sweep",
+    "render_table1",
+]

@@ -1,0 +1,290 @@
+"""The paper's experiments as parameter sweeps (Figures 1–6, Table 1).
+
+Each sweep varies exactly one of the five key parameters — number of
+nodes (Fig. 2), density (Figs. 3–4), distinct labels (Fig. 5), number
+of graphs (Fig. 6) — holding the others at the profile's "sane
+defaults", mirroring §4.2's methodology.  The real-dataset experiment
+(Fig. 1, Table 1) evaluates all methods over the four Table 1
+stand-ins.
+
+A sweep returns a :class:`SweepResult` holding one
+:class:`~repro.core.runner.MethodCell` per (x value, method); accessor
+methods project it onto each sub-figure's series, with ``None`` marking
+the missing data points the paper draws as truncated curves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.presets import ScaleProfile, active_profile
+from repro.core.runner import MethodCell, evaluate_method
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.generators.realsets import make_real_dataset
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.statistics import DatasetStatistics, dataset_statistics
+
+__all__ = [
+    "SweepResult",
+    "nodes_sweep",
+    "density_sweep",
+    "labels_sweep",
+    "graph_count_sweep",
+    "real_dataset_experiment",
+]
+
+ProgressHook = Callable[[str], None]
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """All measurements of one sweep."""
+
+    #: Human name of the varied parameter (figure x-axis label).
+    x_name: str
+    #: The x values actually swept (ints, floats, or dataset names).
+    x_values: list
+    #: Methods evaluated, in presentation order.
+    methods: list[str]
+    #: (x value, method) -> measurement cell.
+    cells: dict[tuple, MethodCell] = field(default_factory=dict)
+    #: Per-x-value dataset statistics (Table 1 for the real experiment).
+    dataset_stats: dict = field(default_factory=dict)
+    #: Query sizes used in the workloads.
+    query_sizes: tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------
+    # figure projections: method -> [(x, value-or-None)]
+    # ------------------------------------------------------------------
+
+    def series(self, extract: Callable[[MethodCell], float | None]) -> dict[str, list]:
+        out: dict[str, list] = {}
+        for method in self.methods:
+            points = []
+            for x in self.x_values:
+                cell = self.cells.get((x, method))
+                points.append((x, None if cell is None else extract(cell)))
+            out[method] = points
+        return out
+
+    def indexing_time(self) -> dict[str, list]:
+        """Sub-figure (a): index construction seconds."""
+        return self.series(lambda cell: cell.build_seconds)
+
+    def index_size_mb(self) -> dict[str, list]:
+        """Sub-figure (b): index size in MB."""
+        return self.series(
+            lambda cell: None
+            if cell.index_bytes is None
+            else cell.index_bytes / (1024.0 * 1024.0)
+        )
+
+    def query_time(self) -> dict[str, list]:
+        """Sub-figure (c): average query seconds over all sizes."""
+        return self.series(MethodCell.query_seconds)
+
+    def fp_ratio(self) -> dict[str, list]:
+        """Sub-figure (d): average false positive ratio (Eq. 3)."""
+        return self.series(MethodCell.fp_ratio)
+
+    def query_time_for_size(self, size: int) -> dict[str, list]:
+        """Figure 4 panels: query seconds for one query size."""
+        return self.series(lambda cell: cell.query_seconds_for(size))
+
+
+# ----------------------------------------------------------------------
+# synthetic sweeps (Figures 2, 3+4, 5, 6)
+# ----------------------------------------------------------------------
+
+
+def nodes_sweep(
+    profile: ScaleProfile | None = None,
+    methods: Sequence[str] | None = None,
+    values: Sequence[int] | None = None,
+    seed: int = 0,
+    progress: ProgressHook | None = None,
+) -> SweepResult:
+    """Figure 2: vary the number of nodes per graph."""
+    profile = profile or active_profile()
+    return _synthetic_sweep(
+        profile,
+        x_name="number of nodes",
+        values=list(values if values is not None else profile.nodes_values),
+        config_for=lambda x: GraphGenConfig(
+            num_graphs=profile.default_num_graphs,
+            mean_nodes=x,
+            mean_density=profile.default_density,
+            num_labels=profile.default_labels,
+        ),
+        methods=methods,
+        seed=seed,
+        progress=progress,
+    )
+
+
+def density_sweep(
+    profile: ScaleProfile | None = None,
+    methods: Sequence[str] | None = None,
+    values: Sequence[float] | None = None,
+    seed: int = 0,
+    progress: ProgressHook | None = None,
+) -> SweepResult:
+    """Figures 3 and 4: vary the mean graph density."""
+    profile = profile or active_profile()
+    return _synthetic_sweep(
+        profile,
+        x_name="density",
+        values=list(values if values is not None else profile.density_values),
+        config_for=lambda x: GraphGenConfig(
+            num_graphs=profile.default_num_graphs,
+            mean_nodes=profile.default_nodes,
+            mean_density=x,
+            num_labels=profile.default_labels,
+        ),
+        methods=methods,
+        seed=seed,
+        progress=progress,
+    )
+
+
+def labels_sweep(
+    profile: ScaleProfile | None = None,
+    methods: Sequence[str] | None = None,
+    values: Sequence[int] | None = None,
+    seed: int = 0,
+    progress: ProgressHook | None = None,
+) -> SweepResult:
+    """Figure 5: vary the number of distinct labels."""
+    profile = profile or active_profile()
+    return _synthetic_sweep(
+        profile,
+        x_name="labels",
+        values=list(values if values is not None else profile.label_values),
+        config_for=lambda x: GraphGenConfig(
+            num_graphs=profile.default_num_graphs,
+            mean_nodes=profile.default_nodes,
+            mean_density=profile.default_density,
+            num_labels=x,
+        ),
+        methods=methods,
+        seed=seed,
+        progress=progress,
+    )
+
+
+def graph_count_sweep(
+    profile: ScaleProfile | None = None,
+    methods: Sequence[str] | None = None,
+    values: Sequence[int] | None = None,
+    seed: int = 0,
+    progress: ProgressHook | None = None,
+) -> SweepResult:
+    """Figure 6: vary the number of graphs in the dataset."""
+    profile = profile or active_profile()
+    return _synthetic_sweep(
+        profile,
+        x_name="number of graphs",
+        values=list(values if values is not None else profile.graph_count_values),
+        config_for=lambda x: GraphGenConfig(
+            num_graphs=x,
+            mean_nodes=profile.default_nodes,
+            mean_density=profile.default_density,
+            num_labels=profile.default_labels,
+        ),
+        methods=methods,
+        seed=seed,
+        progress=progress,
+    )
+
+
+def _synthetic_sweep(
+    profile: ScaleProfile,
+    x_name: str,
+    values: list,
+    config_for: Callable[[object], GraphGenConfig],
+    methods: Sequence[str] | None,
+    seed: int,
+    progress: ProgressHook | None,
+) -> SweepResult:
+    method_names = list(methods if methods is not None else profile.method_names())
+    result = SweepResult(
+        x_name=x_name,
+        x_values=list(values),
+        methods=method_names,
+        query_sizes=profile.query_sizes,
+    )
+    for x in values:
+        dataset = generate_dataset(config_for(x), seed=seed)
+        workloads = _make_workloads(dataset, profile, seed)
+        result.dataset_stats[x] = dataset_statistics(dataset)
+        for method in method_names:
+            if progress is not None:
+                progress(f"{x_name}={x} method={method}")
+            result.cells[(x, method)] = evaluate_method(
+                method,
+                dataset,
+                workloads,
+                method_config=profile.method_configs.get(method),
+                build_budget_seconds=profile.build_budget_seconds,
+                query_budget_seconds=profile.query_budget_seconds,
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# real datasets (Figure 1, Table 1)
+# ----------------------------------------------------------------------
+
+
+def real_dataset_experiment(
+    profile: ScaleProfile | None = None,
+    methods: Sequence[str] | None = None,
+    names: Sequence[str] | None = None,
+    seed: int = 0,
+    progress: ProgressHook | None = None,
+) -> SweepResult:
+    """Figure 1 and Table 1: all methods over the real-dataset stand-ins."""
+    profile = profile or active_profile()
+    method_names = list(methods if methods is not None else profile.method_names())
+    dataset_names = list(names if names is not None else profile.real_dataset_names)
+    result = SweepResult(
+        x_name="dataset",
+        x_values=dataset_names,
+        methods=method_names,
+        query_sizes=profile.query_sizes,
+    )
+    for name in dataset_names:
+        dataset = make_real_dataset(name, scale=profile.real_dataset_scale, seed=seed)
+        workloads = _make_workloads(dataset, profile, seed)
+        result.dataset_stats[name] = dataset_statistics(dataset, name=name)
+        for method in method_names:
+            if progress is not None:
+                progress(f"dataset={name} method={method}")
+            result.cells[(name, method)] = evaluate_method(
+                method,
+                dataset,
+                workloads,
+                method_config=profile.method_configs.get(method),
+                build_budget_seconds=profile.build_budget_seconds,
+                query_budget_seconds=profile.query_budget_seconds,
+            )
+    return result
+
+
+def _make_workloads(
+    dataset: GraphDataset, profile: ScaleProfile, seed: int
+) -> dict[int, list]:
+    """Per-size random-walk workloads; sizes the dataset cannot yield
+    (all graphs too small) are skipped, as with 32-edge queries on tiny
+    CI-scale stand-ins."""
+    workloads: dict[int, list] = {}
+    for size in profile.query_sizes:
+        try:
+            workloads[size] = generate_queries(
+                dataset, profile.queries_per_size, size, seed=seed + size
+            )
+        except ValueError:
+            continue
+    return workloads

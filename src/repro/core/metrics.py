@@ -1,0 +1,56 @@
+"""Metric definitions (paper §4.3, Eq. (3)).
+
+The false positive ratio of a query workload is the *average of
+per-query ratios*, not the ratio of totals::
+
+    FP = (1/|Q|) Σ_q (|C_q| − |A_q|) / |C_q|
+
+— a distinction that matters when candidate-set sizes vary wildly
+across queries.  Queries with empty candidate sets contribute zero.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.indexes.base import QueryResult
+
+__all__ = ["false_positive_ratio", "WorkloadStats", "summarize_results"]
+
+
+def false_positive_ratio(results: Iterable[QueryResult]) -> float:
+    """Eq. (3) over a workload: mean of per-query FP ratios."""
+    ratios = [result.false_positive_ratio for result in results]
+    if not ratios:
+        return 0.0
+    return sum(ratios) / len(ratios)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadStats:
+    """Aggregated metrics of one query workload against one index."""
+
+    num_queries: int
+    avg_query_seconds: float
+    avg_filter_seconds: float
+    avg_verify_seconds: float
+    avg_candidates: float
+    avg_answers: float
+    false_positive_ratio: float
+
+
+def summarize_results(results: Sequence[QueryResult]) -> WorkloadStats:
+    """Collapse per-query results into the paper's reported quantities."""
+    if not results:
+        return WorkloadStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    count = len(results)
+    return WorkloadStats(
+        num_queries=count,
+        avg_query_seconds=sum(r.total_seconds for r in results) / count,
+        avg_filter_seconds=sum(r.filter_seconds for r in results) / count,
+        avg_verify_seconds=sum(r.verify_seconds for r in results) / count,
+        avg_candidates=sum(len(r.candidates) for r in results) / count,
+        avg_answers=sum(len(r.answers) for r in results) / count,
+        false_positive_ratio=false_positive_ratio(results),
+    )

@@ -1,0 +1,109 @@
+"""ASCII log-scale line plots of figure series.
+
+The paper presents every result as a log-scale line plot; the report
+tables (:mod:`repro.core.report`) carry the numbers, and this module
+renders the same series as terminal plots so trends — crossovers,
+explosions, flat curves, breaking points — are visible at a glance.
+
+Each method gets a marker character; points on a log (or linear) grid;
+missing data simply ends a curve, mirroring the paper's truncated
+lines.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+__all__ = ["ascii_plot"]
+
+#: Marker per series, assigned in order.
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    title: str,
+    series: Mapping[str, list],
+    width: int = 72,
+    height: int = 18,
+    log_y: bool = True,
+    y_label: str = "",
+) -> str:
+    """Render series as an ASCII plot.
+
+    Parameters
+    ----------
+    series:
+        Method → list of ``(x, y-or-None)`` pairs, as produced by
+        :class:`~repro.core.experiments.SweepResult` projections.
+    log_y:
+        Log-scale the y axis (the paper's default); non-positive values
+        are clamped to the smallest positive value present.
+    """
+    points: list[tuple[float, float, int]] = []  # (x, y, series index)
+    names = list(series)
+    for index, name in enumerate(names):
+        for x, y in series[name]:
+            if y is None:
+                continue
+            points.append((float(x), float(y), index))
+    if not points:
+        return f"{title}\n(no data)\n"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    positive = [y for y in ys if y > 0]
+    floor = min(positive) if positive else 1e-12
+
+    def transform_y(y: float) -> float:
+        if not log_y:
+            return y
+        return math.log10(max(y, floor))
+
+    x_low, x_high = min(xs), max(xs)
+    y_low = min(transform_y(y) for y in ys)
+    y_high = max(transform_y(y) for y in ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, index in points:
+        column = round((x - x_low) / x_span * (width - 1))
+        row = round((transform_y(y) - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = _MARKERS[index % len(_MARKERS)]
+
+    top_label = _format_value(10**y_high if log_y else y_high)
+    bottom_label = _format_value(10**y_low if log_y else y_low)
+    gutter = max(len(top_label), len(bottom_label)) + 1
+
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label.rjust(gutter)}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    lines.append(
+        " " * gutter
+        + f" {_format_value(x_low)}"
+        + f"{_format_value(x_high)}".rjust(width - len(_format_value(x_low)))
+    )
+    scale_note = "log-y" if log_y else "linear-y"
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(f"{' ' * gutter} {legend}   [{scale_note}]"
+                 + (f" {y_label}" if y_label else ""))
+    return "\n".join(lines) + "\n"
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if 0.001 <= magnitude < 10000:
+        return f"{value:.4g}"
+    return f"{value:.1e}"

@@ -1,0 +1,158 @@
+"""Scale profiles: the paper's configuration and a CI-sized twin.
+
+The paper's experiments (§4) run 1000-graph datasets of 200-node graphs
+under an 8-hour limit on a 32-thread Xeon.  A pure-Python reproduction
+cannot run that in CI, so every experiment is defined against a
+:class:`ScaleProfile` and shipped with two instances:
+
+* :data:`PAPER_PROFILE` — the exact §4.1/§4.2 parameter values
+  (algorithm settings, sweep grids, 8-hour budgets).  Selectable via
+  ``REPRO_SCALE=paper``; expect day-scale runtimes in Python.
+* :data:`CI_PROFILE` — the same *structure* at roughly 1/8 linear
+  scale with seconds-scale budgets.  Sweep grids preserve the paper's
+  geometry (default point in the middle, one parameter varied at a
+  time) so the qualitative shapes — method ordering, FP-ratio knees,
+  breaking points — remain visible.  EXPERIMENTS.md records the CI
+  numbers next to the paper's.
+
+Every knob that §4.1 fixes for the six methods is recorded in
+``method_configs`` so benches and examples never hard-code them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["ScaleProfile", "PAPER_PROFILE", "CI_PROFILE", "active_profile"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleProfile:
+    """All parameters of one reproduction scale."""
+
+    name: str
+
+    # --- sweep grids (x axes of the figures) -------------------------
+    #: Figure 2: mean nodes per graph.
+    nodes_values: tuple[int, ...]
+    #: Figures 3 and 4: mean graph density.
+    density_values: tuple[float, ...]
+    #: Figure 5: number of distinct labels.
+    label_values: tuple[int, ...]
+    #: Figure 6: number of graphs in the dataset.
+    graph_count_values: tuple[int, ...]
+
+    # --- the "sane defaults" (§4.2) ----------------------------------
+    default_num_graphs: int
+    default_nodes: int
+    default_density: float
+    default_labels: int
+
+    # --- query workloads (§4.3) --------------------------------------
+    query_sizes: tuple[int, ...]
+    queries_per_size: int
+
+    # --- experiment limits (§4.1) ------------------------------------
+    build_budget_seconds: float
+    query_budget_seconds: float
+
+    # --- real datasets (Table 1 / Figure 1) --------------------------
+    real_dataset_scale: float
+    real_dataset_names: tuple[str, ...] = ("AIDS", "PDBS", "PCM", "PPI")
+
+    # --- per-method constructor settings (§4.1) ----------------------
+    method_configs: dict[str, dict] = field(default_factory=dict)
+
+    def method_names(self) -> tuple[str, ...]:
+        """The benchmarked methods, in the paper's presentation order."""
+        return tuple(self.method_configs)
+
+
+#: The paper's exact configuration (§4.1, §4.2).
+PAPER_PROFILE = ScaleProfile(
+    name="paper",
+    nodes_values=(
+        50, 75, 100, 125, 150, 175, 200, 250, 300, 400, 500,
+        600, 800, 1000, 1200, 1400, 1600, 1800, 2000,
+    ),
+    density_values=(
+        0.005, 0.006, 0.007, 0.008, 0.009, 0.01, 0.015, 0.02, 0.025,
+        0.03, 0.035, 0.04, 0.045, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1,
+        0.2, 0.3,
+    ),
+    label_values=(10, 20, 30, 40, 50, 60, 70, 80),
+    graph_count_values=(1000, 2500, 5000, 7500, 10000, 25000, 50000, 100000),
+    default_num_graphs=1000,
+    default_nodes=200,
+    default_density=0.025,
+    default_labels=20,
+    query_sizes=(4, 8, 16, 32),
+    queries_per_size=100,
+    build_budget_seconds=8 * 3600.0,
+    query_budget_seconds=8 * 3600.0,
+    real_dataset_scale=1.0,
+    method_configs={
+        "grapes": {"max_path_edges": 4, "workers": 6},
+        "ggsx": {"max_path_edges": 4},
+        "ctindex": {"fingerprint_bits": 4096, "feature_edges": 4},
+        "gindex": {
+            "max_fragment_edges": 10,
+            "support_ratio": 0.1,
+            "discriminative_ratio": 2.0,
+        },
+        "tree+delta": {
+            "max_feature_edges": 10,
+            "support_ratio": 0.1,
+            "delta_min_discriminative": 0.1,
+            "delta_add_threshold": 0.8,
+        },
+        "gcode": {"path_depth": 2, "top_eigenvalues": 2, "counter_buckets": 32},
+    },
+)
+
+#: CI-sized twin: same shape, ~1/8 linear scale, seconds-scale budgets.
+CI_PROFILE = ScaleProfile(
+    name="ci",
+    nodes_values=(10, 14, 18, 24, 30, 40, 52),
+    density_values=(0.05, 0.07, 0.09, 0.12, 0.16, 0.22, 0.30),
+    label_values=(2, 3, 4, 6, 8, 12, 16),
+    graph_count_values=(40, 80, 160, 320),
+    default_num_graphs=60,
+    default_nodes=24,
+    default_density=0.12,
+    default_labels=6,
+    query_sizes=(4, 8, 16),
+    queries_per_size=8,
+    build_budget_seconds=20.0,
+    query_budget_seconds=20.0,
+    real_dataset_scale=0.02,
+    method_configs={
+        "grapes": {"max_path_edges": 4, "workers": 2},
+        "ggsx": {"max_path_edges": 4},
+        "ctindex": {"fingerprint_bits": 1024, "feature_edges": 3},
+        "gindex": {
+            "max_fragment_edges": 5,
+            "support_ratio": 0.1,
+            "discriminative_ratio": 2.0,
+        },
+        "tree+delta": {
+            "max_feature_edges": 5,
+            "support_ratio": 0.1,
+            "delta_min_discriminative": 0.1,
+            "delta_add_threshold": 0.8,
+        },
+        "gcode": {"path_depth": 2, "top_eigenvalues": 2, "counter_buckets": 32},
+    },
+)
+
+
+def active_profile() -> ScaleProfile:
+    """The profile selected by ``REPRO_SCALE`` (default: CI).
+
+    ``REPRO_SCALE=paper`` selects the full paper configuration;
+    anything else (or unset) selects :data:`CI_PROFILE`.
+    """
+    if os.environ.get("REPRO_SCALE", "").lower() == "paper":
+        return PAPER_PROFILE
+    return CI_PROFILE

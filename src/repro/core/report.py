@@ -1,0 +1,181 @@
+"""Rendering of figures/tables and the §6 qualitative shape checks.
+
+The paper presents results as log-scale line plots; a terminal harness
+is better served by tables with one row per x value and one column per
+method — the exact series a plot would draw.  Missing data points
+(budget overruns, crashes) render as ``—``, mirroring the truncated
+curves in the paper's figures.
+
+The *shape checks* express §6's qualitative conclusions as predicates
+over series — e.g. "(Grapes, GGSX) < CT-Index < (Tree+Δ, gIndex) <
+gCode for query time" — returning the fraction of sweep points where
+the claim holds, so benches can assert the reproduced shape without
+chasing absolute Python-vs-C++ constants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.core.experiments import SweepResult
+from repro.graphs.statistics import DatasetStatistics
+
+__all__ = [
+    "render_series_table",
+    "render_sweep",
+    "render_table1",
+    "ordering_fraction",
+    "breaking_point",
+    "series_values",
+]
+
+_MISSING = "—"
+
+
+def render_series_table(
+    title: str,
+    series: Mapping[str, list],
+    x_name: str,
+    value_format: str = "{:.4g}",
+) -> str:
+    """One sub-figure as an ASCII table: rows = x values, cols = methods."""
+    methods = list(series)
+    if not methods:
+        return f"{title}\n(no data)\n"
+    x_values = [x for x, _ in series[methods[0]]]
+    header = [x_name] + methods
+    rows = [header]
+    for i, x in enumerate(x_values):
+        row = [_format_x(x)]
+        for method in methods:
+            value = series[method][i][1]
+            row.append(_MISSING if value is None else value_format.format(value))
+        rows.append(row)
+    return f"{title}\n" + _render_rows(rows) + "\n"
+
+
+def render_sweep(sweep: SweepResult, figure: str) -> str:
+    """All four sub-figures of one sweep (a=index time, b=index size,
+    c=query time, d=false positive ratio)."""
+    parts = [
+        render_series_table(
+            f"Figure {figure}(a): indexing time (s) vs {sweep.x_name}",
+            sweep.indexing_time(),
+            sweep.x_name,
+        ),
+        render_series_table(
+            f"Figure {figure}(b): index size (MB) vs {sweep.x_name}",
+            sweep.index_size_mb(),
+            sweep.x_name,
+        ),
+        render_series_table(
+            f"Figure {figure}(c): query processing time (s) vs {sweep.x_name}",
+            sweep.query_time(),
+            sweep.x_name,
+        ),
+        render_series_table(
+            f"Figure {figure}(d): avg false positive ratio vs {sweep.x_name}",
+            sweep.fp_ratio(),
+            sweep.x_name,
+            value_format="{:.3f}",
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def render_table1(stats: Mapping[object, DatasetStatistics]) -> str:
+    """Table 1: characteristics of the (stand-in) real datasets."""
+    rows_data = [stat.as_row() for stat in stats.values()]
+    if not rows_data:
+        return "Table 1\n(no data)\n"
+    columns = list(rows_data[0])
+    rows = [columns]
+    for data in rows_data:
+        rows.append([str(data[column]) for column in columns])
+    return "Table 1: dataset characteristics\n" + _render_rows(rows) + "\n"
+
+
+# ----------------------------------------------------------------------
+# shape checks (§6)
+# ----------------------------------------------------------------------
+
+
+def ordering_fraction(
+    series: Mapping[str, list],
+    faster: Sequence[str],
+    slower: Sequence[str],
+) -> float:
+    """Fraction of x points where every *faster* ≤ every *slower*.
+
+    Only points where at least one method of each group has data count;
+    returns 1.0 vacuously if no point is comparable (callers should
+    check data presence separately when that matters).
+    """
+    comparable = 0
+    holds = 0
+    length = _series_length(series)
+    for i in range(length):
+        fast_values = [
+            series[m][i][1] for m in faster if m in series and series[m][i][1] is not None
+        ]
+        slow_values = [
+            series[m][i][1] for m in slower if m in series and series[m][i][1] is not None
+        ]
+        if not fast_values or not slow_values:
+            continue
+        comparable += 1
+        if max(fast_values) <= min(slow_values):
+            holds += 1
+    return holds / comparable if comparable else 1.0
+
+
+def breaking_point(series: Mapping[str, list], method: str):
+    """First x value at which *method* stops producing data, or None.
+
+    This is the paper's "breaking point": the sweep value beyond which
+    a method exceeded its budget or crashed.
+    """
+    points = series.get(method, [])
+    seen_data = False
+    for x, value in points:
+        if value is None and seen_data:
+            return x
+        if value is not None:
+            seen_data = True
+    return None
+
+
+def series_values(series: Mapping[str, list], method: str) -> list[float]:
+    """The non-missing y values of one method, in sweep order."""
+    return [value for _, value in series.get(method, []) if value is not None]
+
+
+# ----------------------------------------------------------------------
+# table layout
+# ----------------------------------------------------------------------
+
+
+def _render_rows(rows: list[list[str]]) -> str:
+    widths = [
+        max(len(str(row[column])) for row in rows)
+        for column in range(len(rows[0]))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        cells = [str(cell).rjust(width) for cell, width in zip(row, widths)]
+        lines.append("  ".join(cells))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _format_x(x: object) -> str:
+    if isinstance(x, float):
+        return f"{x:g}"
+    return str(x)
+
+
+def _series_length(series: Mapping[str, list]) -> int:
+    for points in series.values():
+        return len(points)
+    return 0

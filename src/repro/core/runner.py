@@ -1,0 +1,174 @@
+"""Budgeted execution of one method over one dataset + workloads.
+
+Each (method, dataset) pair yields a :class:`MethodCell` — one "cell"
+of a paper figure: build status/time/size, plus per-query-size workload
+statistics.  Budget overruns and implementation failures are recorded
+as statuses rather than raised, exactly as the paper reports methods
+that "failed to produce an index within the 8-hour limit" or crashed
+(gCode on PDBS, §5.1) — the figures simply have no data point there.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.indexes import ALL_INDEX_CLASSES
+from repro.indexes.base import GraphIndex
+from repro.core.metrics import WorkloadStats, summarize_results
+from repro.utils.budget import Budget, BudgetExceeded, MemoryBudgetExceeded
+
+__all__ = [
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "STATUS_MEMORY",
+    "STATUS_ERROR",
+    "SizeStats",
+    "MethodCell",
+    "make_method",
+    "evaluate_method",
+]
+
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "timeout"
+#: The index outgrew its memory allowance (Grapes on huge datasets, §5.2.4).
+STATUS_MEMORY = "memory"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True, slots=True)
+class SizeStats:
+    """Workload outcome for one query size."""
+
+    status: str
+    stats: WorkloadStats | None = None
+    error: str = ""
+
+
+@dataclass(slots=True)
+class MethodCell:
+    """One method's measurements on one dataset configuration."""
+
+    method: str
+    build_status: str
+    build_seconds: float | None = None
+    index_bytes: int | None = None
+    build_details: dict = field(default_factory=dict)
+    build_error: str = ""
+    #: Query size -> workload statistics.
+    per_size: dict[int, SizeStats] = field(default_factory=dict)
+
+    # -- figure accessors (None = missing data point) ------------------
+
+    def query_seconds(self) -> float | None:
+        """Average query time over all sizes with data (Figures c)."""
+        values = [
+            cell.stats.avg_query_seconds
+            for cell in self.per_size.values()
+            if cell.status == STATUS_OK and cell.stats is not None
+        ]
+        return sum(values) / len(values) if values else None
+
+    def fp_ratio(self) -> float | None:
+        """Average false positive ratio over all sizes (Figures d)."""
+        values = [
+            cell.stats.false_positive_ratio
+            for cell in self.per_size.values()
+            if cell.status == STATUS_OK and cell.stats is not None
+        ]
+        return sum(values) / len(values) if values else None
+
+    def query_seconds_for(self, size: int) -> float | None:
+        """Average query time for one query size (Figure 4)."""
+        cell = self.per_size.get(size)
+        if cell is None or cell.status != STATUS_OK or cell.stats is None:
+            return None
+        return cell.stats.avg_query_seconds
+
+
+def make_method(name: str, config: Mapping[str, object] | None = None) -> GraphIndex:
+    """Instantiate a method by its paper name with optional settings."""
+    try:
+        cls = ALL_INDEX_CLASSES[name]
+    except KeyError:
+        known = ", ".join(ALL_INDEX_CLASSES)
+        raise ValueError(f"unknown method {name!r}; expected one of {known}")
+    return cls(**dict(config or {}))
+
+
+def evaluate_method(
+    method_name: str,
+    dataset: GraphDataset,
+    workloads: Mapping[int, Sequence[Graph]],
+    method_config: Mapping[str, object] | None = None,
+    build_budget_seconds: float | None = None,
+    query_budget_seconds: float | None = None,
+    build_memory_bytes: int | None = None,
+) -> MethodCell:
+    """Build one method over *dataset* and run every workload.
+
+    Parameters
+    ----------
+    method_name:
+        Key into :data:`repro.indexes.ALL_INDEX_CLASSES`.
+    workloads:
+        Query size → queries of that size.
+    build_budget_seconds / query_budget_seconds:
+        The paper's 8-hour limits, scaled.  The query budget applies
+        per workload (one batch of queries of one size).
+    build_memory_bytes:
+        Optional memory allowance for the build (the paper's 128 GB
+        host); overruns are recorded as ``STATUS_MEMORY``.
+
+    Never raises for method failures; statuses record them.
+    """
+    index = make_method(method_name, method_config)
+    cell = MethodCell(method=method_name, build_status=STATUS_OK)
+
+    build_budget = (
+        Budget(
+            build_budget_seconds,
+            max_bytes=build_memory_bytes,
+            phase=f"{method_name} build",
+        )
+        if build_budget_seconds is not None or build_memory_bytes is not None
+        else None
+    )
+    try:
+        report = index.build(dataset, budget=build_budget)
+    except MemoryBudgetExceeded:
+        cell.build_status = STATUS_MEMORY
+        return cell
+    except BudgetExceeded:
+        cell.build_status = STATUS_TIMEOUT
+        return cell
+    except (MemoryError, RecursionError, ValueError, RuntimeError) as exc:
+        cell.build_status = STATUS_ERROR
+        cell.build_error = f"{type(exc).__name__}: {exc}"
+        return cell
+    cell.build_seconds = report.seconds
+    cell.index_bytes = report.size_bytes
+    cell.build_details = dict(report.details)
+
+    for size, queries in workloads.items():
+        query_budget = (
+            Budget(query_budget_seconds, phase=f"{method_name} queries size {size}")
+            if query_budget_seconds is not None
+            else None
+        )
+        try:
+            results = [index.query(query, budget=query_budget) for query in queries]
+        except BudgetExceeded:
+            cell.per_size[size] = SizeStats(status=STATUS_TIMEOUT)
+            continue
+        except (MemoryError, RecursionError, ValueError, RuntimeError) as exc:
+            cell.per_size[size] = SizeStats(
+                status=STATUS_ERROR, error=f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        cell.per_size[size] = SizeStats(
+            status=STATUS_OK, stats=summarize_results(results)
+        )
+    return cell

@@ -1,0 +1,166 @@
+"""JSON persistence of sweep results.
+
+Sweeps are expensive (hours at paper scale); their results should
+out-live the process.  :func:`sweep_to_json` / :func:`sweep_from_json`
+round-trip a :class:`~repro.core.experiments.SweepResult` — including
+per-method build statuses, per-size workload statistics and dataset
+statistics — through a stable, human-readable JSON schema, so rendered
+tables and plots (``repro report``) can be regenerated or diffed later
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.experiments import SweepResult
+from repro.core.metrics import WorkloadStats
+from repro.core.runner import MethodCell, SizeStats
+from repro.graphs.statistics import DatasetStatistics
+
+__all__ = ["sweep_to_json", "sweep_from_json", "save_sweep", "load_sweep"]
+
+_SCHEMA = "repro-sweep-v1"
+
+
+def save_sweep(sweep: SweepResult, path: str | Path) -> None:
+    """Write *sweep* to *path* as JSON."""
+    Path(path).write_text(sweep_to_json(sweep), encoding="utf-8")
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    """Read a sweep previously written by :func:`save_sweep`."""
+    return sweep_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def sweep_to_json(sweep: SweepResult) -> str:
+    document = {
+        "schema": _SCHEMA,
+        "x_name": sweep.x_name,
+        "x_values": sweep.x_values,
+        "methods": sweep.methods,
+        "query_sizes": list(sweep.query_sizes),
+        "dataset_stats": {
+            _key(x): _stats_to_dict(stats) for x, stats in sweep.dataset_stats.items()
+        },
+        "cells": [
+            {
+                "x": x,
+                "method": method,
+                "cell": _cell_to_dict(cell),
+            }
+            for (x, method), cell in sweep.cells.items()
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def sweep_from_json(text: str) -> SweepResult:
+    document = json.loads(text)
+    if document.get("schema") != _SCHEMA:
+        raise ValueError(f"not a {_SCHEMA} document")
+    sweep = SweepResult(
+        x_name=document["x_name"],
+        x_values=document["x_values"],
+        methods=document["methods"],
+        query_sizes=tuple(document["query_sizes"]),
+    )
+    x_by_key = {_key(x): x for x in sweep.x_values}
+    for key, stats in document["dataset_stats"].items():
+        sweep.dataset_stats[x_by_key.get(key, key)] = _stats_from_dict(stats)
+    for entry in document["cells"]:
+        x = entry["x"]
+        # JSON round-trips ints/floats/strings faithfully; tuples of
+        # x_values were already plain scalars.
+        sweep.cells[(x, entry["method"])] = _cell_from_dict(entry["cell"])
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# piecewise converters
+# ----------------------------------------------------------------------
+
+
+def _key(x: object) -> str:
+    return repr(x)
+
+
+def _stats_to_dict(stats: DatasetStatistics) -> dict:
+    return {
+        "name": stats.name,
+        "num_graphs": stats.num_graphs,
+        "num_disconnected": stats.num_disconnected,
+        "num_labels": stats.num_labels,
+        "avg_vertices": stats.avg_vertices,
+        "std_vertices": stats.std_vertices,
+        "avg_edges": stats.avg_edges,
+        "avg_density": stats.avg_density,
+        "avg_degree": stats.avg_degree,
+        "avg_labels_per_graph": stats.avg_labels_per_graph,
+    }
+
+
+def _stats_from_dict(data: dict) -> DatasetStatistics:
+    return DatasetStatistics(**data)
+
+
+def _workload_to_dict(stats: WorkloadStats) -> dict:
+    return {
+        "num_queries": stats.num_queries,
+        "avg_query_seconds": stats.avg_query_seconds,
+        "avg_filter_seconds": stats.avg_filter_seconds,
+        "avg_verify_seconds": stats.avg_verify_seconds,
+        "avg_candidates": stats.avg_candidates,
+        "avg_answers": stats.avg_answers,
+        "false_positive_ratio": stats.false_positive_ratio,
+    }
+
+
+def _cell_to_dict(cell: MethodCell) -> dict:
+    return {
+        "method": cell.method,
+        "build_status": cell.build_status,
+        "build_seconds": cell.build_seconds,
+        "index_bytes": cell.index_bytes,
+        "build_details": _jsonable_details(cell.build_details),
+        "build_error": cell.build_error,
+        "per_size": {
+            str(size): {
+                "status": stats.status,
+                "error": stats.error,
+                "stats": None if stats.stats is None else _workload_to_dict(stats.stats),
+            }
+            for size, stats in cell.per_size.items()
+        },
+    }
+
+
+def _cell_from_dict(data: dict) -> MethodCell:
+    cell = MethodCell(
+        method=data["method"],
+        build_status=data["build_status"],
+        build_seconds=data["build_seconds"],
+        index_bytes=data["index_bytes"],
+        build_details=dict(data.get("build_details", {})),
+        build_error=data.get("build_error", ""),
+    )
+    for size, entry in data.get("per_size", {}).items():
+        stats = entry.get("stats")
+        cell.per_size[int(size)] = SizeStats(
+            status=entry["status"],
+            stats=None if stats is None else WorkloadStats(**stats),
+            error=entry.get("error", ""),
+        )
+    return cell
+
+
+def _jsonable_details(details: dict) -> dict:
+    """Keep only JSON-representable detail values."""
+    out = {}
+    for key, value in details.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out

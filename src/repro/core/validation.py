@@ -1,0 +1,154 @@
+"""Contract validation for index implementations.
+
+The filter-and-verify contract (no false negatives in filtering; exact
+answers after verification) is what makes every method in this library
+interchangeable.  Anyone adding a new :class:`~repro.indexes.base.GraphIndex`
+subclass needs a way to check it against ground truth before trusting
+benchmark numbers — this module is that harness:
+
+>>> from repro.core.validation import validate_index
+>>> from repro.indexes import GraphGrepSXIndex
+>>> report = validate_index(lambda: GraphGrepSXIndex(max_path_edges=2),
+...                         trials=2, seed=7)
+>>> report.ok
+True
+
+It fuzzes randomized datasets and workloads (including the adversarial
+cases that bite in practice: single-vertex queries, disconnected
+queries, unknown labels, queries equal to a whole data graph) and
+compares candidates and answers against the naive oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.indexes.base import GraphIndex
+from repro.indexes.naive import NaiveIndex
+from repro.utils.rng import make_rng
+
+__all__ = ["ContractViolation", "ValidationReport", "validate_index"]
+
+
+@dataclass(frozen=True, slots=True)
+class ContractViolation:
+    """One observed breach of the filter-and-verify contract."""
+
+    kind: str          # "false_negative" | "wrong_answers"
+    trial: int
+    query_repr: str
+    detail: str
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """Outcome of a validation run."""
+
+    trials: int
+    queries_checked: int = 0
+    violations: list[ContractViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"validation {status}: {self.queries_checked} queries over "
+            f"{self.trials} randomized datasets"
+        )
+
+
+def validate_index(
+    factory: Callable[[], GraphIndex],
+    trials: int = 3,
+    queries_per_trial: int = 6,
+    seed: int = 0,
+    fail_fast: bool = False,
+) -> ValidationReport:
+    """Fuzz a :class:`GraphIndex` implementation against the oracle.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable producing a fresh, unbuilt index.
+    trials:
+        Number of randomized (dataset, workload) rounds.
+    queries_per_trial:
+        Random-walk queries per round, in addition to the adversarial
+        fixed cases.
+    seed:
+        Reproducibility seed; a failing report can always be replayed.
+    fail_fast:
+        Stop at the first violation instead of collecting all.
+    """
+    rng = make_rng(seed)
+    report = ValidationReport(trials=trials)
+    for trial in range(trials):
+        config = GraphGenConfig(
+            num_graphs=rng.randint(8, 20),
+            mean_nodes=rng.randint(8, 14),
+            mean_density=rng.uniform(0.12, 0.3),
+            num_labels=rng.randint(2, 5),
+        )
+        dataset = generate_dataset(config, seed=rng.getrandbits(32))
+        oracle = NaiveIndex()
+        oracle.build(dataset)
+        index = factory()
+        index.build(dataset)
+
+        for query in _workload(dataset, queries_per_trial, rng):
+            report.queries_checked += 1
+            truth = oracle.query(query).answers
+            candidates = index.filter(query)
+            if not truth <= candidates:
+                report.violations.append(
+                    ContractViolation(
+                        kind="false_negative",
+                        trial=trial,
+                        query_repr=repr(query),
+                        detail=f"missing answers: {sorted(truth - candidates)}",
+                    )
+                )
+                if fail_fast:
+                    return report
+            answers = index.query(query).answers
+            if answers != truth:
+                report.violations.append(
+                    ContractViolation(
+                        kind="wrong_answers",
+                        trial=trial,
+                        query_repr=repr(query),
+                        detail=(
+                            f"got {sorted(answers)}, expected {sorted(truth)}"
+                        ),
+                    )
+                )
+                if fail_fast:
+                    return report
+    return report
+
+
+def _workload(dataset: GraphDataset, count: int, rng) -> list[Graph]:
+    """Random-walk queries plus the adversarial fixed cases."""
+    queries: list[Graph] = []
+    for size in (3, 5):
+        try:
+            queries.extend(
+                generate_queries(dataset, count // 2, size, seed=rng.getrandbits(32))
+            )
+        except ValueError:
+            continue
+    some_label = dataset[0].label(0)
+    other_label = dataset[min(1, len(dataset) - 1)].label(0)
+    queries.append(Graph([some_label]))                       # single vertex
+    queries.append(Graph([some_label, other_label]))          # disconnected
+    queries.append(Graph(["__UNKNOWN__", "__UNKNOWN__"], [(0, 1)]))  # impossible
+    queries.append(dataset[rng.randrange(len(dataset))].copy())      # exact graph
+    return queries

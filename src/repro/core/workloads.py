@@ -1,0 +1,173 @@
+"""Workload characterization and selectivity analysis.
+
+The paper observes that query behaviour depends on selectivity (how
+many graphs contain the query) and on the interaction between query
+size and dataset structure (§5.2.2, Fig. 4).  This module quantifies a
+workload before and after running it:
+
+* :func:`characterize_queries` — structural statistics of the query
+  graphs themselves (sizes, densities, label usage);
+* :func:`selectivity_profile` — exact per-query selectivity via the
+  naive oracle, with distribution summary;
+* :func:`filtering_profile` — how an index's candidate sets relate to
+  the true answers across a workload (per-query precision, the paper's
+  FP ratio, and the candidate-size distribution).
+
+These are the tools a user needs to understand *why* one method wins
+on their data, rather than just which.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.indexes.base import GraphIndex
+from repro.indexes.naive import NaiveIndex
+from repro.utils.budget import Budget
+
+__all__ = [
+    "QuerySetStats",
+    "SelectivityProfile",
+    "FilteringProfile",
+    "characterize_queries",
+    "selectivity_profile",
+    "filtering_profile",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySetStats:
+    """Structural statistics of a query workload."""
+
+    num_queries: int
+    avg_vertices: float
+    avg_edges: float
+    avg_density: float
+    num_distinct_labels: int
+    num_connected: int
+
+    @property
+    def all_connected(self) -> bool:
+        return self.num_connected == self.num_queries
+
+
+@dataclass(frozen=True, slots=True)
+class SelectivityProfile:
+    """Distribution of true answer-set sizes across a workload."""
+
+    num_queries: int
+    num_graphs: int
+    #: Per-query answer counts, in workload order.
+    answer_counts: tuple[int, ...]
+
+    @property
+    def avg_selectivity(self) -> float:
+        """Mean fraction of the dataset matching a query."""
+        if not self.answer_counts or self.num_graphs == 0:
+            return 0.0
+        return sum(self.answer_counts) / (len(self.answer_counts) * self.num_graphs)
+
+    @property
+    def num_empty(self) -> int:
+        """Queries with no answers at all."""
+        return sum(1 for count in self.answer_counts if count == 0)
+
+    def percentile(self, fraction: float) -> int:
+        """Answer count at the given percentile (nearest-rank)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        ordered = sorted(self.answer_counts)
+        if not ordered:
+            return 0
+        rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[rank]
+
+
+@dataclass(frozen=True, slots=True)
+class FilteringProfile:
+    """How an index's filtering behaves across a workload."""
+
+    method: str
+    num_queries: int
+    #: (candidates, answers) per query, in workload order.
+    pairs: tuple[tuple[int, int], ...]
+
+    @property
+    def avg_candidates(self) -> float:
+        if not self.pairs:
+            return 0.0
+        return sum(c for c, _ in self.pairs) / len(self.pairs)
+
+    @property
+    def false_positive_ratio(self) -> float:
+        """Eq. (3) over the workload (empty candidate sets contribute 0)."""
+        if not self.pairs:
+            return 0.0
+        total = sum(
+            (candidates - answers) / candidates if candidates else 0.0
+            for candidates, answers in self.pairs
+        )
+        return total / len(self.pairs)
+
+    @property
+    def perfect_queries(self) -> int:
+        """Queries where filtering produced zero false positives."""
+        return sum(1 for candidates, answers in self.pairs if candidates == answers)
+
+
+def characterize_queries(queries: Sequence[Graph]) -> QuerySetStats:
+    """Structural statistics of the workload's query graphs."""
+    if not queries:
+        return QuerySetStats(0, 0.0, 0.0, 0.0, 0, 0)
+    labels: set = set()
+    for query in queries:
+        labels.update(query.distinct_labels())
+    count = len(queries)
+    return QuerySetStats(
+        num_queries=count,
+        avg_vertices=sum(q.order for q in queries) / count,
+        avg_edges=sum(q.size for q in queries) / count,
+        avg_density=sum(q.density() for q in queries) / count,
+        num_distinct_labels=len(labels),
+        num_connected=sum(1 for q in queries if q.is_connected()),
+    )
+
+
+def selectivity_profile(
+    dataset: GraphDataset,
+    queries: Sequence[Graph],
+    budget: Budget | None = None,
+) -> SelectivityProfile:
+    """Exact selectivity of every query, via the naive oracle."""
+    oracle = NaiveIndex()
+    oracle.build(dataset)
+    counts = []
+    for query in queries:
+        if budget is not None:
+            budget.check()
+        counts.append(len(oracle.verify(query, dataset.all_ids(), budget=budget)))
+    return SelectivityProfile(
+        num_queries=len(queries),
+        num_graphs=len(dataset),
+        answer_counts=tuple(counts),
+    )
+
+
+def filtering_profile(
+    index: GraphIndex,
+    queries: Sequence[Graph],
+    budget: Budget | None = None,
+) -> FilteringProfile:
+    """Candidate-vs-answer behaviour of a built index over a workload."""
+    pairs = []
+    for query in queries:
+        result = index.query(query, budget=budget)
+        pairs.append((len(result.candidates), len(result.answers)))
+    return FilteringProfile(
+        method=index.name,
+        num_queries=len(queries),
+        pairs=tuple(pairs),
+    )

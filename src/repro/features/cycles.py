@@ -1,0 +1,61 @@
+"""Enumeration of simple cycles up to a length limit.
+
+CT-Index combines tree features with *simple cycle* features (§3), and
+Tree+Δ derives its Δ features from the simple cycles of query graphs.
+The enumeration below produces each cycle exactly once using the
+classic anchored scheme: a cycle is reported from its minimum-id vertex
+(the anchor), growing simple paths through vertices larger than the
+anchor, and accepting a closure back to the anchor only when the second
+path vertex is smaller than the last — fixing one of the two traversal
+directions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graphs.graph import Graph
+from repro.utils.budget import Budget
+
+__all__ = ["enumerate_simple_cycles"]
+
+
+def enumerate_simple_cycles(
+    graph: Graph, max_edges: int, budget: Budget | None = None
+) -> Iterator[tuple[int, ...]]:
+    """Yield each simple cycle of ``3..max_edges`` edges exactly once.
+
+    Cycles are yielded as vertex tuples in cyclic order, starting at the
+    cycle's minimum-id vertex.  A cycle of *k* vertices has *k* edges,
+    so ``max_edges`` bounds both.
+    """
+    if max_edges < 3:
+        return
+    on_path = [False] * graph.order
+    path: list[int] = []
+
+    def search(anchor: int, vertex: int) -> Iterator[tuple[int, ...]]:
+        for neighbor in graph.neighbors(vertex):
+            if neighbor == anchor:
+                # Closing edge: need ≥ 3 vertices and a fixed direction.
+                if len(path) >= 3 and path[1] < path[-1]:
+                    yield tuple(path)
+                continue
+            if neighbor < anchor or on_path[neighbor]:
+                continue
+            if len(path) == max_edges:
+                continue  # adding a vertex would exceed the edge limit
+            on_path[neighbor] = True
+            path.append(neighbor)
+            yield from search(anchor, neighbor)
+            path.pop()
+            on_path[neighbor] = False
+
+    for anchor in graph.vertices():
+        if budget is not None:
+            budget.check()
+        on_path[anchor] = True
+        path.append(anchor)
+        yield from search(anchor, anchor)
+        path.pop()
+        on_path[anchor] = False

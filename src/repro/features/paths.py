@@ -1,0 +1,106 @@
+"""Exhaustive simple-path enumeration with counts and locations.
+
+Grapes and GraphGrepSX both index every simple path of up to a maximum
+number of edges, found by depth-first search from every vertex (§3).
+Grapes additionally records *location information*: the ids of the
+vertices where each path starts, plus an occurrence counter per graph.
+
+Counting semantics: every *directed traversal* of a path counts one
+occurrence, so a (non-palindromic) path instance contributes two — once
+from each endpoint.  What matters for filtering correctness is that the
+same convention applies to data graphs and queries: a monomorphism maps
+traversals injectively, hence query counts never exceed data counts for
+contained queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.canonical.paths import path_canonical
+from repro.graphs.graph import Graph
+from repro.utils.budget import Budget
+
+__all__ = ["PathOccurrences", "path_features"]
+
+
+@dataclass(slots=True)
+class PathOccurrences:
+    """Aggregate of one path feature inside one graph."""
+
+    #: Number of directed traversals realizing the feature.
+    count: int = 0
+    #: Vertices at which some traversal of the feature starts.
+    starts: set[int] = field(default_factory=set)
+
+    def record(self, start: int) -> None:
+        self.count += 1
+        self.starts.add(start)
+
+
+def path_features(
+    graph: Graph,
+    max_edges: int,
+    include_vertices: bool = True,
+    budget: Budget | None = None,
+) -> dict[tuple, PathOccurrences]:
+    """Enumerate all simple paths of ``0..max_edges`` edges in *graph*.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    max_edges:
+        Maximum feature size (edges per path); must be ≥ 0.
+    include_vertices:
+        Whether to include size-0 features (single labeled vertices).
+        Both Grapes and GGSX match single-vertex query labels, so this
+        defaults to on.
+    budget:
+        Optional time budget, polled once per start vertex.
+
+    Returns
+    -------
+    dict
+        Canonical path label (tuple of vertex labels) → occurrence
+        aggregate.
+    """
+    if max_edges < 0:
+        raise ValueError(f"max_edges must be non-negative, got {max_edges}")
+    features: dict[tuple, PathOccurrences] = {}
+
+    def record(labels: list, start: int) -> None:
+        canonical = path_canonical(labels)
+        entry = features.get(canonical)
+        if entry is None:
+            entry = features[canonical] = PathOccurrences()
+        entry.record(start)
+
+    on_path = [False] * graph.order
+    label_stack: list = []
+
+    def extend(vertex: int, start: int, depth: int) -> None:
+        for neighbor in graph.neighbors(vertex):
+            if on_path[neighbor]:
+                continue
+            label_stack.append(graph.label(neighbor))
+            record(label_stack, start)
+            if depth + 1 < max_edges:
+                on_path[neighbor] = True
+                extend(neighbor, start, depth + 1)
+                on_path[neighbor] = False
+            label_stack.pop()
+
+    for start in graph.vertices():
+        if budget is not None:
+            budget.check()
+        if include_vertices:
+            record([graph.label(start)], start)
+        if max_edges == 0:
+            continue
+        on_path[start] = True
+        label_stack.append(graph.label(start))
+        extend(start, start, 0)
+        label_stack.pop()
+        on_path[start] = False
+    return features

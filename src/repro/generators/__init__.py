@@ -1,0 +1,32 @@
+"""Dataset and workload generators (paper §4.2–§4.3).
+
+* :mod:`~repro.generators.graphgen` — a reimplementation of the
+  GraphGen [4] synthetic generator as the paper describes it: an edge
+  alphabet over label pairs, per-graph size and density drawn from
+  normal distributions, connected output graphs.
+* :mod:`~repro.generators.realsets` — synthesizers reproducing the
+  Table 1 statistics of the four real datasets (AIDS, PDBS, PCM, PPI),
+  our stand-ins for the files we cannot download (see DESIGN.md,
+  "Substitutions").
+* :mod:`~repro.generators.queries` — the random-walk query workload
+  generator of §4.3.
+"""
+
+from repro.generators.graphgen import GraphGenConfig, generate_dataset, generate_graph
+from repro.generators.queries import generate_queries, random_walk_query
+from repro.generators.realsets import (
+    REAL_DATASET_SPECS,
+    RealDatasetSpec,
+    make_real_dataset,
+)
+
+__all__ = [
+    "GraphGenConfig",
+    "generate_graph",
+    "generate_dataset",
+    "generate_queries",
+    "random_walk_query",
+    "RealDatasetSpec",
+    "REAL_DATASET_SPECS",
+    "make_real_dataset",
+]

@@ -1,0 +1,108 @@
+"""Random-walk query workloads (paper §4.3).
+
+Queries are generated exactly as the paper prescribes:
+
+1. select a graph uniformly at random from the dataset;
+2. select a start vertex uniformly at random from that graph;
+3. random-walk from it, keeping the union of visited vertices and
+   traversed edges;
+4. stop once the union holds the requested number of edges and return
+   it as the query graph.
+
+Because each query is an actual subgraph of some dataset graph, every
+query has at least one answer, and query label/density statistics track
+the dataset's (§4.3).  Walks trapped in a region with too few edges
+(e.g. a component smaller than the target) are abandoned and retried
+from a fresh graph/vertex; the paper's sizes are 4, 8, 16 and 32 edges.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.utils.rng import make_rng
+
+__all__ = ["random_walk_query", "generate_queries"]
+
+#: Walk steps allowed per attempt, as a multiple of the edge target.
+_STEP_FACTOR = 50
+#: Fresh (graph, vertex) attempts before giving up on a size.
+_MAX_ATTEMPTS = 200
+
+
+def generate_queries(
+    dataset: GraphDataset,
+    num_queries: int,
+    num_edges: int,
+    seed: int | random.Random | None = 0,
+) -> list[Graph]:
+    """Generate *num_queries* random-walk queries of *num_edges* edges.
+
+    Raises
+    ------
+    ValueError
+        If the dataset is empty or cannot yield queries of the
+        requested size (every graph smaller than *num_edges* edges).
+    """
+    if len(dataset) == 0:
+        raise ValueError("cannot draw queries from an empty dataset")
+    if num_edges < 1:
+        raise ValueError(f"num_edges must be >= 1, got {num_edges}")
+    rng = make_rng(seed)
+    return [random_walk_query(dataset, num_edges, rng) for _ in range(num_queries)]
+
+
+def random_walk_query(
+    dataset: GraphDataset, num_edges: int, rng: random.Random
+) -> Graph:
+    """One random-walk query of exactly *num_edges* edges."""
+    for _ in range(_MAX_ATTEMPTS):
+        source = dataset[rng.randrange(len(dataset))]
+        if source.size < num_edges or source.order == 0:
+            continue
+        query = _walk(source, rng.randrange(source.order), num_edges, rng)
+        if query is not None:
+            return query
+    raise ValueError(
+        f"failed to extract a {num_edges}-edge query after "
+        f"{_MAX_ATTEMPTS} attempts; graphs may be too small"
+    )
+
+
+def _walk(
+    source: Graph, start: int, num_edges: int, rng: random.Random
+) -> Graph | None:
+    """Random-walk from *start*, returning the edge union as a graph."""
+    visited_vertices = [start]
+    vertex_set = {start}
+    edges: set[frozenset] = set()
+    current = start
+    for _ in range(_STEP_FACTOR * num_edges):
+        neighbors = source.neighbors(current)
+        if not neighbors:
+            return None  # isolated vertex; retry elsewhere
+        nxt = rng.choice(sorted(neighbors))
+        edge = frozenset((current, nxt))
+        if edge not in edges:
+            edges.add(edge)
+            if nxt not in vertex_set:
+                vertex_set.add(nxt)
+                visited_vertices.append(nxt)
+            if len(edges) == num_edges:
+                return _project(source, visited_vertices, edges)
+        current = nxt
+    return None
+
+
+def _project(
+    source: Graph, vertices: list[int], edges: set[frozenset]
+) -> Graph:
+    """Materialize the walk union as a standalone graph."""
+    index_of = {v: i for i, v in enumerate(vertices)}
+    query = Graph([source.label(v) for v in vertices])
+    for edge in edges:
+        u, v = tuple(edge)
+        query.add_edge(index_of[u], index_of[v])
+    return query

@@ -1,0 +1,97 @@
+"""Transactional graph dataset: the collection the indexes are built over.
+
+The benchmarked systems all operate on a *graph-transaction database* — a
+set of many (small to medium) graphs, each with a stable id.  Queries ask
+for the ids of all graphs containing the query graph (paper §1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphDataset"]
+
+
+class GraphDataset:
+    """An ordered, id-stable collection of :class:`Graph` objects.
+
+    Graph ids are dense integers ``0 .. len-1`` assigned at insertion;
+    ``dataset[i]`` is the graph with id ``i``.  Every index in
+    :mod:`repro.indexes` reports matches as sets of these ids.
+
+    Parameters
+    ----------
+    graphs:
+        Optional initial graphs (ids assigned in iteration order; any
+        pre-existing ``graph_id`` is overwritten to keep ids dense).
+    name:
+        Optional human-readable name (e.g. ``"AIDS-like"``), used by
+        reports.
+    """
+
+    __slots__ = ("_graphs", "name")
+
+    def __init__(self, graphs: Iterable[Graph] = (), name: str = "") -> None:
+        self._graphs: list[Graph] = []
+        self.name = name
+        for graph in graphs:
+            self.add(graph)
+
+    def add(self, graph: Graph) -> int:
+        """Append *graph*, assign it the next id, and return that id."""
+        graph.graph_id = len(self._graphs)
+        self._graphs.append(graph)
+        return graph.graph_id
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __getitem__(self, graph_id: int) -> Graph:
+        return self._graphs[graph_id]
+
+    def __iter__(self) -> Iterator[Graph]:
+        return iter(self._graphs)
+
+    def ids(self) -> range:
+        """All graph ids (dense)."""
+        return range(len(self._graphs))
+
+    def all_ids(self) -> set[int]:
+        """All graph ids as a fresh mutable set (naive candidate set)."""
+        return set(range(len(self._graphs)))
+
+    # ------------------------------------------------------------------
+    # aggregate views used by generators / statistics
+    # ------------------------------------------------------------------
+
+    def distinct_labels(self) -> set[Hashable]:
+        """Union of vertex labels across all graphs."""
+        labels: set[Hashable] = set()
+        for graph in self._graphs:
+            labels.update(graph.distinct_labels())
+        return labels
+
+    def total_vertices(self) -> int:
+        """Sum of ``|V|`` over all graphs."""
+        return sum(graph.order for graph in self._graphs)
+
+    def total_edges(self) -> int:
+        """Sum of ``|E|`` over all graphs."""
+        return sum(graph.size for graph in self._graphs)
+
+    def subset(self, graph_ids: Iterable[int], name: str = "") -> "GraphDataset":
+        """A new dataset containing copies of the given graphs.
+
+        Ids are re-densified in the order given; useful for building
+        scaled-down datasets from a larger generated one.
+        """
+        subset = GraphDataset(name=name or self.name)
+        for graph_id in graph_ids:
+            subset.add(self._graphs[graph_id].copy())
+        return subset
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return f"GraphDataset({len(self._graphs)} graphs{name})"

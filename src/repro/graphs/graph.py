@@ -1,0 +1,296 @@
+"""The vertex-labeled undirected graph (paper Definition 1).
+
+Vertices are dense integers ``0 .. n-1``; every vertex carries exactly
+one hashable label; edges are unordered pairs without duplicates or
+self-loops.  This mirrors the graph model shared by all six benchmarked
+systems (§2.1: "undirected graphs with labels on vertices").
+
+The class is optimized for the access patterns of the indexing
+algorithms: label lookup, neighbor iteration, adjacency tests, and
+grouping vertices by label — all O(1)/O(degree).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+
+__all__ = ["Graph", "GraphError"]
+
+Label = Hashable
+Edge = tuple[int, int]
+
+
+class GraphError(ValueError):
+    """Raised on structurally invalid graph operations."""
+
+
+class Graph:
+    """An undirected graph with one label per vertex.
+
+    Parameters
+    ----------
+    labels:
+        Sequence assigning ``labels[v]`` to vertex ``v``; its length
+        fixes the vertex count.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Order within a pair is
+        irrelevant; duplicates and self-loops raise :class:`GraphError`.
+    graph_id:
+        Optional stable identifier (assigned by
+        :class:`~repro.graphs.dataset.GraphDataset` on insertion).
+
+    Examples
+    --------
+    >>> g = Graph(["C", "C", "O"], [(0, 1), (1, 2)])
+    >>> g.order, g.size
+    (3, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    >>> g.label(2)
+    'O'
+    """
+
+    __slots__ = ("_labels", "_adj", "_size", "graph_id")
+
+    def __init__(
+        self,
+        labels: Sequence[Label],
+        edges: Iterable[Edge] = (),
+        graph_id: int | None = None,
+    ) -> None:
+        self._labels: tuple[Label, ...] = tuple(labels)
+        self._adj: list[set[int]] = [set() for _ in self._labels]
+        self._size = 0
+        self.graph_id = graph_id
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the undirected edge ``{u, v}``.
+
+        Raises
+        ------
+        GraphError
+            If either endpoint is out of range, ``u == v`` (self-loop),
+            or the edge already exists (multi-edge).
+        """
+        n = len(self._labels)
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) out of range for {n} vertices")
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u} is not allowed")
+        if v in self._adj[u]:
+            raise GraphError(f"duplicate edge ({u}, {v})")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._size += 1
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        num_vertices: int,
+        label_of: Sequence[Label] | Label,
+        edges: Iterable[Edge],
+        graph_id: int | None = None,
+    ) -> "Graph":
+        """Build a graph from a vertex count and edge list.
+
+        *label_of* may be a sequence (one label per vertex) or a single
+        label applied uniformly — convenient in tests.
+        """
+        if isinstance(label_of, (str, bytes)) or not isinstance(label_of, Sequence):
+            labels: Sequence[Label] = [label_of] * num_vertices
+        else:
+            labels = label_of
+            if len(labels) != num_vertices:
+                raise GraphError(
+                    f"expected {num_vertices} labels, got {len(labels)}"
+                )
+        return cls(labels, edges, graph_id=graph_id)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of vertices, ``|V|``."""
+        return len(self._labels)
+
+    @property
+    def size(self) -> int:
+        """Number of edges, ``|E|``."""
+        return self._size
+
+    def label(self, v: int) -> Label:
+        """The label of vertex *v*."""
+        return self._labels[v]
+
+    @property
+    def labels(self) -> tuple[Label, ...]:
+        """Tuple of labels indexed by vertex."""
+        return self._labels
+
+    def neighbors(self, v: int) -> frozenset[int] | set[int]:
+        """The set of vertices adjacent to *v* (do not mutate)."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Number of edges incident to *v*."""
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the undirected edge ``{u, v}`` exists."""
+        return v in self._adj[u]
+
+    def vertices(self) -> range:
+        """Iterable over all vertex ids."""
+        return range(len(self._labels))
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield each edge exactly once as ``(u, v)`` with ``u < v``."""
+        for u, neighbors in enumerate(self._adj):
+            for v in neighbors:
+                if u < v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # derived metrics (paper Definitions 4 and 5)
+    # ------------------------------------------------------------------
+
+    def density(self) -> float:
+        """Graph density per Eq. (1): ``2|E| / (|V| (|V|-1))``."""
+        n = self.order
+        if n < 2:
+            return 0.0
+        return 2.0 * self._size / (n * (n - 1))
+
+    def average_degree(self) -> float:
+        """Average vertex degree per Eq. (2): ``2|E| / |V|``."""
+        n = self.order
+        if n == 0:
+            return 0.0
+        return 2.0 * self._size / n
+
+    def distinct_labels(self) -> set[Label]:
+        """The set of labels appearing on at least one vertex."""
+        return set(self._labels)
+
+    def vertices_by_label(self) -> dict[Label, list[int]]:
+        """Map each label to the (sorted) list of vertices carrying it."""
+        groups: dict[Label, list[int]] = {}
+        for v, label in enumerate(self._labels):
+            groups.setdefault(label, []).append(v)
+        return groups
+
+    def label_histogram(self) -> dict[Label, int]:
+        """Map each label to the number of vertices carrying it."""
+        histogram: dict[Label, int] = {}
+        for label in self._labels:
+            histogram[label] = histogram.get(label, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # connectivity and subgraphs
+    # ------------------------------------------------------------------
+
+    def connected_components(self) -> list[list[int]]:
+        """Vertex lists of the connected components, each sorted."""
+        seen = [False] * self.order
+        components: list[list[int]] = []
+        for start in self.vertices():
+            if seen[start]:
+                continue
+            component = []
+            stack = [start]
+            seen[start] = True
+            while stack:
+                v = stack.pop()
+                component.append(v)
+                for w in self._adj[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+            component.sort()
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """True iff the graph has exactly one connected component.
+
+        The empty graph is considered disconnected, matching the
+        convention used when counting "disconnected graphs" in Table 1.
+        """
+        if self.order == 0:
+            return False
+        return len(self.connected_components()) == 1
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> tuple["Graph", list[int]]:
+        """Return the subgraph induced by *vertices* plus the vertex map.
+
+        The result's vertex ``i`` corresponds to ``mapping[i]`` in this
+        graph.  Edges are those of this graph with both endpoints in
+        *vertices*.
+        """
+        mapping = sorted(set(vertices))
+        index_of = {v: i for i, v in enumerate(mapping)}
+        labels = [self._labels[v] for v in mapping]
+        sub = Graph(labels)
+        for v in mapping:
+            for w in self._adj[v]:
+                if v < w and w in index_of:
+                    sub.add_edge(index_of[v], index_of[w])
+        return sub, mapping
+
+    def relabeled(self, permutation: Sequence[int]) -> "Graph":
+        """Return an isomorphic copy with vertices renumbered.
+
+        ``permutation[v]`` gives the new id of old vertex ``v``; it must
+        be a permutation of ``0..n-1``.  Used heavily by property tests
+        to assert canonical-form invariance.
+        """
+        n = self.order
+        if sorted(permutation) != list(range(n)):
+            raise GraphError("relabeled() requires a permutation of 0..n-1")
+        labels: list[Label] = [None] * n  # type: ignore[list-item]
+        for old, new in enumerate(permutation):
+            labels[new] = self._labels[old]
+        edges = [(permutation[u], permutation[v]) for u, v in self.edges()]
+        return Graph(labels, edges, graph_id=self.graph_id)
+
+    def copy(self) -> "Graph":
+        """An independent deep copy (labels are shared, structure is not)."""
+        return Graph(self._labels, self.edges(), graph_id=self.graph_id)
+
+    # ------------------------------------------------------------------
+    # comparisons / hashing-friendly forms
+    # ------------------------------------------------------------------
+
+    def signature(self) -> tuple:
+        """A cheap equality signature: (sorted labels, sorted label edges).
+
+        Two graphs with different signatures are certainly not
+        isomorphic; equal signatures do NOT imply isomorphism.
+        """
+        label_edges = sorted(
+            tuple(sorted((self._labels[u], self._labels[v]), key=repr))
+            for u, v in self.edges()
+        )
+        return (tuple(sorted(self._labels, key=repr)), tuple(label_edges))
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same labels and same edge set (same ids)."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._labels == other._labels and self._adj == other._adj
+
+    def __hash__(self) -> int:  # structural, order-sensitive
+        return hash((self._labels, frozenset(frozenset(e) for e in self.edges())))
+
+    def __repr__(self) -> str:
+        gid = f", id={self.graph_id}" if self.graph_id is not None else ""
+        return f"Graph(|V|={self.order}, |E|={self.size}{gid})"

@@ -1,0 +1,114 @@
+"""Line-oriented text serialization for graph datasets.
+
+The format follows the spirit of the ``.gfd`` files consumed by the
+original Grapes/GraphGrepSX implementations: each graph is a header line,
+a vertex count, one label per vertex line, an edge count, and one edge
+per line.  Example::
+
+    #molecule_0
+    3
+    C
+    C
+    O
+    2
+    0 1
+    1 2
+
+Labels are stored as strings; reading therefore yields string labels.
+The format round-trips any dataset whose labels have unambiguous string
+forms (our generators always use strings).
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph, GraphError
+
+__all__ = ["write_dataset", "read_dataset", "dumps_dataset", "loads_dataset"]
+
+
+def write_dataset(dataset: GraphDataset, path: str | Path) -> None:
+    """Serialize *dataset* to the text format at *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_dataset(dataset))
+
+
+def read_dataset(path: str | Path, name: str = "") -> GraphDataset:
+    """Parse a dataset previously written by :func:`write_dataset`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_dataset(handle.read(), name=name or Path(path).stem)
+
+
+def dumps_dataset(dataset: GraphDataset) -> str:
+    """Serialize *dataset* to an in-memory string."""
+    out = io.StringIO()
+    for graph in dataset:
+        out.write(f"#{graph.graph_id}\n")
+        out.write(f"{graph.order}\n")
+        for v in graph.vertices():
+            out.write(f"{graph.label(v)}\n")
+        edges = list(graph.edges())
+        out.write(f"{len(edges)}\n")
+        for u, v in edges:
+            out.write(f"{u} {v}\n")
+    return out.getvalue()
+
+
+def loads_dataset(text: str, name: str = "") -> GraphDataset:
+    """Parse the text format from a string.
+
+    Raises
+    ------
+    GraphError
+        On malformed input (wrong counts, non-integer edge endpoints,
+        missing header).
+    """
+    dataset = GraphDataset(name=name)
+    lines = _significant_lines(text)
+    while True:
+        header = next(lines, None)
+        if header is None:
+            return dataset
+        if not header.startswith("#"):
+            raise GraphError(f"expected '#<id>' header line, got {header!r}")
+        num_vertices = _read_int(lines, "vertex count")
+        labels = [_read_line(lines, "vertex label") for _ in range(num_vertices)]
+        num_edges = _read_int(lines, "edge count")
+        graph = Graph(labels)
+        for _ in range(num_edges):
+            edge_line = _read_line(lines, "edge")
+            parts = edge_line.split()
+            if len(parts) != 2:
+                raise GraphError(f"malformed edge line {edge_line!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(f"non-integer edge endpoints in {edge_line!r}") from exc
+            graph.add_edge(u, v)
+        dataset.add(graph)
+
+
+def _significant_lines(text: str) -> Iterator[str]:
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line:
+            yield line
+
+
+def _read_line(lines: Iterator[str], what: str) -> str:
+    line = next(lines, None)
+    if line is None:
+        raise GraphError(f"unexpected end of input while reading {what}")
+    return line
+
+
+def _read_int(lines: Iterator[str], what: str) -> int:
+    line = _read_line(lines, what)
+    try:
+        return int(line)
+    except ValueError as exc:
+        raise GraphError(f"expected integer for {what}, got {line!r}") from exc

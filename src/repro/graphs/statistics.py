@@ -1,0 +1,131 @@
+"""Dataset characteristics — the quantities of the paper's Table 1.
+
+For each dataset the paper reports: number of graphs, number of
+disconnected graphs, number of distinct labels, and per-graph averages
+(node count with standard deviation, edge count, density per Eq. (1),
+degree per Eq. (2), distinct labels per graph).  These functions compute
+exactly those rows, and are reused by the generator calibration tests to
+verify that the real-dataset stand-ins match the published statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "GraphStatistics",
+    "DatasetStatistics",
+    "graph_statistics",
+    "dataset_statistics",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GraphStatistics:
+    """Structural statistics of a single graph."""
+
+    num_vertices: int
+    num_edges: int
+    density: float
+    average_degree: float
+    num_distinct_labels: int
+    is_connected: bool
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStatistics:
+    """The Table 1 row for a dataset."""
+
+    name: str
+    num_graphs: int
+    num_disconnected: int
+    num_labels: int
+    avg_vertices: float
+    std_vertices: float
+    avg_edges: float
+    avg_density: float
+    avg_degree: float
+    avg_labels_per_graph: float
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Flat dict suitable for table rendering (Table 1 layout)."""
+        return {
+            "dataset": self.name,
+            "#graphs": self.num_graphs,
+            "#disconnected": self.num_disconnected,
+            "#labels": self.num_labels,
+            "avg #nodes": round(self.avg_vertices, 2),
+            "stddev #nodes": round(self.std_vertices, 2),
+            "avg #edges": round(self.avg_edges, 2),
+            "avg density": round(self.avg_density, 4),
+            "avg degree": round(self.avg_degree, 2),
+            "avg #labels": round(self.avg_labels_per_graph, 2),
+        }
+
+
+def graph_statistics(graph: Graph) -> GraphStatistics:
+    """Compute the per-graph statistics bundle."""
+    return GraphStatistics(
+        num_vertices=graph.order,
+        num_edges=graph.size,
+        density=graph.density(),
+        average_degree=graph.average_degree(),
+        num_distinct_labels=len(graph.distinct_labels()),
+        is_connected=graph.is_connected(),
+    )
+
+
+def dataset_statistics(dataset: GraphDataset, name: str | None = None) -> DatasetStatistics:
+    """Compute the Table 1 row for *dataset*.
+
+    Averages over an empty dataset are reported as zero rather than
+    raising, so reports degrade gracefully.
+    """
+    count = len(dataset)
+    if count == 0:
+        return DatasetStatistics(
+            name=name if name is not None else dataset.name,
+            num_graphs=0,
+            num_disconnected=0,
+            num_labels=0,
+            avg_vertices=0.0,
+            std_vertices=0.0,
+            avg_edges=0.0,
+            avg_density=0.0,
+            avg_degree=0.0,
+            avg_labels_per_graph=0.0,
+        )
+
+    vertex_counts = []
+    edge_counts = []
+    densities = []
+    degrees = []
+    labels_per_graph = []
+    disconnected = 0
+    for graph in dataset:
+        vertex_counts.append(graph.order)
+        edge_counts.append(graph.size)
+        densities.append(graph.density())
+        degrees.append(graph.average_degree())
+        labels_per_graph.append(len(graph.distinct_labels()))
+        if not graph.is_connected():
+            disconnected += 1
+
+    mean_vertices = sum(vertex_counts) / count
+    variance = sum((x - mean_vertices) ** 2 for x in vertex_counts) / count
+    return DatasetStatistics(
+        name=name if name is not None else dataset.name,
+        num_graphs=count,
+        num_disconnected=disconnected,
+        num_labels=len(dataset.distinct_labels()),
+        avg_vertices=mean_vertices,
+        std_vertices=math.sqrt(variance),
+        avg_edges=sum(edge_counts) / count,
+        avg_density=sum(densities) / count,
+        avg_degree=sum(degrees) / count,
+        avg_labels_per_graph=sum(labels_per_graph) / count,
+    )

@@ -1,0 +1,58 @@
+"""The six benchmarked subgraph-query indexes plus the naive baseline.
+
+Every method follows the filter-and-verify contract of
+:class:`~repro.indexes.base.GraphIndex`:
+
+=================  ==========  ===================  =================
+Method             Features    Extraction           Index structure
+=================  ==========  ===================  =================
+GraphGrepSX [2]    paths       exhaustive           suffix/prefix trie
+Grapes [9]         paths       exhaustive,parallel  trie + locations
+CT-Index [13]      trees+      exhaustive           bit fingerprints
+                   cycles
+gCode [28]         paths       exhaustive           spectral vertex
+                                                    signatures
+gIndex [21]        subgraphs   frequent mining      DFS-code table
+Tree+Δ [27]        trees (+Δ)  frequent mining      hash table
+NaiveIndex         —           —                    — (full scan)
+=================  ==========  ===================  =================
+
+All indexes share the query pipeline: ``filter`` produces a candidate
+id set (never dropping a true answer), ``verify`` runs first-match VF2
+over the candidates, and ``query`` reports candidates, answers and
+per-stage timings so the harness can compute the paper's metrics.
+"""
+
+from repro.indexes.base import BuildReport, GraphIndex, QueryResult
+from repro.indexes.ctindex import CTIndex
+from repro.indexes.gcode import GCodeIndex
+from repro.indexes.ggsx import GraphGrepSXIndex
+from repro.indexes.gindex import GIndex
+from repro.indexes.grapes import GrapesIndex
+from repro.indexes.naive import NaiveIndex
+from repro.indexes.treedelta import TreeDeltaIndex
+
+#: Factory table: paper method name -> index class (paper defaults).
+ALL_INDEX_CLASSES = {
+    GrapesIndex.name: GrapesIndex,
+    GraphGrepSXIndex.name: GraphGrepSXIndex,
+    CTIndex.name: CTIndex,
+    GIndex.name: GIndex,
+    TreeDeltaIndex.name: TreeDeltaIndex,
+    GCodeIndex.name: GCodeIndex,
+    NaiveIndex.name: NaiveIndex,
+}
+
+__all__ = [
+    "GraphIndex",
+    "BuildReport",
+    "QueryResult",
+    "NaiveIndex",
+    "GraphGrepSXIndex",
+    "GrapesIndex",
+    "CTIndex",
+    "GCodeIndex",
+    "GIndex",
+    "TreeDeltaIndex",
+    "ALL_INDEX_CLASSES",
+]

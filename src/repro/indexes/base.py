@@ -1,0 +1,210 @@
+"""The filter-and-verify contract shared by all indexing methods.
+
+Paper §2.2: every algorithm operates in three stages — (a) index
+construction, (b) filtering into a candidate set, (c) verification of
+containment by subgraph isomorphism.  :class:`GraphIndex` encodes this
+pipeline and instruments it with the paper's four metrics:
+
+* index construction **time** (Figures 1a, 2a, 3a, 5a, 6a),
+* index **size** (Figures 1b, 2b, 3b, 5b, 6b),
+* query processing **time**, filtering plus verification
+  (Figures 1c, 2c, 3c, 4, 5c, 6c),
+* **false positive ratio** per Eq. (3) (Figures 1d, 2d, 3d, 5d, 6d).
+
+Subclasses implement ``_build`` and ``_filter`` and may override
+``_verify_one`` (Grapes verifies per connected component, CT-Index uses
+its tweaked matcher ordering).  The contract tests assert the defining
+invariant: the candidate set always contains the true answer set.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.isomorphism.vf2 import SubgraphMatcher
+from repro.utils.budget import Budget
+from repro.utils.sizeof import deep_sizeof
+from repro.utils.timing import Timer
+
+__all__ = ["GraphIndex", "BuildReport", "QueryResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class BuildReport:
+    """Outcome of index construction."""
+
+    #: Wall-clock construction time in seconds.
+    seconds: float
+    #: Estimated in-memory footprint of the index payload in bytes.
+    size_bytes: int
+    #: Method-specific counters (feature counts, trie nodes, ...).
+    details: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """Outcome of one query through the filter-and-verify pipeline."""
+
+    #: Graph ids surviving the filtering stage.
+    candidates: frozenset[int]
+    #: Graph ids actually containing the query (after verification).
+    answers: frozenset[int]
+    #: Wall-clock seconds spent filtering.
+    filter_seconds: float
+    #: Wall-clock seconds spent verifying candidates.
+    verify_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Query processing time (filtering + verification)."""
+        return self.filter_seconds + self.verify_seconds
+
+    @property
+    def false_positives(self) -> int:
+        """Candidates that verification rejected."""
+        return len(self.candidates) - len(self.answers)
+
+    @property
+    def false_positive_ratio(self) -> float:
+        """Per-query term of Eq. (3): ``(|C| - |A|) / |C|``.
+
+        An empty candidate set contributes 0 (perfect filtering).
+        """
+        if not self.candidates:
+            return 0.0
+        return self.false_positives / len(self.candidates)
+
+
+class GraphIndex(ABC):
+    """Base class for all filter-and-verify subgraph-query indexes."""
+
+    #: Method name as used in the paper's figures.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._dataset: GraphDataset | None = None
+        self._build_report: BuildReport | None = None
+
+    # ------------------------------------------------------------------
+    # stage (a): index construction
+    # ------------------------------------------------------------------
+
+    def build(self, dataset: GraphDataset, budget: Budget | None = None) -> BuildReport:
+        """Construct the index over *dataset*, timing and sizing it.
+
+        Raises
+        ------
+        repro.utils.budget.BudgetExceeded
+            If *budget* runs out mid-build; the index is left unusable,
+            matching the paper's "failed to index within the limit".
+        """
+        self._dataset = dataset
+        with Timer() as timer:
+            details = self._build(dataset, budget) or {}
+        self._build_report = BuildReport(
+            seconds=timer.elapsed,
+            size_bytes=self.size_bytes(),
+            details=details,
+        )
+        return self._build_report
+
+    @abstractmethod
+    def _build(self, dataset: GraphDataset, budget: Budget | None) -> dict | None:
+        """Method-specific construction; returns optional detail counters."""
+
+    @property
+    def build_report(self) -> BuildReport:
+        """The report of the last successful :meth:`build`."""
+        if self._build_report is None:
+            raise RuntimeError(f"{self.name}: build() has not completed")
+        return self._build_report
+
+    def size_bytes(self) -> int:
+        """Deep size of the index payload (excludes the dataset itself)."""
+        return deep_sizeof(self._size_payload())
+
+    @abstractmethod
+    def _size_payload(self) -> object:
+        """The object graph that constitutes the index structure."""
+
+    # ------------------------------------------------------------------
+    # stage (b): filtering
+    # ------------------------------------------------------------------
+
+    def filter(self, query: Graph, budget: Budget | None = None) -> set[int]:
+        """Candidate set for *query*: ids of graphs possibly containing it.
+
+        Guaranteed to be a superset of the true answer set (no false
+        negatives) — the defining property of filter-and-verify.
+        """
+        self._require_built()
+        return self._filter(query, budget)
+
+    @abstractmethod
+    def _filter(self, query: Graph, budget: Budget | None) -> set[int]:
+        """Method-specific filtering."""
+
+    # ------------------------------------------------------------------
+    # stage (c): verification
+    # ------------------------------------------------------------------
+
+    def verify(
+        self, query: Graph, candidates: set[int], budget: Budget | None = None
+    ) -> set[int]:
+        """Ids of candidate graphs that actually contain *query*.
+
+        Uses first-match semantics throughout: the paper patched Grapes
+        so that every system stops at the first embedding (§4.1).
+        """
+        self._require_built()
+        assert self._dataset is not None
+        answers = set()
+        for graph_id in candidates:
+            if budget is not None:
+                budget.check()
+            if self._verify_one(query, self._dataset[graph_id], budget):
+                answers.add(graph_id)
+        return answers
+
+    def _verify_one(self, query: Graph, graph: Graph, budget: Budget | None) -> bool:
+        """Default verification: stock VF2, first match."""
+        return SubgraphMatcher(query, graph, budget=budget).exists()
+
+    # ------------------------------------------------------------------
+    # the full pipeline
+    # ------------------------------------------------------------------
+
+    def query(self, query: Graph, budget: Budget | None = None) -> QueryResult:
+        """Run filter + verify for *query* and report the paper metrics."""
+        with Timer() as filter_timer:
+            candidates = self.filter(query, budget)
+        with Timer() as verify_timer:
+            answers = self.verify(query, candidates, budget)
+        return QueryResult(
+            candidates=frozenset(candidates),
+            answers=frozenset(answers),
+            filter_seconds=filter_timer.elapsed,
+            verify_seconds=verify_timer.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def dataset(self) -> GraphDataset:
+        """The dataset this index was built over."""
+        self._require_built()
+        assert self._dataset is not None
+        return self._dataset
+
+    def _require_built(self) -> None:
+        if self._dataset is None:
+            raise RuntimeError(f"{self.name}: index has not been built")
+
+    def __repr__(self) -> str:
+        state = "built" if self._dataset is not None else "empty"
+        return f"{type(self).__name__}({state})"

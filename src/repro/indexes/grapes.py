@@ -1,0 +1,258 @@
+"""Grapes — parallel path trie with location information [9].
+
+Giugno et al., *GRAPES: A Software for Parallel Searching on Biological
+Graphs Targeting Multi-Core Architectures*, PLoS One 2013.  Grapes
+shares GraphGrepSX's feature type (simple paths up to a size limit,
+default 4) and exhaustive DFS extraction, and differs in three ways
+that this class reproduces:
+
+1. **Location information** — for every (feature, graph) pair the trie
+   records the start vertices of the feature's occurrences, alongside
+   the occurrence count.
+2. **Parallel construction** — dataset graphs are partitioned across a
+   pool of workers (paper setting: 6); each worker builds a complete
+   trie over its disjoint share, and the shards are merged.  This
+   mirrors the original's disjoint-trie-parts design.  (CPython threads
+   serialize CPU-bound work, so the *structure* is preserved while the
+   speedup is platform-dependent; see DESIGN.md.)
+3. **Component-wise verification** — filtering projects each surviving
+   graph onto the vertices that start matched query features, splits
+   that projection into connected components, and verification tests
+   the query against each sufficiently large component (in parallel)
+   rather than the whole graph.
+
+Soundness of the projection: with single-vertex features included,
+every vertex in an embedding image starts at least one matched feature
+traversal, so a (connected) query's image lies entirely inside one
+marked component.  Disconnected queries fall back to whole-graph
+verification.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.features.paths import path_features
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.indexes.base import GraphIndex
+from repro.indexes.pathtrie import PathTrie
+from repro.isomorphism.vf2 import SubgraphMatcher
+from repro.utils.budget import Budget
+
+__all__ = ["GrapesIndex"]
+
+
+class GrapesIndex(GraphIndex):
+    """Grapes: parallel path trie with start-vertex locations.
+
+    Parameters
+    ----------
+    max_path_edges:
+        Maximum feature size in edges (paper setting: 4).
+    workers:
+        Worker-pool width for parallel build and verification (paper
+        setting: 6).
+    """
+
+    name = "grapes"
+
+    def __init__(self, max_path_edges: int = 4, workers: int = 6) -> None:
+        super().__init__()
+        if max_path_edges < 1:
+            raise ValueError(f"max_path_edges must be >= 1, got {max_path_edges}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.max_path_edges = max_path_edges
+        self.workers = workers
+        self._trie = PathTrie(keep_locations=True)
+        #: graph id -> marked components, computed by the last filter().
+        #: Guarded by the query's identity: verification for any other
+        #: query must not reuse another query's projections (that would
+        #: drop true answers).
+        self._components_cache: dict[int, list[set[int]]] = {}
+        self._components_query: Graph | None = None
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+
+    def _build(self, dataset: GraphDataset, budget: Budget | None) -> dict:
+        shards = [list(dataset)[i :: self.workers] for i in range(self.workers)]
+        shards = [shard for shard in shards if shard]
+
+        def build_shard(shard: list[Graph]) -> PathTrie:
+            trie = PathTrie(keep_locations=True)
+            for graph in shard:
+                if budget is not None:
+                    budget.check()
+                    # Memory is a whole-index property; each worker
+                    # sees its shard's share of the allowance.
+                    budget.check_memory(trie.estimated_bytes() * len(shards))
+                features = path_features(graph, self.max_path_edges, budget=budget)
+                for canonical, occurrences in features.items():
+                    trie.insert(
+                        canonical,
+                        graph.graph_id,
+                        occurrences.count,
+                        occurrences.starts,
+                    )
+            return trie
+
+        if len(shards) == 1:
+            tries = [build_shard(shards[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                tries = list(pool.map(build_shard, shards))
+        self._trie = tries[0]
+        for shard_trie in tries[1:]:
+            self._trie.merge(shard_trie)
+        return {
+            "trie_nodes": self._trie.node_count(),
+            "features": self._trie.num_features,
+            "workers": len(shards),
+        }
+
+    # ------------------------------------------------------------------
+    # filter
+    # ------------------------------------------------------------------
+
+    def _filter(self, query: Graph, budget: Budget | None) -> set[int]:
+        assert self._dataset is not None
+        self._components_cache = {}
+        self._components_query = query
+        query_paths = path_features(query, self.max_path_edges, budget=budget)
+
+        # Stage 1: occurrence-count dominance, as in GGSX.
+        candidates: set[int] | None = None
+        matched_nodes = []
+        for canonical, occurrences in query_paths.items():
+            if budget is not None:
+                budget.check()
+            node = self._trie.lookup(canonical)
+            if node is None:
+                return set()
+            matched_nodes.append(node)
+            matching = {
+                graph_id
+                for graph_id, count in node.counts.items()
+                if count >= occurrences.count
+            }
+            candidates = matching if candidates is None else candidates & matching
+            if not candidates:
+                return set()
+        if candidates is None:
+            return self._dataset.all_ids()
+
+        # Stage 2: location-based refinement.  Mark, per candidate, the
+        # vertices starting any matched feature; an embedding must live
+        # inside one connected component of the marked projection.
+        if not query.is_connected():
+            return candidates  # projection argument needs connectivity
+        marked: dict[int, set[int]] = {graph_id: set() for graph_id in candidates}
+        for node in matched_nodes:
+            assert node.starts is not None
+            for graph_id, starts in node.starts.items():
+                if graph_id in marked:
+                    marked[graph_id].update(starts)
+
+        survivors = set()
+        query_labels = query.label_histogram()
+        for graph_id in candidates:
+            components = self._marked_components(graph_id, marked[graph_id])
+            viable = [
+                component
+                for component in components
+                if _labels_dominate(
+                    self._dataset[graph_id], component, query_labels
+                )
+            ]
+            if viable:
+                survivors.add(graph_id)
+                self._components_cache[graph_id] = viable
+        return survivors
+
+    def _marked_components(self, graph_id: int, marked: set[int]) -> list[set[int]]:
+        """Connected components of the graph's projection onto *marked*."""
+        assert self._dataset is not None
+        graph = self._dataset[graph_id]
+        components: list[set[int]] = []
+        unvisited = set(marked)
+        while unvisited:
+            start = unvisited.pop()
+            component = {start}
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                for w in graph.neighbors(v):
+                    if w in unvisited:
+                        unvisited.discard(w)
+                        component.add(w)
+                        stack.append(w)
+            components.append(component)
+        return components
+
+    # ------------------------------------------------------------------
+    # verify (per component, in parallel)
+    # ------------------------------------------------------------------
+
+    def verify(
+        self, query: Graph, candidates: set[int], budget: Budget | None = None
+    ) -> set[int]:
+        """Test the query against each marked component of each candidate.
+
+        Components of one graph are checked concurrently (paper §3:
+        "each such component assigned to a different thread"), stopping
+        at the first match per graph.
+        """
+        self._require_built()
+        assert self._dataset is not None
+        cache_valid = self._components_query is query
+        answers = set()
+        for graph_id in candidates:
+            if budget is not None:
+                budget.check()
+            graph = self._dataset[graph_id]
+            components = (
+                self._components_cache.get(graph_id) if cache_valid else None
+            )
+            if components is None or not query.is_connected():
+                if SubgraphMatcher(query, graph, budget=budget).exists():
+                    answers.add(graph_id)
+                continue
+            if self._query_in_any_component(query, graph, components, budget):
+                answers.add(graph_id)
+        return answers
+
+    def _query_in_any_component(
+        self,
+        query: Graph,
+        graph: Graph,
+        components: list[set[int]],
+        budget: Budget | None,
+    ) -> bool:
+        large_enough = [c for c in components if len(c) >= query.order]
+        if not large_enough:
+            return False
+
+        def check(component: set[int]) -> bool:
+            projection, _ = graph.induced_subgraph(component)
+            return SubgraphMatcher(query, projection, budget=budget).exists()
+
+        if len(large_enough) == 1 or self.workers == 1:
+            return any(check(component) for component in large_enough)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return any(pool.map(check, large_enough))
+
+    def _size_payload(self) -> object:
+        return self._trie
+
+
+def _labels_dominate(graph: Graph, component: set[int], query_labels: dict) -> bool:
+    """Cheap per-component prune: the component must offer enough
+    vertices of every label the query needs."""
+    counts: dict[object, int] = {}
+    for v in component:
+        lbl = graph.label(v)
+        counts[lbl] = counts.get(lbl, 0) + 1
+    return all(counts.get(lbl, 0) >= needed for lbl, needed in query_labels.items())

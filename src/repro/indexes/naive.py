@@ -1,0 +1,33 @@
+"""The no-index baseline: subgraph isomorphism against every graph.
+
+This is the "naive method" of the paper's introduction — every graph in
+the dataset is a candidate, and verification does all the work.  It
+serves two roles in the reproduction: a correctness oracle for the
+other indexes (its answer set is ground truth) and the datum against
+which filtering power is visible.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.indexes.base import GraphIndex
+from repro.utils.budget import Budget
+
+__all__ = ["NaiveIndex"]
+
+
+class NaiveIndex(GraphIndex):
+    """Full-scan baseline: the candidate set is the whole dataset."""
+
+    name = "naive"
+
+    def _build(self, dataset: GraphDataset, budget: Budget | None) -> dict:
+        return {"num_graphs": len(dataset)}
+
+    def _filter(self, query: Graph, budget: Budget | None) -> set[int]:
+        assert self._dataset is not None
+        return self._dataset.all_ids()
+
+    def _size_payload(self) -> object:
+        return ()

@@ -1,0 +1,164 @@
+"""The label-path trie shared by GraphGrepSX and Grapes.
+
+Both methods index every simple path of up to ``max_path_edges`` edges.
+GraphGrepSX organizes them in a suffix tree whose nodes carry per-graph
+occurrence counts [2]; Grapes uses a trie that additionally stores
+*location information* — the start vertices of each path per graph [9].
+Because the exhaustive DFS enumeration emits every sub-path of every
+path as a feature in its own right, a trie over all canonical path
+labels stores exactly the node set of the suffix tree of the path set;
+the two structures coincide for filtering purposes, differing only in
+the per-node payload.
+
+The trie maps each canonical path label (a tuple of vertex labels) to
+per-graph occurrence data; lookups walk label by label.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = ["PathTrie", "TrieNode"]
+
+
+class TrieNode:
+    """One trie node: children by label, per-graph payload at terminals.
+
+    ``counts`` maps graph id → number of directed traversals of the
+    path ending at this node; ``starts`` (only populated when the trie
+    keeps locations) maps graph id → set of start vertices.
+    """
+
+    __slots__ = ("children", "counts", "starts")
+
+    def __init__(self) -> None:
+        self.children: dict[object, TrieNode] = {}
+        self.counts: dict[int, int] = {}
+        self.starts: dict[int, set[int]] | None = None
+
+
+class PathTrie:
+    """Trie over canonical path labels with per-graph occurrence data.
+
+    Parameters
+    ----------
+    keep_locations:
+        Store start-vertex sets per (feature, graph) — the Grapes
+        location information.  Off for GraphGrepSX.
+    """
+
+    __slots__ = (
+        "root",
+        "keep_locations",
+        "num_features",
+        "num_nodes",
+        "num_count_entries",
+        "num_location_entries",
+    )
+
+    #: Rough per-item byte costs for the cheap size estimate
+    #: (CPython dict/set entry overheads; calibrated against deep_sizeof).
+    _NODE_BYTES = 200
+    _COUNT_ENTRY_BYTES = 80
+    _LOCATION_ENTRY_BYTES = 60
+
+    def __init__(self, keep_locations: bool = False) -> None:
+        self.root = TrieNode()
+        self.keep_locations = keep_locations
+        self.num_features = 0
+        self.num_nodes = 1
+        self.num_count_entries = 0
+        self.num_location_entries = 0
+
+    def insert(
+        self,
+        label_path: tuple,
+        graph_id: int,
+        count: int,
+        starts: set[int] | None = None,
+    ) -> None:
+        """Record *count* occurrences of a feature in graph *graph_id*."""
+        node = self.root
+        for label in label_path:
+            child = node.children.get(label)
+            if child is None:
+                child = node.children[label] = TrieNode()
+                self.num_nodes += 1
+            node = child
+        if not node.counts:
+            self.num_features += 1
+        if graph_id not in node.counts:
+            self.num_count_entries += 1
+        node.counts[graph_id] = node.counts.get(graph_id, 0) + count
+        if self.keep_locations:
+            if node.starts is None:
+                node.starts = {}
+            entry = node.starts.setdefault(graph_id, set())
+            if starts:
+                before = len(entry)
+                entry.update(starts)
+                self.num_location_entries += len(entry) - before
+
+    def estimated_bytes(self) -> int:
+        """Cheap running size estimate for memory-budget polling.
+
+        Exact accounting is :func:`repro.utils.sizeof.deep_sizeof` on
+        the trie; this O(1) counter-based estimate tracks growth well
+        enough for the paper's memory breaking points.
+        """
+        return (
+            self.num_nodes * self._NODE_BYTES
+            + self.num_count_entries * self._COUNT_ENTRY_BYTES
+            + self.num_location_entries * self._LOCATION_ENTRY_BYTES
+        )
+
+    def lookup(self, label_path: tuple) -> TrieNode | None:
+        """The terminal node for a canonical path label, if indexed."""
+        node = self.root
+        for label in label_path:
+            node = node.children.get(label)
+            if node is None:
+                return None
+        return node
+
+    def merge(self, other: "PathTrie") -> None:
+        """Merge *other* into this trie (used by Grapes' parallel build).
+
+        The per-worker tries cover disjoint graph-id sets, so payload
+        merging is plain dictionary union.
+        """
+        stack = [(self.root, other.root)]
+        while stack:
+            mine, theirs = stack.pop()
+            if theirs.counts:
+                if not mine.counts:
+                    self.num_features += 1
+                for graph_id, count in theirs.counts.items():
+                    if graph_id not in mine.counts:
+                        self.num_count_entries += 1
+                    mine.counts[graph_id] = mine.counts.get(graph_id, 0) + count
+            if theirs.starts:
+                if mine.starts is None:
+                    mine.starts = {}
+                for graph_id, starts in theirs.starts.items():
+                    entry = mine.starts.setdefault(graph_id, set())
+                    before = len(entry)
+                    entry.update(starts)
+                    self.num_location_entries += len(entry) - before
+            for label, their_child in theirs.children.items():
+                my_child = mine.children.get(label)
+                if my_child is None:
+                    my_child = mine.children[label] = TrieNode()
+                    self.num_nodes += 1
+                stack.append((my_child, their_child))
+
+    def nodes(self) -> Iterator[TrieNode]:
+        """Iterate over all trie nodes (for size/statistics reporting)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())

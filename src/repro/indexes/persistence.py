@@ -1,0 +1,107 @@
+"""Saving and loading built indexes.
+
+§6 notes that these indexes are meant to reside in main memory, but a
+practical deployment builds once and reuses across processes.  Indexes
+(and the datasets they were built over) are plain Python object graphs,
+so persistence is pickle-based, wrapped with a header that records the
+method name, library version, and dataset fingerprint so a stale or
+mismatched index fails loudly instead of answering queries wrongly.
+
+Security note: pickle executes code on load.  Only load index files
+you produced yourself — the same trust model as the original systems'
+binary index files.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.graphs.dataset import GraphDataset
+from repro.indexes.base import GraphIndex
+from repro.utils.hashing import stable_hash
+
+__all__ = ["save_index", "load_index", "dataset_fingerprint", "IndexFileError"]
+
+_MAGIC = "repro-index-v1"
+
+
+class IndexFileError(RuntimeError):
+    """Raised when an index file is malformed or inconsistent."""
+
+
+@dataclass(frozen=True, slots=True)
+class _Header:
+    magic: str
+    method: str
+    dataset_fingerprint: int
+    num_graphs: int
+
+
+def dataset_fingerprint(dataset: GraphDataset) -> int:
+    """A cheap, stable content fingerprint of a dataset.
+
+    Hashes graph counts, orders, sizes and label histograms — enough to
+    catch the realistic failure mode (loading an index built over a
+    different dataset) without hashing every edge.
+    """
+    parts = [len(dataset)]
+    for graph in dataset:
+        histogram = tuple(
+            sorted(graph.label_histogram().items(), key=lambda kv: repr(kv[0]))
+        )
+        parts.append((graph.order, graph.size, histogram))
+    return stable_hash(tuple(parts))
+
+
+def save_index(index: GraphIndex, path: str | Path) -> None:
+    """Persist a built index (including its dataset) to *path*.
+
+    Raises
+    ------
+    RuntimeError
+        If the index has not been built.
+    """
+    dataset = index.dataset  # raises RuntimeError when unbuilt
+    header = _Header(
+        magic=_MAGIC,
+        method=index.name,
+        dataset_fingerprint=dataset_fingerprint(dataset),
+        num_graphs=len(dataset),
+    )
+    with open(path, "wb") as handle:
+        pickle.dump(header, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_index(
+    path: str | Path, expect_dataset: GraphDataset | None = None
+) -> GraphIndex:
+    """Load an index persisted by :func:`save_index`.
+
+    Parameters
+    ----------
+    expect_dataset:
+        When given, the stored dataset fingerprint must match this
+        dataset's; a mismatch raises :class:`IndexFileError` (querying
+        an index built over different data silently returns wrong ids).
+    """
+    with open(path, "rb") as handle:
+        try:
+            header = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError) as exc:
+            raise IndexFileError(f"{path}: not an index file") from exc
+        if not isinstance(header, _Header) or header.magic != _MAGIC:
+            raise IndexFileError(f"{path}: not a {_MAGIC} file")
+        index = pickle.load(handle)
+    if not isinstance(index, GraphIndex):
+        raise IndexFileError(f"{path}: payload is not a GraphIndex")
+    if expect_dataset is not None:
+        fingerprint = dataset_fingerprint(expect_dataset)
+        if fingerprint != header.dataset_fingerprint:
+            raise IndexFileError(
+                f"{path}: index was built over a different dataset "
+                f"(method {header.method!r}, {header.num_graphs} graphs)"
+            )
+    return index

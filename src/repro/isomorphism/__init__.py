@@ -1,0 +1,26 @@
+"""Subgraph isomorphism testing — the verification substrate.
+
+Every benchmarked method verifies its candidate set with the VF2
+algorithm (Cordella et al., TPAMI 2004 [6]); CT-Index uses "a modified
+VF2 with additional heuristics" (§3).  This package implements VF2 for
+*subgraph monomorphism* (the paper's Definition 3: query edges must be
+present in the data graph, extra data edges are allowed) together with
+pluggable vertex-ordering heuristics.
+"""
+
+from repro.isomorphism.heuristics import (
+    connectivity_order,
+    frequency_degree_order,
+)
+from repro.isomorphism.ullmann import ullmann_is_subgraph
+from repro.isomorphism.vf2 import SubgraphMatcher, count_embeddings, find_embedding, is_subgraph
+
+__all__ = [
+    "SubgraphMatcher",
+    "is_subgraph",
+    "find_embedding",
+    "count_embeddings",
+    "connectivity_order",
+    "frequency_degree_order",
+    "ullmann_is_subgraph",
+]

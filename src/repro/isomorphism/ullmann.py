@@ -1,0 +1,134 @@
+"""Ullmann's subgraph isomorphism algorithm (1976), monomorphism variant.
+
+The classic predecessor of VF2 and the usual baseline when comparing
+verification algorithms.  Ullmann maintains a candidate matrix ``M``
+(query vertex → feasible data vertices) and interleaves backtracking
+with *refinement*: a candidate pair ``(u, d)`` survives only if every
+query neighbor of ``u`` still has at least one candidate among ``d``'s
+data neighbors.  Refinement propagates to a fixpoint, pruning far from
+the failure point — at the cost of touching the whole matrix per node
+of the search tree.
+
+The library verifies with VF2 everywhere (as every benchmarked system
+does, §2.2); Ullmann exists for the verification-algorithm ablation in
+``benchmarks/`` and as an independent oracle in tests.  Semantics are
+identical to :mod:`repro.isomorphism.vf2`: subgraph *monomorphism* per
+the paper's Definition 3.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.utils.budget import Budget
+
+__all__ = ["ullmann_is_subgraph"]
+
+#: Search-tree nodes between budget polls.
+_BUDGET_POLL_INTERVAL = 512
+
+
+def ullmann_is_subgraph(
+    query: Graph, data: Graph, budget: Budget | None = None
+) -> bool:
+    """True iff *query* is subgraph-monomorphic to *data* (Def. 3)."""
+    if query.order == 0:
+        return True
+    if query.order > data.order or query.size > data.size:
+        return False
+
+    candidates = _initial_candidates(query, data)
+    if candidates is None:
+        return False
+    state = _State(query, data, budget)
+    return state.search(0, candidates, set())
+
+
+def _initial_candidates(query: Graph, data: Graph) -> list[set[int]] | None:
+    """Degree- and label-feasible candidate sets per query vertex."""
+    by_label = data.vertices_by_label()
+    candidates: list[set[int]] = []
+    for u in query.vertices():
+        feasible = {
+            d
+            for d in by_label.get(query.label(u), ())
+            if data.degree(d) >= query.degree(u)
+        }
+        if not feasible:
+            return None
+        candidates.append(feasible)
+    return candidates
+
+
+class _State:
+    __slots__ = ("query", "data", "budget", "nodes")
+
+    def __init__(self, query: Graph, data: Graph, budget: Budget | None) -> None:
+        self.query = query
+        self.data = data
+        self.budget = budget
+        self.nodes = 0
+
+    def search(
+        self, position: int, candidates: list[set[int]], used: set[int]
+    ) -> bool:
+        if position == self.query.order:
+            return True
+        self._poll()
+        for d in sorted(candidates[position]):
+            if d in used:
+                continue
+            narrowed = self._assign(position, d, candidates)
+            if narrowed is None:
+                continue
+            used.add(d)
+            if self.search(position + 1, narrowed, used):
+                used.discard(d)
+                return True
+            used.discard(d)
+        return False
+
+    def _assign(
+        self, position: int, d: int, candidates: list[set[int]]
+    ) -> list[set[int]] | None:
+        """Pin query vertex *position* to *d* and refine to fixpoint."""
+        narrowed = [set(c) for c in candidates]
+        narrowed[position] = {d}
+        # Monomorphism constraint: query neighbors of `position` must
+        # map into data neighbors of d (and not onto d — injectivity).
+        for u in self.query.neighbors(position):
+            narrowed[u] &= self.data.neighbors(d)
+            narrowed[u].discard(d)
+            if not narrowed[u]:
+                return None
+        return self._refine(narrowed)
+
+    def _refine(self, candidates: list[set[int]]) -> list[set[int]] | None:
+        """Ullmann refinement to fixpoint.
+
+        A candidate ``d`` for query vertex ``u`` survives only if every
+        query neighbor of ``u`` has at least one candidate adjacent to
+        ``d`` in the data graph.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for u in self.query.vertices():
+                doomed = []
+                for d in candidates[u]:
+                    for w in self.query.neighbors(u):
+                        if not (candidates[w] & self.data.neighbors(d)):
+                            doomed.append(d)
+                            break
+                if doomed:
+                    candidates[u] -= set(doomed)
+                    if not candidates[u]:
+                        return None
+                    changed = True
+        return candidates
+
+    def _poll(self) -> None:
+        if self.budget is None:
+            return
+        self.nodes += 1
+        if self.nodes % _BUDGET_POLL_INTERVAL == 0:
+            self.budget.check()

@@ -1,0 +1,25 @@
+"""Frequent feature mining (paper §2.2, extraction approach (ii)).
+
+gIndex mines frequent *subgraph* features and Tree+Δ mines frequent
+*tree* features; both keep only features whose support ratio clears a
+threshold, and gIndex further restricts the index to *discriminative*
+features.  This package provides:
+
+* :mod:`~repro.mining.gspan` — a pattern-growth miner in the gSpan
+  family: patterns are minimum DFS codes, extension is restricted to
+  the rightmost path, and non-minimal codes are pruned so each pattern
+  is explored exactly once.  A ``trees_only`` switch drops backward
+  (cycle-closing) extensions, yielding the frequent-tree miner.
+* :mod:`~repro.mining.discriminative` — gIndex's discriminative-ratio
+  selection over the mined frequent set.
+"""
+
+from repro.mining.discriminative import select_discriminative
+from repro.mining.gspan import Embedding, MinedPattern, mine_frequent_patterns
+
+__all__ = [
+    "Embedding",
+    "MinedPattern",
+    "mine_frequent_patterns",
+    "select_discriminative",
+]

@@ -1,0 +1,270 @@
+"""Pattern-growth frequent subgraph/tree mining (gSpan family).
+
+The miner enumerates connected patterns by growing minimum DFS codes
+(:mod:`repro.canonical.dfscode`) one edge at a time:
+
+1. seed with every frequent single-edge pattern;
+2. extend each pattern's embeddings along the rightmost path (backward
+   edges from the rightmost vertex, forward edges from rightmost-path
+   vertices) — the gSpan restriction that makes generation complete
+   without revisiting;
+3. keep a child only if its DFS code is *minimal* (canonical); the same
+   pattern reached along any other path is discarded, since the prefix
+   property guarantees the minimal code itself arises from the minimal
+   parent;
+4. prune by support (anti-monotone): children inherit embeddings only
+   from their parent, so infrequent branches die immediately.
+
+With ``trees_only`` backward extensions are skipped entirely, which
+restricts the search to acyclic patterns — the frequent-tree miner that
+Tree+Δ builds on.  The paper's observation that "frequent feature
+mining is a very computationally costly process" (§5.2.1) is a property
+of this search space itself; expect exponential behaviour when most
+features are frequent (e.g. few distinct labels, §5.2.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.canonical.dfscode import (
+    DfsCode,
+    dfs_code_graph,
+    is_min_dfs_code,
+    rightmost_path,
+)
+from repro.canonical.order import label_key
+from repro.graphs.graph import Graph
+from repro.utils.budget import Budget
+
+__all__ = ["Embedding", "MinedPattern", "mine_frequent_patterns"]
+
+
+class Embedding(NamedTuple):
+    """One occurrence of a pattern inside a dataset graph."""
+
+    graph_id: int
+    #: DFS index -> host-graph vertex.
+    vmap: tuple[int, ...]
+    #: Host-graph edges used, as a frozenset of 2-vertex frozensets.
+    used: frozenset
+
+
+@dataclass(slots=True)
+class MinedPattern:
+    """A frequent pattern together with its occurrences."""
+
+    code: DfsCode
+    graph: Graph
+    embeddings: list[Embedding] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Feature size: number of edges."""
+        return len(self.code)
+
+    def support_set(self) -> set[int]:
+        """Ids of the dataset graphs containing the pattern."""
+        return {embedding.graph_id for embedding in self.embeddings}
+
+    @property
+    def support(self) -> int:
+        return len(self.support_set())
+
+
+def mine_frequent_patterns(
+    graphs: Sequence[Graph],
+    min_support: int,
+    max_edges: int,
+    trees_only: bool = False,
+    keep=None,
+    budget: Budget | None = None,
+) -> dict[DfsCode, MinedPattern]:
+    """Mine all frequent connected patterns of ``1..max_edges`` edges.
+
+    Parameters
+    ----------
+    graphs:
+        The dataset; ids are taken from each graph's ``graph_id`` (as
+        assigned by :class:`~repro.graphs.dataset.GraphDataset`), or the
+        positional index when unset.
+    min_support:
+        Minimum number of distinct graphs a pattern must occur in
+        (absolute count; callers convert the paper's support *ratio*).
+    max_edges:
+        Maximum pattern size in edges.
+    trees_only:
+        Restrict the search to acyclic patterns.
+    keep:
+        Optional predicate ``DfsCode -> bool``; patterns failing it are
+        neither reported nor expanded.  This is gIndex's apriori pruning
+        on the query side ("if a fragment does not appear in the index,
+        no supergraphs of that fragment will be produced", §3): mining
+        the query graph with ``keep = code in frequent_index`` grows
+        exactly the indexed fragments of the query.
+    budget:
+        Optional time budget, polled once per pattern expansion.
+
+    Returns
+    -------
+    dict
+        Minimum DFS code → :class:`MinedPattern`, for every frequent
+        pattern (passing *keep*).
+    """
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+    if max_edges < 1:
+        return {}
+
+    indexed_graphs = [
+        (graph.graph_id if graph.graph_id is not None else position, graph)
+        for position, graph in enumerate(graphs)
+    ]
+    frequent: dict[DfsCode, MinedPattern] = {}
+    stack: list[MinedPattern] = [
+        seed
+        for seed in _frequent_seeds(indexed_graphs, min_support)
+        if keep is None or keep(seed.code)
+    ]
+
+    # Embedding lists dominate mining memory; ~180 bytes each covers
+    # the tuple, the vertex map and the edge frozenset refs.
+    embeddings_alive = sum(len(pattern.embeddings) for pattern in stack)
+    while stack:
+        if budget is not None:
+            budget.check()
+            budget.check_memory(embeddings_alive * 180)
+        pattern = stack.pop()
+        frequent[pattern.code] = pattern
+        if pattern.size >= max_edges:
+            continue
+        for child in _children(pattern, indexed_graphs, trees_only):
+            if len(child.support_set()) < min_support:
+                continue
+            if not is_min_dfs_code(child.code):
+                continue
+            if keep is not None and not keep(child.code):
+                continue
+            embeddings_alive += len(child.embeddings)
+            stack.append(child)
+    return frequent
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+
+
+def _frequent_seeds(
+    indexed_graphs: list[tuple[int, Graph]], min_support: int
+) -> list[MinedPattern]:
+    """All frequent single-edge patterns with their embeddings.
+
+    For a symmetric edge (equal endpoint labels) both directed
+    embeddings are kept: later rightmost extensions must be able to
+    grow from either endpoint.
+    """
+    seeds: dict[DfsCode, MinedPattern] = {}
+    for graph_id, graph in indexed_graphs:
+        for u, v in graph.edges():
+            for a, b in ((u, v), (v, u)):
+                la, lb = graph.label(a), graph.label(b)
+                if label_key(la) > label_key(lb):
+                    continue
+                code: DfsCode = ((0, 1, la, lb),)
+                pattern = seeds.get(code)
+                if pattern is None:
+                    pattern = seeds[code] = MinedPattern(code, dfs_code_graph(code))
+                pattern.embeddings.append(
+                    Embedding(graph_id, (a, b), frozenset((frozenset((a, b)),)))
+                )
+    return [
+        pattern
+        for pattern in seeds.values()
+        if len(pattern.support_set()) >= min_support
+    ]
+
+
+def _children(
+    pattern: MinedPattern,
+    indexed_graphs: list[tuple[int, Graph]],
+    trees_only: bool,
+) -> list[MinedPattern]:
+    """Rightmost-path extensions of *pattern*, grouped by code edge."""
+    graph_by_id = dict(indexed_graphs)
+    rpath = rightmost_path(pattern.code)
+    rm_index = rpath[-1]
+    next_index = pattern.graph.order
+    children: dict[tuple, MinedPattern] = {}
+
+    def child_for(code_edge: tuple) -> MinedPattern:
+        child = children.get(code_edge)
+        if child is None:
+            code = pattern.code + (code_edge,)
+            child = children[code_edge] = MinedPattern(code, dfs_code_graph(code))
+        return child
+
+    for embedding in pattern.embeddings:
+        host = graph_by_id[embedding.graph_id]
+        rm_vertex = embedding.vmap[rm_index]
+        mapped = set(embedding.vmap)
+        if not trees_only:
+            # Backward extensions: rightmost vertex -> rightmost-path vertex.
+            for j_index in rpath[:-1]:
+                target = embedding.vmap[j_index]
+                if target not in host.neighbors(rm_vertex):
+                    continue
+                host_edge = frozenset((rm_vertex, target))
+                if host_edge in embedding.used:
+                    continue
+                code_edge = (
+                    rm_index,
+                    j_index,
+                    pattern.graph.label(rm_index),
+                    pattern.graph.label(j_index),
+                )
+                child_for(code_edge).embeddings.append(
+                    Embedding(
+                        embedding.graph_id,
+                        embedding.vmap,
+                        embedding.used | {host_edge},
+                    )
+                )
+        # Forward extensions: rightmost-path vertex -> new vertex.
+        for i_index in rpath:
+            source = embedding.vmap[i_index]
+            for w in host.neighbors(source):
+                if w in mapped:
+                    continue
+                code_edge = (
+                    i_index,
+                    next_index,
+                    pattern.graph.label(i_index),
+                    host.label(w),
+                )
+                host_edge = frozenset((source, w))
+                child_for(code_edge).embeddings.append(
+                    Embedding(
+                        embedding.graph_id,
+                        embedding.vmap + (w,),
+                        embedding.used | {host_edge},
+                    )
+                )
+
+    for child in children.values():
+        child.embeddings = _deduplicate(child.embeddings)
+    return list(children.values())
+
+
+def _deduplicate(embeddings: list[Embedding]) -> list[Embedding]:
+    """Drop duplicate (graph, vertex-map, edge-set) occurrences."""
+    seen: set[tuple] = set()
+    unique: list[Embedding] = []
+    for embedding in embeddings:
+        key = (embedding.graph_id, embedding.vmap, embedding.used)
+        if key not in seen:
+            seen.add(key)
+            unique.append(embedding)
+    return unique

@@ -1,0 +1,15 @@
+"""Shared low-level utilities.
+
+This package hosts the small, dependency-free building blocks used across
+the library: a fixed-width :class:`~repro.utils.bitset.Bitset` (CT-Index
+fingerprints, gCode label strings), deep memory accounting
+(:func:`~repro.utils.sizeof.deep_sizeof`, used for the paper's "index
+size" metric), wall-clock timers, and seeded random-number helpers.
+"""
+
+from repro.utils.bitset import Bitset
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.sizeof import deep_sizeof
+from repro.utils.timing import Timer
+
+__all__ = ["Bitset", "Timer", "deep_sizeof", "make_rng", "spawn_rngs"]

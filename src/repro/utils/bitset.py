@@ -1,0 +1,153 @@
+"""Fixed-width bit sets backed by a single Python integer.
+
+Both CT-Index (4096-bit graph fingerprints) and gCode (32-bit vertex
+label/neighbor counter strings) need compact bit arrays supporting fast
+bitwise containment tests.  Python's arbitrary-precision integers make an
+ideal backing store: bitwise AND/OR over an ``int`` is a single C-level
+operation regardless of width, which is exactly the "fingerprint
+comparison is cheap" property the paper credits CT-Index for.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Bitset"]
+
+
+class Bitset:
+    """A fixed-width array of bits.
+
+    Bits are addressed ``0 .. width - 1``.  Instances are mutable via
+    :meth:`set` / :meth:`clear`, and support the bitwise operators
+    ``& | ^`` (returning new instances of the same width).
+
+    Parameters
+    ----------
+    width:
+        Number of addressable bits; must be positive.
+    value:
+        Optional initial backing integer (must fit in *width* bits).
+    """
+
+    __slots__ = ("_width", "_bits")
+
+    def __init__(self, width: int, value: int = 0) -> None:
+        if width <= 0:
+            raise ValueError(f"Bitset width must be positive, got {width}")
+        if value < 0 or value >> width:
+            raise ValueError(f"value does not fit in {width} bits")
+        self._width = width
+        self._bits = value
+
+    @property
+    def width(self) -> int:
+        """Number of addressable bits."""
+        return self._width
+
+    @property
+    def value(self) -> int:
+        """The backing integer (read-only view)."""
+        return self._bits
+
+    def set(self, index: int) -> None:
+        """Set bit *index* to 1."""
+        self._check_index(index)
+        self._bits |= 1 << index
+
+    def clear(self, index: int) -> None:
+        """Set bit *index* to 0."""
+        self._check_index(index)
+        self._bits &= ~(1 << index)
+
+    def test(self, index: int) -> bool:
+        """Return True iff bit *index* is 1."""
+        self._check_index(index)
+        return bool((self._bits >> index) & 1)
+
+    def popcount(self) -> int:
+        """Number of set bits."""
+        return self._bits.bit_count()
+
+    def contains(self, other: "Bitset") -> bool:
+        """Return True iff every set bit of *other* is also set here.
+
+        This is the CT-Index filtering test: a data graph survives iff its
+        fingerprint contains the query fingerprint.
+        """
+        self._check_width(other)
+        return other._bits & ~self._bits == 0
+
+    def saturation(self) -> float:
+        """Fraction of bits set, in ``[0, 1]`` (fingerprint fullness)."""
+        return self.popcount() / self._width
+
+    def copy(self) -> "Bitset":
+        return Bitset(self._width, self._bits)
+
+    def nbytes(self) -> int:
+        """Storage size of the bit payload in bytes (width / 8, rounded up)."""
+        return (self._width + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        """Serialize to little-endian bytes of :meth:`nbytes` length."""
+        return self._bits.to_bytes(self.nbytes(), "little")
+
+    @classmethod
+    def from_bytes(cls, width: int, data: bytes) -> "Bitset":
+        """Inverse of :meth:`to_bytes`."""
+        return cls(width, int.from_bytes(data, "little"))
+
+    @classmethod
+    def from_indices(cls, width: int, indices) -> "Bitset":
+        """Build a bitset with the given bit positions set."""
+        bits = 0
+        for index in indices:
+            if not 0 <= index < width:
+                raise IndexError(f"bit index {index} out of range [0, {width})")
+            bits |= 1 << index
+        return cls(width, bits)
+
+    def indices(self):
+        """Yield the positions of set bits in increasing order."""
+        bits = self._bits
+        position = 0
+        while bits:
+            if bits & 1:
+                yield position
+            bits >>= 1
+            position += 1
+
+    def __and__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        return Bitset(self._width, self._bits & other._bits)
+
+    def __or__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        return Bitset(self._width, self._bits | other._bits)
+
+    def __xor__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        return Bitset(self._width, self._bits ^ other._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitset):
+            return NotImplemented
+        return self._width == other._width and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._bits))
+
+    def __len__(self) -> int:
+        return self._width
+
+    def __repr__(self) -> str:
+        return f"Bitset(width={self._width}, popcount={self.popcount()})"
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._width:
+            raise IndexError(f"bit index {index} out of range [0, {self._width})")
+
+    def _check_width(self, other: "Bitset") -> None:
+        if self._width != other._width:
+            raise ValueError(
+                f"width mismatch: {self._width} vs {other._width}"
+            )

@@ -1,0 +1,125 @@
+"""Cooperative time and memory budgets — the paper's experiment limits.
+
+The paper terminated any index build or query batch exceeding 8 hours
+and reported the method as failed for that configuration (its
+"breaking point").  Grapes additionally failed on very large datasets
+by *memory* — "excessive memory usage ... leading to thrashing even in
+our 128GB RAM host" (§5.2.4).  We reproduce both failure modes
+cooperatively: long loops poll a shared :class:`Budget`, which raises
+:class:`BudgetExceeded` once the wall-clock allowance is spent, and
+index builds report their running size through :meth:`Budget.check_memory`,
+which raises :class:`MemoryBudgetExceeded` past the byte allowance.
+The experiment runner catches either and records a missing data point,
+exactly as the paper's figures show truncated curves.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Budget", "BudgetExceeded", "MemoryBudgetExceeded"]
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised when an operation overruns its time budget."""
+
+    def __init__(self, limit_seconds: float, phase: str = "") -> None:
+        where = f" during {phase}" if phase else ""
+        super().__init__(f"time budget of {limit_seconds:.3f}s exceeded{where}")
+        self.limit_seconds = limit_seconds
+        self.phase = phase
+
+
+class MemoryBudgetExceeded(BudgetExceeded):
+    """Raised when an index grows past its memory allowance."""
+
+    def __init__(self, limit_bytes: int, observed_bytes: int, phase: str = "") -> None:
+        where = f" during {phase}" if phase else ""
+        RuntimeError.__init__(
+            self,
+            f"memory budget of {limit_bytes} bytes exceeded"
+            f" ({observed_bytes} bytes estimated){where}",
+        )
+        self.limit_bytes = limit_bytes
+        self.observed_bytes = observed_bytes
+        self.phase = phase
+
+
+class Budget:
+    """Wall-clock (and optional memory) allowances, polled cooperatively.
+
+    Parameters
+    ----------
+    seconds:
+        The time allowance.  ``None`` or ``float('inf')`` means
+        unlimited (polling becomes a no-op).
+    max_bytes:
+        Optional memory allowance for index construction; checked only
+        where builders call :meth:`check_memory` with their running
+        size estimate.
+    phase:
+        Optional description included in the exception message.
+
+    Examples
+    --------
+    >>> budget = Budget(seconds=None)
+    >>> budget.check()          # unlimited: never raises
+    >>> budget.exceeded
+    False
+    """
+
+    __slots__ = ("seconds", "max_bytes", "phase", "_deadline", "_start")
+
+    def __init__(
+        self,
+        seconds: float | None = None,
+        max_bytes: int | None = None,
+        phase: str = "",
+    ) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError(f"budget must be non-negative, got {seconds}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        self.seconds = seconds
+        self.max_bytes = max_bytes
+        self.phase = phase
+        self._start = time.perf_counter()
+        self._deadline = None if seconds is None else self._start + seconds
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceeded` if the time allowance is spent."""
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise BudgetExceeded(self.seconds or 0.0, self.phase)
+
+    def check_memory(self, estimated_bytes: int) -> None:
+        """Raise :class:`MemoryBudgetExceeded` past the byte allowance.
+
+        Builders call this with a *cheap running estimate* of their
+        index payload (exact deep sizing on every poll would dominate
+        build time); the estimate only needs to track growth.
+        """
+        if self.max_bytes is not None and estimated_bytes > self.max_bytes:
+            raise MemoryBudgetExceeded(self.max_bytes, estimated_bytes, self.phase)
+
+    @property
+    def exceeded(self) -> bool:
+        """True iff the allowance is spent (without raising)."""
+        return self._deadline is not None and time.perf_counter() > self._deadline
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unlimited, never below zero)."""
+        if self._deadline is None:
+            return float("inf")
+        return max(0.0, self._deadline - time.perf_counter())
+
+    def elapsed(self) -> float:
+        """Seconds since the budget started."""
+        return time.perf_counter() - self._start
+
+    def restarted(self, phase: str | None = None) -> "Budget":
+        """A fresh budget with the same allowances (new deadline)."""
+        return Budget(
+            self.seconds,
+            max_bytes=self.max_bytes,
+            phase=self.phase if phase is None else phase,
+        )

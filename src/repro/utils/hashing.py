@@ -1,0 +1,45 @@
+"""Deterministic hashing of feature canonical labels.
+
+CT-Index maps canonical feature labels to fingerprint bit positions and
+gCode maps vertex/neighbor labels to counter buckets.  Python's built-in
+``hash`` is randomized per process for strings, so indexes built in one
+process would not match queries hashed in another.  We therefore hash
+through BLAKE2b, which is stable, fast, and lets us derive as many
+independent bit positions as needed from one digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["stable_hash", "hash_positions"]
+
+
+def stable_hash(obj: object, *, salt: bytes = b"") -> int:
+    """A process-independent 64-bit hash of ``repr(obj)``.
+
+    The representation of canonical labels (tuples of strings/ints) is
+    unambiguous, so hashing the ``repr`` is collision-safe up to the
+    64-bit output width.
+    """
+    digest = hashlib.blake2b(repr(obj).encode("utf-8"), digest_size=8, salt=salt)
+    return int.from_bytes(digest.digest(), "little")
+
+
+def hash_positions(obj: object, width: int, count: int) -> list[int]:
+    """Derive *count* bit positions in ``[0, width)`` for *obj*.
+
+    Used by CT-Index to set ``count`` fingerprint bits per feature
+    (a Bloom-filter-style encoding).  Positions are derived from
+    independent BLAKE2b salts, so they are uncorrelated across ``i``.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    payload = repr(obj).encode("utf-8")
+    positions = []
+    for i in range(count):
+        digest = hashlib.blake2b(payload, digest_size=8, salt=i.to_bytes(2, "little") + b"ct")
+        positions.append(int.from_bytes(digest.digest(), "little") % width)
+    return positions

@@ -1,0 +1,35 @@
+"""Seeded random-number helpers.
+
+Every randomized component (GraphGen, dataset stand-ins, query walks)
+accepts either a seed or a :class:`random.Random`; these helpers
+normalize the two and derive independent child streams so that parallel
+generators stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a :class:`random.Random` for *seed*.
+
+    Accepts an existing ``Random`` (returned unchanged), an integer seed,
+    or ``None`` (fresh OS-seeded generator).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_rngs(rng: random.Random, count: int) -> list[random.Random]:
+    """Derive *count* independent, reproducible child generators.
+
+    Children are seeded from the parent stream, so two runs with the same
+    parent seed produce identical children regardless of interleaving.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [random.Random(rng.getrandbits(64)) for _ in range(count)]

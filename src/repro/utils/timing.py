@@ -1,0 +1,44 @@
+"""Wall-clock timing helpers used by the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        """Reset the stopwatch and start timing again."""
+        self.elapsed = 0.0
+        self._start = time.perf_counter()
+
+    def lap(self) -> float:
+        """Seconds since the timer was (re)started, without stopping it."""
+        if self._start is None:
+            raise RuntimeError("Timer has not been started")
+        return time.perf_counter() - self._start

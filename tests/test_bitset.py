@@ -1,0 +1,167 @@
+"""Unit tests for repro.utils.bitset."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitset import Bitset
+
+
+class TestConstruction:
+    def test_new_bitset_is_empty(self):
+        assert Bitset(64).popcount() == 0
+
+    def test_width_is_recorded(self):
+        assert Bitset(4096).width == 4096
+
+    def test_len_matches_width(self):
+        assert len(Bitset(128)) == 128
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Bitset(0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Bitset(-5)
+
+    def test_initial_value_accepted(self):
+        assert Bitset(8, 0b1010).popcount() == 2
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(ValueError):
+            Bitset(4, 0b10000)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            Bitset(4, -1)
+
+    def test_from_indices(self):
+        bits = Bitset.from_indices(16, [0, 3, 15])
+        assert bits.test(0) and bits.test(3) and bits.test(15)
+        assert bits.popcount() == 3
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bitset.from_indices(8, [8])
+
+
+class TestBitOperations:
+    def test_set_and_test(self):
+        bits = Bitset(32)
+        bits.set(7)
+        assert bits.test(7)
+        assert not bits.test(6)
+
+    def test_set_is_idempotent(self):
+        bits = Bitset(32)
+        bits.set(5)
+        bits.set(5)
+        assert bits.popcount() == 1
+
+    def test_clear(self):
+        bits = Bitset(32)
+        bits.set(3)
+        bits.clear(3)
+        assert not bits.test(3)
+
+    def test_clear_unset_bit_is_noop(self):
+        bits = Bitset(32)
+        bits.clear(3)
+        assert bits.popcount() == 0
+
+    def test_index_bounds(self):
+        bits = Bitset(8)
+        with pytest.raises(IndexError):
+            bits.set(8)
+        with pytest.raises(IndexError):
+            bits.test(-1)
+
+    def test_indices_roundtrip(self):
+        positions = [1, 5, 6, 31]
+        bits = Bitset.from_indices(32, positions)
+        assert list(bits.indices()) == positions
+
+
+class TestContainment:
+    """The CT-Index filtering operation."""
+
+    def test_contains_empty(self):
+        assert Bitset(16, 0b1011).contains(Bitset(16))
+
+    def test_contains_subset(self):
+        assert Bitset(16, 0b1011).contains(Bitset(16, 0b0011))
+
+    def test_contains_itself(self):
+        bits = Bitset(16, 0b1011)
+        assert bits.contains(bits)
+
+    def test_does_not_contain_superset(self):
+        assert not Bitset(16, 0b0011).contains(Bitset(16, 0b1011))
+
+    def test_disjoint_not_contained(self):
+        assert not Bitset(16, 0b0011).contains(Bitset(16, 0b0100))
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Bitset(16).contains(Bitset(8))
+
+
+class TestOperators:
+    def test_and(self):
+        assert (Bitset(8, 0b1100) & Bitset(8, 0b0110)).value == 0b0100
+
+    def test_or(self):
+        assert (Bitset(8, 0b1100) | Bitset(8, 0b0110)).value == 0b1110
+
+    def test_xor(self):
+        assert (Bitset(8, 0b1100) ^ Bitset(8, 0b0110)).value == 0b1010
+
+    def test_equality(self):
+        assert Bitset(8, 3) == Bitset(8, 3)
+        assert Bitset(8, 3) != Bitset(8, 4)
+        assert Bitset(8, 3) != Bitset(16, 3)
+
+    def test_hashable(self):
+        assert len({Bitset(8, 3), Bitset(8, 3), Bitset(8, 4)}) == 2
+
+    def test_operators_do_not_mutate(self):
+        left, right = Bitset(8, 0b1100), Bitset(8, 0b0110)
+        _ = left & right
+        assert left.value == 0b1100 and right.value == 0b0110
+
+
+class TestSerialization:
+    def test_bytes_roundtrip(self):
+        bits = Bitset.from_indices(100, [0, 64, 99])
+        assert Bitset.from_bytes(100, bits.to_bytes()) == bits
+
+    def test_nbytes_rounds_up(self):
+        assert Bitset(9).nbytes() == 2
+        assert Bitset(8).nbytes() == 1
+
+    def test_saturation(self):
+        bits = Bitset.from_indices(10, range(5))
+        assert bits.saturation() == pytest.approx(0.5)
+
+    def test_copy_is_independent(self):
+        bits = Bitset(8)
+        duplicate = bits.copy()
+        duplicate.set(1)
+        assert bits.popcount() == 0
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=255), max_size=40),
+    st.sets(st.integers(min_value=0, max_value=255), max_size=40),
+)
+def test_contains_agrees_with_set_inclusion(a, b):
+    """Property: fingerprint containment == set inclusion of bit indices."""
+    bits_a = Bitset.from_indices(256, a)
+    bits_b = Bitset.from_indices(256, b)
+    assert bits_a.contains(bits_b) == (b <= a)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=63), max_size=20))
+def test_popcount_matches_index_count(indices):
+    assert Bitset.from_indices(64, indices).popcount() == len(indices)

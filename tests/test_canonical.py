@@ -1,0 +1,152 @@
+"""Unit tests for canonical labels: order, paths, cycles, trees."""
+
+import pytest
+
+from repro.canonical.cycles import cycle_canonical
+from repro.canonical.order import label_key
+from repro.canonical.paths import path_canonical
+from repro.canonical.trees import tree_canonical, tree_canonical_rooted, tree_centers
+from repro.graphs.graph import Graph
+
+from conftest import path_graph, star_graph
+
+
+class TestLabelKey:
+    def test_orders_strings(self):
+        assert label_key("A") < label_key("B")
+
+    def test_orders_ints(self):
+        assert label_key(2) < label_key(10)
+
+    def test_mixed_types_do_not_raise(self):
+        assert sorted([3, "a", 1, "b"], key=label_key)
+
+    def test_bool_distinct_from_int(self):
+        assert label_key(True) != label_key(1)
+
+    def test_deterministic(self):
+        assert label_key(("t", 1)) == label_key(("t", 1))
+
+
+class TestPathCanonical:
+    def test_direction_invariance(self):
+        assert path_canonical("CON") == path_canonical("NOC")
+
+    def test_picks_smaller_reading(self):
+        assert path_canonical(["N", "O", "C"]) == ("C", "O", "N")
+
+    def test_palindrome(self):
+        assert path_canonical("ABA") == ("A", "B", "A")
+
+    def test_single_label(self):
+        assert path_canonical(["X"]) == ("X",)
+
+    def test_distinct_paths_distinct_labels(self):
+        assert path_canonical("AAB") != path_canonical("ABA")
+
+    def test_int_labels(self):
+        assert path_canonical([3, 1, 2]) == (2, 1, 3)
+
+
+class TestCycleCanonical:
+    def test_rotation_invariance(self):
+        assert cycle_canonical("ABC") == cycle_canonical("BCA") == cycle_canonical("CAB")
+
+    def test_reflection_invariance(self):
+        assert cycle_canonical("ABC") == cycle_canonical("CBA")
+
+    def test_canonical_is_minimal_rotation(self):
+        assert cycle_canonical("CAB") == ("A", "B", "C")
+
+    def test_distinct_necklaces_differ(self):
+        # AABB vs ABAB are different cyclic sequences.
+        assert cycle_canonical("AABB") != cycle_canonical("ABAB")
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_canonical("AB")
+
+    def test_uniform_cycle(self):
+        assert cycle_canonical("AAAA") == ("A", "A", "A", "A")
+
+
+class TestTreeCenters:
+    def test_path_even_has_two_centers(self):
+        adjacency = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+        assert tree_centers(adjacency) == [1, 2]
+
+    def test_path_odd_has_one_center(self):
+        adjacency = {0: {1}, 1: {0, 2}, 2: {1}}
+        assert tree_centers(adjacency) == [1]
+
+    def test_star_center(self):
+        adjacency = {0: {1, 2, 3}, 1: {0}, 2: {0}, 3: {0}}
+        assert tree_centers(adjacency) == [0]
+
+    def test_single_edge(self):
+        assert tree_centers({0: {1}, 1: {0}}) == [0, 1]
+
+
+class TestTreeCanonical:
+    def test_invariant_under_vertex_renumbering(self):
+        host = star_graph("C", "HHO")
+        edges = list(host.edges())
+        permuted = host.relabeled([3, 0, 1, 2])
+        assert tree_canonical(host, edges) == tree_canonical(
+            permuted, list(permuted.edges())
+        )
+
+    def test_distinguishes_star_from_path(self):
+        star = star_graph("A", "AAA")
+        path = path_graph("AAAA")
+        assert tree_canonical(star, list(star.edges())) != tree_canonical(
+            path, list(path.edges())
+        )
+
+    def test_distinguishes_labelings(self):
+        a = path_graph("AAB")
+        b = path_graph("ABA")
+        assert tree_canonical(a, list(a.edges())) != tree_canonical(
+            b, list(b.edges())
+        )
+
+    def test_same_tree_from_either_direction(self):
+        path = path_graph("ABC")
+        assert tree_canonical(path, [(0, 1), (1, 2)]) == tree_canonical(
+            path.relabeled([2, 1, 0]), [(2, 1), (1, 0)]
+        )
+
+    def test_subset_of_host_edges(self):
+        host = Graph("ABCD", [(0, 1), (1, 2), (2, 3), (0, 3)])
+        canonical = tree_canonical(host, [(0, 1), (1, 2)])
+        path = path_graph("ABC")
+        assert canonical == tree_canonical(path, [(0, 1), (1, 2)])
+
+    def test_cyclic_edge_set_rejected(self):
+        host = Graph("AAA", [(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(ValueError):
+            tree_canonical(host, list(host.edges()))
+
+    def test_disconnected_edge_set_rejected(self):
+        host = Graph("AAAA", [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            tree_canonical(host, [(0, 1), (2, 3)])
+
+    def test_empty_edge_set_rejected(self):
+        with pytest.raises(ValueError):
+            tree_canonical(Graph(["A"]), [])
+
+    def test_rooted_single_vertex(self):
+        host = Graph(["Q"])
+        assert tree_canonical_rooted(host, [], root=0) == ("Q", ())
+
+    def test_rooted_differs_by_root(self):
+        # Rooting A-B at A vs at B gives different rooted encodings.
+        host = path_graph("AB")
+        at_a = tree_canonical_rooted(host, [(0, 1)], root=0)
+        at_b = tree_canonical_rooted(host, [(0, 1)], root=1)
+        assert at_a != at_b
+
+    def test_rooted_invalid_root_rejected(self):
+        with pytest.raises(ValueError):
+            tree_canonical_rooted(path_graph("AB"), [(0, 1)], root=7)

@@ -1,0 +1,65 @@
+"""CLI sweep/report end-to-end with a tiny injected profile."""
+
+from dataclasses import replace
+
+import pytest
+
+import repro.cli.commands as commands
+from repro.cli import main
+from repro.core.presets import CI_PROFILE
+
+
+@pytest.fixture()
+def tiny_profile(monkeypatch):
+    profile = replace(
+        CI_PROFILE,
+        nodes_values=(8, 12),
+        graph_count_values=(6, 10),
+        default_num_graphs=8,
+        default_nodes=10,
+        default_density=0.2,
+        default_labels=3,
+        query_sizes=(3,),
+        queries_per_size=2,
+        build_budget_seconds=10.0,
+        query_budget_seconds=10.0,
+        real_dataset_scale=0.01,
+        real_dataset_names=("PCM",),
+        method_configs={"ggsx": {"max_path_edges": 2}},
+    )
+    monkeypatch.setattr(commands, "active_profile", lambda: profile)
+    return profile
+
+
+class TestSweepCommand:
+    def test_nodes_sweep_renders(self, tiny_profile, capsys):
+        assert main(["sweep", "nodes"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out and "ggsx" in out
+
+    def test_sweep_with_plot(self, tiny_profile, capsys):
+        assert main(["sweep", "nodes", "--plot"]) == 0
+        assert "log-y" in capsys.readouterr().out
+
+    def test_sweep_writes_outputs(self, tiny_profile, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        json_path = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "graphs", "--out", str(out_dir), "--json", str(json_path)]
+        )
+        assert code == 0
+        assert (out_dir / "fig6_graphs.txt").exists()
+        assert json_path.exists()
+
+    def test_sweep_then_report_roundtrip(self, tiny_profile, tmp_path, capsys):
+        json_path = tmp_path / "sweep.json"
+        main(["sweep", "nodes", "--json", str(json_path)])
+        capsys.readouterr()  # discard sweep output
+        assert main(["report", str(json_path), "--figure", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(c)" in out
+
+    def test_real_sweep_includes_table1(self, tiny_profile, capsys):
+        assert main(["sweep", "real"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "PCM" in out

@@ -1,0 +1,284 @@
+"""Tests for the evaluation core: metrics, runner, experiments, report."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.experiments import (
+    SweepResult,
+    density_sweep,
+    graph_count_sweep,
+    labels_sweep,
+    nodes_sweep,
+    real_dataset_experiment,
+)
+from repro.core.metrics import false_positive_ratio, summarize_results
+from repro.core.presets import CI_PROFILE, PAPER_PROFILE, active_profile
+from repro.core.report import (
+    breaking_point,
+    ordering_fraction,
+    render_series_table,
+    render_sweep,
+    render_table1,
+    series_values,
+)
+from repro.core.runner import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    evaluate_method,
+    make_method,
+)
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.indexes.base import QueryResult
+
+
+def _result(candidates, answers):
+    return QueryResult(
+        candidates=frozenset(candidates),
+        answers=frozenset(answers),
+        filter_seconds=0.25,
+        verify_seconds=0.75,
+    )
+
+
+class TestMetrics:
+    def test_fp_ratio_single_query(self):
+        # Eq. (3): (|C| - |A|) / |C|.
+        assert _result({1, 2, 3, 4}, {1}).false_positive_ratio == pytest.approx(0.75)
+
+    def test_fp_ratio_empty_candidates(self):
+        assert _result(set(), set()).false_positive_ratio == 0.0
+
+    def test_fp_ratio_is_mean_of_per_query_ratios(self):
+        results = [_result({1, 2}, {1}), _result({1, 2, 3, 4}, {1, 2, 3, 4})]
+        # (0.5 + 0.0) / 2, not (2 + 0) / (2 + 4).
+        assert false_positive_ratio(results) == pytest.approx(0.25)
+
+    def test_fp_ratio_empty_workload(self):
+        assert false_positive_ratio([]) == 0.0
+
+    def test_summarize(self):
+        stats = summarize_results([_result({1, 2}, {1}), _result({3}, {3})])
+        assert stats.num_queries == 2
+        assert stats.avg_candidates == pytest.approx(1.5)
+        assert stats.avg_answers == pytest.approx(1.0)
+        assert stats.avg_query_seconds == pytest.approx(1.0)
+        assert stats.avg_filter_seconds == pytest.approx(0.25)
+        assert stats.false_positive_ratio == pytest.approx(0.25)
+
+    def test_summarize_empty(self):
+        assert summarize_results([]).num_queries == 0
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    config = GraphGenConfig(
+        num_graphs=15, mean_nodes=10, mean_density=0.25, num_labels=3, nodes_stddev=2
+    )
+    return generate_dataset(config, seed=33)
+
+
+@pytest.fixture(scope="module")
+def small_workloads(small_dataset):
+    return {4: generate_queries(small_dataset, 3, 4, seed=0)}
+
+
+class TestRunner:
+    def test_make_method_known(self):
+        index = make_method("ggsx", {"max_path_edges": 2})
+        assert index.max_path_edges == 2
+
+    def test_make_method_unknown(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            make_method("btree")
+
+    def test_ok_cell(self, small_dataset, small_workloads):
+        cell = evaluate_method(
+            "ggsx",
+            small_dataset,
+            small_workloads,
+            method_config={"max_path_edges": 2},
+        )
+        assert cell.build_status == STATUS_OK
+        assert cell.build_seconds > 0.0
+        assert cell.index_bytes > 0
+        assert cell.per_size[4].status == STATUS_OK
+        assert cell.query_seconds() > 0.0
+        assert 0.0 <= cell.fp_ratio() <= 1.0
+
+    def test_build_timeout_recorded(self, small_dataset, small_workloads):
+        cell = evaluate_method(
+            "gindex",
+            small_dataset,
+            small_workloads,
+            build_budget_seconds=0.0,
+        )
+        assert cell.build_status == STATUS_TIMEOUT
+        assert cell.build_seconds is None
+        assert cell.query_seconds() is None
+
+    def test_query_timeout_recorded(self, small_dataset, small_workloads):
+        cell = evaluate_method(
+            "ggsx",
+            small_dataset,
+            small_workloads,
+            method_config={"max_path_edges": 2},
+            query_budget_seconds=0.0,
+        )
+        assert cell.build_status == STATUS_OK
+        assert cell.per_size[4].status == STATUS_TIMEOUT
+        assert cell.query_seconds() is None
+
+    def test_per_size_accessor(self, small_dataset, small_workloads):
+        cell = evaluate_method(
+            "naive", small_dataset, small_workloads
+        )
+        assert cell.query_seconds_for(4) is not None
+        assert cell.query_seconds_for(99) is None
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return replace(
+        CI_PROFILE,
+        nodes_values=(8, 12),
+        density_values=(0.15, 0.25),
+        label_values=(2, 4),
+        graph_count_values=(8, 16),
+        default_num_graphs=10,
+        default_nodes=10,
+        default_density=0.2,
+        default_labels=3,
+        query_sizes=(3,),
+        queries_per_size=2,
+        build_budget_seconds=10.0,
+        query_budget_seconds=10.0,
+        real_dataset_scale=0.01,
+        real_dataset_names=("AIDS",),
+        method_configs={
+            "ggsx": {"max_path_edges": 2},
+            "ctindex": {"fingerprint_bits": 256, "feature_edges": 2},
+        },
+    )
+
+
+class TestSweeps:
+    def test_nodes_sweep_structure(self, tiny_profile):
+        sweep = nodes_sweep(tiny_profile)
+        assert sweep.x_values == [8, 12]
+        assert sweep.methods == ["ggsx", "ctindex"]
+        assert set(sweep.cells) == {
+            (x, m) for x in (8, 12) for m in ("ggsx", "ctindex")
+        }
+
+    def test_series_projections(self, tiny_profile):
+        sweep = nodes_sweep(tiny_profile)
+        times = sweep.indexing_time()
+        assert set(times) == {"ggsx", "ctindex"}
+        for points in times.values():
+            assert len(points) == 2
+            assert all(value is None or value >= 0.0 for _, value in points)
+        sizes = sweep.index_size_mb()
+        assert all(v > 0 for _, v in sizes["ggsx"])
+
+    def test_density_sweep_runs(self, tiny_profile):
+        sweep = density_sweep(tiny_profile, methods=["ggsx"])
+        assert sweep.x_name == "density"
+        assert series_values(sweep.query_time(), "ggsx")
+
+    def test_labels_sweep_runs(self, tiny_profile):
+        sweep = labels_sweep(tiny_profile, methods=["ggsx"])
+        assert sweep.x_values == [2, 4]
+
+    def test_graph_count_sweep_runs(self, tiny_profile):
+        sweep = graph_count_sweep(tiny_profile, methods=["ggsx"])
+        stats = sweep.dataset_stats
+        assert stats[8].num_graphs == 8
+        assert stats[16].num_graphs == 16
+
+    def test_real_dataset_experiment(self, tiny_profile):
+        result = real_dataset_experiment(tiny_profile)
+        assert result.x_values == ["AIDS"]
+        assert result.dataset_stats["AIDS"].num_graphs >= 5
+
+    def test_progress_hook_called(self, tiny_profile):
+        seen = []
+        nodes_sweep(tiny_profile, methods=["ggsx"], progress=seen.append)
+        assert len(seen) == 2
+
+    def test_explicit_values_override_profile(self, tiny_profile):
+        sweep = nodes_sweep(tiny_profile, methods=["ggsx"], values=[9])
+        assert sweep.x_values == [9]
+
+
+class TestReport:
+    def _series(self):
+        return {
+            "ggsx": [(10, 0.5), (20, 1.0)],
+            "gindex": [(10, 2.0), (20, None)],
+        }
+
+    def test_render_series_table(self):
+        table = render_series_table("Figure X", self._series(), "nodes")
+        assert "Figure X" in table
+        assert "ggsx" in table and "gindex" in table
+        assert "—" in table  # missing data point marker
+
+    def test_render_sweep_contains_all_subfigures(self, tiny_profile):
+        sweep = nodes_sweep(tiny_profile, methods=["ggsx"])
+        text = render_sweep(sweep, "2")
+        for panel in ("2(a)", "2(b)", "2(c)", "2(d)"):
+            assert panel in text
+
+    def test_render_table1(self, tiny_profile):
+        result = real_dataset_experiment(tiny_profile, methods=["ggsx"])
+        table = render_table1(result.dataset_stats)
+        assert "Table 1" in table and "AIDS" in table
+
+    def test_ordering_fraction(self):
+        series = self._series()
+        assert ordering_fraction(series, ["ggsx"], ["gindex"]) == 1.0
+        assert ordering_fraction(series, ["gindex"], ["ggsx"]) == 0.0
+
+    def test_ordering_fraction_ignores_missing(self):
+        series = {"a": [(1, None)], "b": [(1, 5.0)]}
+        assert ordering_fraction(series, ["a"], ["b"]) == 1.0  # vacuous
+
+    def test_breaking_point(self):
+        series = self._series()
+        assert breaking_point(series, "gindex") == 20
+        assert breaking_point(series, "ggsx") is None
+
+    def test_series_values(self):
+        assert series_values(self._series(), "gindex") == [2.0]
+
+
+class TestProfiles:
+    def test_paper_profile_matches_section_4(self):
+        assert PAPER_PROFILE.default_nodes == 200
+        assert PAPER_PROFILE.default_density == 0.025
+        assert PAPER_PROFILE.default_labels == 20
+        assert PAPER_PROFILE.default_num_graphs == 1000
+        assert PAPER_PROFILE.query_sizes == (4, 8, 16, 32)
+        assert PAPER_PROFILE.build_budget_seconds == 8 * 3600.0
+        assert PAPER_PROFILE.method_configs["gindex"]["max_fragment_edges"] == 10
+        assert PAPER_PROFILE.method_configs["grapes"]["workers"] == 6
+        assert PAPER_PROFILE.method_configs["ctindex"]["fingerprint_bits"] == 4096
+
+    def test_sweep_grids_match_paper(self):
+        assert PAPER_PROFILE.nodes_values[0] == 50
+        assert PAPER_PROFILE.nodes_values[-1] == 2000
+        assert 0.005 in PAPER_PROFILE.density_values
+        assert 0.3 in PAPER_PROFILE.density_values
+        assert PAPER_PROFILE.graph_count_values[-1] == 100000
+
+    def test_active_profile_env_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert active_profile().name == "ci"
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert active_profile().name == "paper"
+
+    def test_ci_profile_covers_same_methods(self):
+        assert set(CI_PROFILE.method_configs) == set(PAPER_PROFILE.method_configs)

@@ -1,0 +1,148 @@
+"""Unit tests for GraphDataset, statistics (Table 1) and text I/O."""
+
+import math
+
+import pytest
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph, GraphError
+from repro.graphs.io import dumps_dataset, loads_dataset, read_dataset, write_dataset
+from repro.graphs.statistics import dataset_statistics, graph_statistics
+
+from conftest import path_graph, triangle
+
+
+class TestDataset:
+    def test_add_assigns_dense_ids(self):
+        dataset = GraphDataset()
+        ids = [dataset.add(path_graph("AB")) for _ in range(3)]
+        assert ids == [0, 1, 2]
+        assert dataset[1].graph_id == 1
+
+    def test_constructor_reassigns_ids(self):
+        existing = path_graph("AB")
+        existing.graph_id = 99
+        dataset = GraphDataset([existing])
+        assert dataset[0].graph_id == 0
+
+    def test_len_and_iteration(self):
+        dataset = GraphDataset([path_graph("AB"), triangle()])
+        assert len(dataset) == 2
+        assert [g.order for g in dataset] == [2, 3]
+
+    def test_all_ids_fresh_set(self):
+        dataset = GraphDataset([path_graph("AB")])
+        ids = dataset.all_ids()
+        ids.add(99)
+        assert dataset.all_ids() == {0}
+
+    def test_distinct_labels_union(self):
+        dataset = GraphDataset([path_graph("AB"), path_graph("BC")])
+        assert dataset.distinct_labels() == {"A", "B", "C"}
+
+    def test_totals(self):
+        dataset = GraphDataset([path_graph("AB"), triangle()])
+        assert dataset.total_vertices() == 5
+        assert dataset.total_edges() == 4
+
+    def test_subset_re_densifies_ids(self):
+        dataset = GraphDataset([path_graph("AB"), triangle(), path_graph("CD")])
+        subset = dataset.subset([2, 0])
+        assert len(subset) == 2
+        assert subset[0].label(0) == "C"
+        assert subset[0].graph_id == 0
+
+    def test_name_in_repr(self):
+        assert "demo" in repr(GraphDataset(name="demo"))
+
+
+class TestGraphStatistics:
+    def test_per_graph_bundle(self):
+        stats = graph_statistics(triangle("ABC"))
+        assert stats.num_vertices == 3
+        assert stats.num_edges == 3
+        assert stats.density == pytest.approx(1.0)
+        assert stats.average_degree == pytest.approx(2.0)
+        assert stats.num_distinct_labels == 3
+        assert stats.is_connected
+
+    def test_dataset_statistics_counts(self):
+        dataset = GraphDataset(
+            [path_graph("AB"), Graph("AB"), triangle("AAA")], name="mini"
+        )
+        stats = dataset_statistics(dataset)
+        assert stats.num_graphs == 3
+        assert stats.num_disconnected == 1
+        assert stats.num_labels == 2
+        assert stats.avg_vertices == pytest.approx((2 + 2 + 3) / 3)
+        assert stats.avg_edges == pytest.approx((1 + 0 + 3) / 3)
+
+    def test_std_vertices(self):
+        dataset = GraphDataset([Graph(["A"] * 2), Graph(["A"] * 4)])
+        stats = dataset_statistics(dataset)
+        assert stats.std_vertices == pytest.approx(1.0)
+        assert not math.isnan(stats.std_vertices)
+
+    def test_empty_dataset_reports_zeros(self):
+        stats = dataset_statistics(GraphDataset(name="empty"))
+        assert stats.num_graphs == 0
+        assert stats.avg_density == 0.0
+
+    def test_as_row_has_table1_columns(self):
+        row = dataset_statistics(GraphDataset([triangle()], name="t")).as_row()
+        for column in ("#graphs", "#labels", "avg #nodes", "avg density", "avg degree"):
+            assert column in row
+
+    def test_name_override(self):
+        stats = dataset_statistics(GraphDataset(name="x"), name="AIDS")
+        assert stats.name == "AIDS"
+
+
+class TestIO:
+    def make_dataset(self):
+        return GraphDataset([path_graph("ABC"), triangle("XYZ"), Graph(["Q"])])
+
+    def test_roundtrip_string(self):
+        dataset = self.make_dataset()
+        restored = loads_dataset(dumps_dataset(dataset))
+        assert len(restored) == len(dataset)
+        for original, loaded in zip(dataset, restored):
+            assert loaded.order == original.order
+            assert sorted(loaded.edges()) == sorted(original.edges())
+            assert list(loaded.labels) == [str(l) for l in original.labels]
+
+    def test_roundtrip_file(self, tmp_path):
+        dataset = self.make_dataset()
+        path = tmp_path / "mini.gfd"
+        write_dataset(dataset, path)
+        restored = read_dataset(path)
+        assert len(restored) == 3
+        assert restored.name == "mini"
+
+    def test_empty_dataset_roundtrip(self):
+        assert len(loads_dataset(dumps_dataset(GraphDataset()))) == 0
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(GraphError):
+            loads_dataset("3\nA\nB\nC\n0\n")
+
+    def test_bad_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            loads_dataset("#0\nnot_a_number\n")
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(GraphError):
+            loads_dataset("#0\n2\nA\n")
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(GraphError):
+            loads_dataset("#0\n2\nA\nB\n1\n0 1 2\n")
+
+    def test_non_integer_edge_rejected(self):
+        with pytest.raises(GraphError):
+            loads_dataset("#0\n2\nA\nB\n1\nx y\n")
+
+    def test_blank_lines_tolerated(self):
+        text = "#0\n\n2\nA\n\nB\n1\n0 1\n\n"
+        dataset = loads_dataset(text)
+        assert dataset[0].size == 1

@@ -1,0 +1,125 @@
+"""Unit and randomized tests for gSpan minimum DFS codes."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.canonical.dfscode import (
+    dfs_code_graph,
+    is_min_dfs_code,
+    min_dfs_code,
+    rightmost_path,
+)
+from repro.graphs.graph import Graph, GraphError
+
+from conftest import (
+    cycle_graph,
+    nx_label_match,
+    path_graph,
+    random_graph,
+    to_networkx,
+    triangle,
+)
+
+
+class TestMinDfsCode:
+    def test_single_edge(self):
+        assert min_dfs_code(path_graph("AB")) == ((0, 1, "A", "B"),)
+
+    def test_single_edge_label_order(self):
+        # The smaller label always comes first.
+        assert min_dfs_code(path_graph("BA")) == ((0, 1, "A", "B"),)
+
+    def test_triangle_has_backward_edge(self):
+        code = min_dfs_code(triangle("AAA"))
+        assert code == ((0, 1, "A", "A"), (1, 2, "A", "A"), (2, 0, "A", "A"))
+
+    def test_path_code(self):
+        code = min_dfs_code(path_graph("ABC"))
+        assert code == ((0, 1, "A", "B"), (1, 2, "B", "C"))
+
+    def test_invariant_under_relabeling_examples(self):
+        graph = Graph("ABAC", [(0, 1), (1, 2), (2, 3), (0, 3)])
+        for permutation in itertools.permutations(range(4)):
+            assert min_dfs_code(graph.relabeled(list(permutation))) == min_dfs_code(
+                graph
+            )
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(GraphError):
+            min_dfs_code(Graph(["A"]))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            min_dfs_code(Graph("AABB", [(0, 1), (2, 3)]))
+
+
+class TestRandomizedInvariance:
+    def test_relabeling_invariance(self, rng):
+        for _ in range(120):
+            graph = random_graph(rng, 2, 6, connected=True)
+            permutation = list(range(graph.order))
+            rng.shuffle(permutation)
+            assert min_dfs_code(graph) == min_dfs_code(graph.relabeled(permutation))
+
+    def test_code_equality_iff_isomorphic(self, rng):
+        graphs = [random_graph(rng, 2, 5, connected=True) for _ in range(45)]
+        for a, b in itertools.combinations(graphs, 2):
+            same = min_dfs_code(a) == min_dfs_code(b)
+            iso = nx.is_isomorphic(
+                to_networkx(a), to_networkx(b), node_match=nx_label_match
+            )
+            assert same == iso
+
+
+class TestCodeGraphRoundtrip:
+    def test_roundtrip_reconstruction(self, rng):
+        for _ in range(60):
+            graph = random_graph(rng, 2, 6, connected=True)
+            code = min_dfs_code(graph)
+            rebuilt = dfs_code_graph(code)
+            assert min_dfs_code(rebuilt) == code
+            assert rebuilt.order == graph.order and rebuilt.size == graph.size
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(GraphError):
+            dfs_code_graph(())
+
+    def test_inconsistent_labels_rejected(self):
+        with pytest.raises(GraphError):
+            dfs_code_graph(((0, 1, "A", "B"), (1, 2, "X", "C")))
+
+    def test_sparse_indexes_rejected(self):
+        with pytest.raises(GraphError):
+            dfs_code_graph(((0, 5, "A", "B"),))
+
+
+class TestIsMinAndRightmostPath:
+    def test_min_code_is_min(self, rng):
+        for _ in range(40):
+            graph = random_graph(rng, 2, 6, connected=True)
+            assert is_min_dfs_code(min_dfs_code(graph))
+
+    def test_non_minimal_code_detected(self):
+        # Path A-B-C described starting from the wrong end.
+        code = ((0, 1, "C", "B"), (1, 2, "B", "A"))
+        assert not is_min_dfs_code(code)
+
+    def test_rightmost_path_of_path_code(self):
+        code = min_dfs_code(path_graph("ABC"))
+        assert rightmost_path(code) == (0, 1, 2)
+
+    def test_rightmost_path_ignores_backward_edges(self):
+        code = min_dfs_code(triangle())
+        assert rightmost_path(code) == (0, 1, 2)
+
+    def test_rightmost_path_after_branch(self):
+        # Star with distinct leaf labels: code forks at the root.
+        code = min_dfs_code(Graph("ABC", [(0, 1), (0, 2)]))
+        path = rightmost_path(code)
+        assert path[0] == 0
+        assert path[-1] == 2  # last-added leaf is rightmost
+
+    def test_cycle_codes_distinct_from_paths(self):
+        assert min_dfs_code(cycle_graph("AAAA")) != min_dfs_code(path_graph("AAAA"))

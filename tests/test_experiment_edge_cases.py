@@ -1,0 +1,125 @@
+"""Edge cases of the experiment machinery: timeouts in figures,
+infeasible workloads, and method-specific details."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.experiments import nodes_sweep
+from repro.core.presets import CI_PROFILE
+from repro.core.report import breaking_point, render_sweep
+from repro.core.runner import STATUS_TIMEOUT
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.indexes import CTIndex, GCodeIndex, GrapesIndex
+from repro.generators.queries import generate_queries
+
+
+class TestTimeoutsInFigures:
+    @pytest.fixture(scope="class")
+    def strangled_sweep(self):
+        """A sweep where gindex gets an impossible budget, so every
+        point records a build timeout."""
+        profile = replace(
+            CI_PROFILE,
+            nodes_values=(8, 10),
+            default_num_graphs=6,
+            default_nodes=8,
+            default_density=0.25,
+            default_labels=2,
+            query_sizes=(3,),
+            queries_per_size=2,
+            build_budget_seconds=0.0005,
+            query_budget_seconds=5.0,
+            method_configs={
+                "gindex": {"max_fragment_edges": 4, "support_ratio": 0.2},
+            },
+        )
+        return nodes_sweep(profile)
+
+    def test_timeout_recorded_as_missing_point(self, strangled_sweep):
+        series = strangled_sweep.indexing_time()
+        assert all(value is None for _, value in series["gindex"])
+
+    def test_timeout_cells_have_status(self, strangled_sweep):
+        for cell in strangled_sweep.cells.values():
+            assert cell.build_status == STATUS_TIMEOUT
+
+    def test_rendered_figure_shows_missing_marker(self, strangled_sweep):
+        assert "—" in render_sweep(strangled_sweep, "2")
+
+    def test_breaking_point_none_when_never_started(self, strangled_sweep):
+        # Missing from the very first point: no "breaking point" inside
+        # the sweep (the method never produced data to break from).
+        assert breaking_point(strangled_sweep.indexing_time(), "gindex") is None
+
+
+class TestInfeasibleWorkloads:
+    def test_oversized_query_sizes_skipped(self):
+        """Query sizes the dataset cannot produce are dropped from the
+        workloads rather than failing the sweep."""
+        profile = replace(
+            CI_PROFILE,
+            nodes_values=(6,),
+            default_num_graphs=5,
+            default_nodes=6,
+            default_density=0.25,
+            default_labels=2,
+            query_sizes=(2, 500),  # 500-edge queries are impossible
+            queries_per_size=2,
+            build_budget_seconds=10.0,
+            query_budget_seconds=10.0,
+            method_configs={"ggsx": {"max_path_edges": 2}},
+        )
+        sweep = nodes_sweep(profile)
+        cell = sweep.cells[(6, "ggsx")]
+        assert 2 in cell.per_size
+        assert 500 not in cell.per_size
+
+
+class TestMethodDetails:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        config = GraphGenConfig(
+            num_graphs=12, mean_nodes=10, mean_density=0.25, num_labels=3
+        )
+        return generate_dataset(config, seed=8)
+
+    def test_ctindex_multiple_bits_per_feature(self, dataset):
+        single = CTIndex(fingerprint_bits=512, feature_edges=2, bits_per_feature=1)
+        double = CTIndex(fingerprint_bits=512, feature_edges=2, bits_per_feature=2)
+        single.build(dataset)
+        double.build(dataset)
+        queries = generate_queries(dataset, 4, 4, seed=1)
+        # More bits per feature: equal or stronger filtering (Bloom),
+        # and identical answers either way.
+        for query in queries:
+            single_result = single.query(query)
+            double_result = double.query(query)
+            assert double_result.answers == single_result.answers
+
+    def test_ctindex_saturation_detail(self, dataset):
+        index = CTIndex(fingerprint_bits=64, feature_edges=3)
+        report = index.build(dataset)
+        assert 0.0 < report.details["avg_saturation"] <= 1.0
+
+    def test_grapes_filter_then_verify_component_cache(self, dataset):
+        index = GrapesIndex(max_path_edges=2, workers=1)
+        index.build(dataset)
+        queries = generate_queries(dataset, 3, 4, seed=2)
+        for query in queries:
+            candidates = index.filter(query)
+            # Verify twice: the cache from filter() must not corrupt a
+            # second verification pass.
+            first = index.verify(query, candidates)
+            second = index.verify(query, candidates)
+            assert first == second
+
+    def test_gcode_code_for_graph_without_edges(self):
+        from repro.graphs.dataset import GraphDataset
+        from repro.graphs.graph import Graph
+
+        dataset = GraphDataset([Graph(["A", "B"]), Graph(["A"])])
+        index = GCodeIndex()
+        index.build(dataset)
+        assert index.filter(Graph(["A"])) == {0, 1}
+        assert index.query(Graph(["A", "B"])).answers == {0}

@@ -1,0 +1,219 @@
+"""Unit tests for feature enumeration: paths, edge subsets/trees, cycles."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.features.cycles import enumerate_simple_cycles
+from repro.features.paths import path_features
+from repro.features.trees import connected_edge_subsets, enumerate_trees
+from repro.graphs.graph import Graph
+
+from conftest import cycle_graph, path_graph, random_graph, star_graph, to_networkx, triangle
+
+
+class TestPathFeatures:
+    def test_single_vertices_included(self):
+        features = path_features(path_graph("AB"), 1)
+        assert features[("A",)].count == 1
+        assert features[("B",)].count == 1
+
+    def test_single_vertices_can_be_excluded(self):
+        features = path_features(path_graph("AB"), 1, include_vertices=False)
+        assert ("A",) not in features
+
+    def test_edge_counted_from_both_ends(self):
+        features = path_features(path_graph("AB"), 1)
+        assert features[("A", "B")].count == 2
+
+    def test_counts_on_small_path(self):
+        features = path_features(path_graph("COC"), 2)
+        assert features[("C", "O")].count == 4  # 2 instances x 2 directions
+        assert features[("C", "O", "C")].count == 2
+
+    def test_starts_recorded(self):
+        features = path_features(path_graph("AB"), 1)
+        assert features[("A", "B")].starts == {0, 1}
+
+    def test_max_edges_zero_gives_vertices_only(self):
+        features = path_features(triangle("ABC"), 0)
+        assert set(features) == {("A",), ("B",), ("C",)}
+
+    def test_simple_paths_only(self):
+        # In a triangle, no path feature revisits a vertex: the longest
+        # simple path has 2 edges.
+        features = path_features(triangle("AAA"), 5)
+        longest = max(len(label) for label in features)
+        assert longest == 3
+
+    def test_max_edges_respected(self):
+        features = path_features(path_graph("ABCDE"), 2)
+        assert all(len(label) <= 3 for label in features)
+
+    def test_negative_max_edges_rejected(self):
+        with pytest.raises(ValueError):
+            path_features(path_graph("AB"), -1)
+
+    def test_path_count_matches_brute_force(self, rng):
+        for _ in range(20):
+            graph = random_graph(rng, 2, 6)
+            features = path_features(graph, 3, include_vertices=False)
+            total = sum(occ.count for occ in features.values())
+            assert total == _count_directed_simple_paths(graph, 3)
+
+    def test_monomorphic_count_dominance(self, rng):
+        """If q is an induced subgraph of g, g's counts dominate q's —
+        the soundness basis of GGSX/Grapes count filtering."""
+        for _ in range(20):
+            data = random_graph(rng, 3, 7, connected=True)
+            vertices = sorted(rng.sample(range(data.order), 3))
+            query, _ = data.induced_subgraph(vertices)
+            query_features = path_features(query, 3)
+            data_features = path_features(data, 3)
+            for label, occurrences in query_features.items():
+                assert label in data_features
+                assert data_features[label].count >= occurrences.count
+
+
+def _count_directed_simple_paths(graph: Graph, max_edges: int) -> int:
+    count = 0
+    for start in graph.vertices():
+        stack = [(start, {start}, 0)]
+        while stack:
+            vertex, seen, depth = stack.pop()
+            if depth == max_edges:
+                continue
+            for w in graph.neighbors(vertex):
+                if w not in seen:
+                    count += 1
+                    stack.append((w, seen | {w}, depth + 1))
+    return count
+
+
+class TestConnectedEdgeSubsets:
+    def test_exact_match_with_brute_force(self, rng):
+        for _ in range(25):
+            graph = random_graph(rng, 2, 6)
+            ours = {frozenset(sub) for sub in connected_edge_subsets(graph, 3)}
+            assert ours == _brute_connected_subsets(graph, 3)
+
+    def test_no_duplicates(self, rng):
+        for _ in range(15):
+            graph = random_graph(rng, 2, 6)
+            subsets = [frozenset(sub) for sub in connected_edge_subsets(graph, 4)]
+            assert len(subsets) == len(set(subsets))
+
+    def test_size_limit_respected(self):
+        graph = cycle_graph("AAAAA")
+        assert all(len(sub) <= 2 for sub in connected_edge_subsets(graph, 2))
+
+    def test_zero_limit_yields_nothing(self):
+        assert list(connected_edge_subsets(triangle(), 0)) == []
+
+    def test_single_edges_enumerated(self):
+        graph = path_graph("ABC")
+        singles = [sub for sub in connected_edge_subsets(graph, 1)]
+        assert sorted(singles) == [((0, 1),), ((1, 2),)]
+
+
+def _brute_connected_subsets(graph: Graph, max_edges: int) -> set:
+    edges = list(graph.edges())
+    out = set()
+    for k in range(1, max_edges + 1):
+        for combo in itertools.combinations(edges, k):
+            vertices = {v for e in combo for v in e}
+            adjacency = {v: set() for v in vertices}
+            for u, v in combo:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+            start = next(iter(vertices))
+            seen = {start}
+            stack = [start]
+            while stack:
+                x = stack.pop()
+                for y in adjacency[x]:
+                    if y not in seen:
+                        seen.add(y)
+                        stack.append(y)
+            if seen == vertices:
+                out.add(frozenset(combo))
+    return out
+
+
+class TestTreeEnumeration:
+    def test_all_results_are_trees(self, rng):
+        for _ in range(15):
+            graph = random_graph(rng, 3, 7)
+            for edges in enumerate_trees(graph, 4):
+                vertices = {v for e in edges for v in e}
+                assert len(vertices) == len(edges) + 1
+
+    def test_matches_filtered_subsets(self, rng):
+        for _ in range(15):
+            graph = random_graph(rng, 3, 6)
+            trees = {frozenset(t) for t in enumerate_trees(graph, 3)}
+            expected = {
+                subset
+                for subset in _brute_connected_subsets(graph, 3)
+                if len({v for e in subset for v in e}) == len(subset) + 1
+            }
+            assert trees == expected
+
+    def test_star_subtree_count(self):
+        # Star K1,3: subtrees of size k = C(3, k).
+        star = star_graph("C", "HHH")
+        trees = list(enumerate_trees(star, 3))
+        by_size = {}
+        for t in trees:
+            by_size[len(t)] = by_size.get(len(t), 0) + 1
+        assert by_size == {1: 3, 2: 3, 3: 1}
+
+
+class TestCycleEnumeration:
+    @staticmethod
+    def _edge_set(cycle):
+        """A cycle's identity is its edge set (vertex sets can collide)."""
+        return frozenset(
+            frozenset((u, v)) for u, v in zip(cycle, cycle[1:] + type(cycle)(cycle[:1]))
+        )
+
+    def test_matches_networkx(self, rng):
+        for _ in range(25):
+            graph = random_graph(rng, 3, 7)
+            ours = {self._edge_set(c) for c in enumerate_simple_cycles(graph, 7)}
+            theirs = {
+                self._edge_set(tuple(c))
+                for c in nx.simple_cycles(to_networkx(graph))
+                if len(c) >= 3
+            }
+            assert ours == theirs
+
+    def test_each_cycle_once(self, rng):
+        for _ in range(15):
+            graph = random_graph(rng, 3, 7)
+            cycles = [self._edge_set(c) for c in enumerate_simple_cycles(graph, 7)]
+            assert len(cycles) == len(set(cycles))
+
+    def test_length_limit(self):
+        graph = cycle_graph("AAAAA")  # single 5-cycle
+        assert list(enumerate_simple_cycles(graph, 4)) == []
+        assert len(list(enumerate_simple_cycles(graph, 5))) == 1
+
+    def test_triangle_found(self):
+        cycles = list(enumerate_simple_cycles(triangle(), 3))
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {0, 1, 2}
+
+    def test_no_cycles_in_tree(self):
+        assert list(enumerate_simple_cycles(star_graph("C", "HHH"), 6)) == []
+
+    def test_limit_below_three_yields_nothing(self):
+        assert list(enumerate_simple_cycles(triangle(), 2)) == []
+
+    def test_k4_cycle_count(self):
+        k4 = Graph("AAAA", [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        # K4 has 4 triangles and 3 four-cycles.
+        cycles = list(enumerate_simple_cycles(k4, 4))
+        assert sum(1 for c in cycles if len(c) == 3) == 4
+        assert sum(1 for c in cycles if len(c) == 4) == 3

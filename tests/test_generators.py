@@ -1,0 +1,220 @@
+"""Tests for GraphGen, the real-dataset stand-ins and query workloads.
+
+The calibration tests assert the generators reproduce the *published*
+statistics — Table 1 for the stand-ins, and §4.2's structural
+observations for GraphGen (connectivity; cycle prevalence at the sane
+defaults; tree-shaped graphs at 50 nodes).
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.generators.graphgen import GraphGenConfig, generate_dataset, generate_graph
+from repro.generators.queries import generate_queries, random_walk_query
+from repro.generators.realsets import REAL_DATASET_SPECS, make_real_dataset
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.graphs.statistics import dataset_statistics
+from repro.isomorphism.vf2 import is_subgraph
+
+
+class TestGraphGenConfig:
+    def test_defaults_are_the_sane_defaults(self):
+        config = GraphGenConfig()
+        assert (config.num_graphs, config.mean_nodes) == (1000, 200)
+        assert (config.mean_density, config.num_labels) == (0.025, 20)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphGenConfig(num_graphs=0)
+        with pytest.raises(ValueError):
+            GraphGenConfig(mean_nodes=1)
+        with pytest.raises(ValueError):
+            GraphGenConfig(mean_density=0.0)
+        with pytest.raises(ValueError):
+            GraphGenConfig(num_labels=0)
+
+    def test_label_vocabulary(self):
+        assert GraphGenConfig(num_labels=3).labels() == ["L0", "L1", "L2"]
+
+
+class TestGraphGen:
+    CONFIG = GraphGenConfig(
+        num_graphs=60, mean_nodes=30, mean_density=0.1, num_labels=5
+    )
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset(self.CONFIG, seed=123)
+
+    def test_graph_count(self, dataset):
+        assert len(dataset) == 60
+
+    def test_all_graphs_connected(self, dataset):
+        assert all(graph.is_connected() for graph in dataset)
+
+    def test_mean_nodes_near_target(self, dataset):
+        mean = statistics.mean(g.order for g in dataset)
+        assert mean == pytest.approx(30, abs=3)
+
+    def test_mean_density_near_target(self, dataset):
+        mean = statistics.mean(g.density() for g in dataset)
+        assert mean == pytest.approx(0.1, abs=0.03)
+
+    def test_labels_within_vocabulary(self, dataset):
+        vocabulary = set(self.CONFIG.labels())
+        assert dataset.distinct_labels() <= vocabulary
+
+    def test_reproducible(self):
+        a = generate_dataset(self.CONFIG, seed=9)
+        b = generate_dataset(self.CONFIG, seed=9)
+        for left, right in zip(a, b):
+            assert left == right
+
+    def test_seeds_differ(self):
+        a = generate_dataset(self.CONFIG, seed=1)
+        b = generate_dataset(self.CONFIG, seed=2)
+        assert any(left != right for left, right in zip(a, b))
+
+    def test_dense_graphs_have_cycles(self):
+        """§4.2: at the sane defaults nearly all graphs contain cycles.
+
+        The paper's default point (200 nodes, d=0.025) has ~2.5x more
+        edges than a spanning tree; 40 nodes at d=0.12 matches that
+        ratio at CI scale.
+        """
+        config = GraphGenConfig(
+            num_graphs=50, mean_nodes=40, mean_density=0.12, num_labels=5
+        )
+        dataset = generate_dataset(config, seed=7)
+        cyclic = sum(1 for g in dataset if g.size > g.order - 1)
+        assert cyclic / len(dataset) > 0.9
+
+    def test_sparse_small_graphs_often_trees(self):
+        """§4.2: ~half the 50-node graphs at the lowest density are
+        tree-shaped (our small-scale analog)."""
+        config = GraphGenConfig(
+            num_graphs=60, mean_nodes=12, mean_density=0.005, num_labels=5
+        )
+        dataset = generate_dataset(config, seed=8)
+        trees = sum(1 for g in dataset if g.size == g.order - 1)
+        assert trees / len(dataset) > 0.3
+
+    def test_single_graph_generation(self):
+        rng = random.Random(0)
+        config = GraphGenConfig(num_graphs=1, mean_nodes=20, mean_density=0.1, num_labels=3)
+        graph = generate_graph(config, config.labels(), rng)
+        assert graph.is_connected()
+        assert graph.order >= 2
+
+
+class TestRealSets:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_real_dataset("NOPE")
+
+    def test_case_insensitive(self):
+        dataset = make_real_dataset("aids", scale=0.01, seed=0)
+        assert "AIDS" in dataset.name
+
+    def test_specs_match_table1_row_counts(self):
+        assert REAL_DATASET_SPECS["AIDS"].num_graphs == 40000
+        assert REAL_DATASET_SPECS["PDBS"].num_graphs == 600
+        assert REAL_DATASET_SPECS["PCM"].num_graphs == 200
+        assert REAL_DATASET_SPECS["PPI"].num_graphs == 20
+
+    def test_aids_like_full_scale_statistics(self):
+        """Per-graph stats at full scale on a 300-graph sample."""
+        dataset = make_real_dataset("AIDS", num_graphs=300, seed=3)
+        stats = dataset_statistics(dataset)
+        spec = REAL_DATASET_SPECS["AIDS"]
+        assert stats.avg_vertices == pytest.approx(spec.avg_nodes, rel=0.15)
+        assert stats.avg_degree == pytest.approx(spec.avg_degree, rel=0.15)
+        assert stats.avg_labels_per_graph == pytest.approx(
+            spec.avg_labels_per_graph, rel=0.30
+        )
+        disconnected_fraction = stats.num_disconnected / stats.num_graphs
+        assert disconnected_fraction == pytest.approx(
+            spec.disconnected_fraction, abs=0.06
+        )
+
+    def test_pcm_like_degree_and_disconnection(self):
+        dataset = make_real_dataset("PCM", num_graphs=40, seed=4)
+        stats = dataset_statistics(dataset)
+        spec = REAL_DATASET_SPECS["PCM"]
+        assert stats.avg_degree == pytest.approx(spec.avg_degree, rel=0.2)
+        assert stats.num_disconnected == stats.num_graphs  # all disconnected
+
+    def test_scaling_shrinks_graphs(self):
+        small = make_real_dataset("PCM", scale=0.05, seed=0)
+        assert dataset_statistics(small).avg_vertices < 60
+
+    def test_num_graphs_override(self):
+        dataset = make_real_dataset("PPI", scale=0.01, num_graphs=7, seed=0)
+        assert len(dataset) == 7
+
+    def test_invalid_overrides_rejected(self):
+        with pytest.raises(ValueError):
+            make_real_dataset("AIDS", scale=0.0)
+        with pytest.raises(ValueError):
+            make_real_dataset("AIDS", num_graphs=0)
+
+    def test_label_skew_present(self):
+        """Chemical-style alphabets are skewed: the top label should
+        cover far more than 1/num_labels of the vertices."""
+        dataset = make_real_dataset("AIDS", num_graphs=100, seed=5)
+        histogram: dict = {}
+        for graph in dataset:
+            for label, count in graph.label_histogram().items():
+                histogram[label] = histogram.get(label, 0) + count
+        total = sum(histogram.values())
+        top = max(histogram.values())
+        assert top / total > 3.0 / REAL_DATASET_SPECS["AIDS"].num_labels
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        config = GraphGenConfig(
+            num_graphs=30, mean_nodes=20, mean_density=0.15, num_labels=4
+        )
+        return generate_dataset(config, seed=21)
+
+    def test_requested_count_and_size(self, dataset):
+        queries = generate_queries(dataset, 7, 6, seed=0)
+        assert len(queries) == 7
+        assert all(q.size == 6 for q in queries)
+
+    def test_queries_are_connected(self, dataset):
+        for query in generate_queries(dataset, 10, 8, seed=1):
+            assert query.is_connected()
+
+    def test_queries_have_answers(self, dataset):
+        """§4.3: queries are subgraphs of dataset graphs."""
+        for query in generate_queries(dataset, 8, 6, seed=2):
+            assert any(is_subgraph(query, graph) for graph in dataset)
+
+    def test_reproducible(self, dataset):
+        a = generate_queries(dataset, 5, 4, seed=3)
+        b = generate_queries(dataset, 5, 4, seed=3)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            generate_queries(GraphDataset(), 1, 4)
+
+    def test_invalid_size_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            generate_queries(dataset, 1, 0)
+
+    def test_oversized_queries_rejected(self):
+        tiny = GraphDataset([Graph("AB", [(0, 1)])])
+        with pytest.raises(ValueError):
+            generate_queries(tiny, 1, 50)
+
+    def test_single_walk(self, dataset):
+        rng = random.Random(0)
+        query = random_walk_query(dataset, 5, rng)
+        assert query.size == 5

@@ -1,0 +1,191 @@
+"""Unit tests for the Graph data model (paper Definition 1)."""
+
+import pytest
+
+from repro.graphs.graph import Graph, GraphError
+
+from conftest import cycle_graph, path_graph, star_graph, triangle
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph([])
+        assert graph.order == 0 and graph.size == 0
+
+    def test_vertices_from_labels(self):
+        graph = Graph(["C", "O", "N"])
+        assert graph.order == 3
+        assert [graph.label(v) for v in graph.vertices()] == ["C", "O", "N"]
+
+    def test_edges_from_constructor(self):
+        graph = Graph("AAB", [(0, 1), (1, 2)])
+        assert graph.size == 2
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_from_edge_list_uniform_label(self):
+        graph = Graph.from_edge_list(3, "X", [(0, 1)])
+        assert graph.label(2) == "X"
+
+    def test_from_edge_list_label_sequence(self):
+        graph = Graph.from_edge_list(2, ["A", "B"], [(0, 1)])
+        assert graph.label(1) == "B"
+
+    def test_from_edge_list_length_mismatch(self):
+        with pytest.raises(GraphError):
+            Graph.from_edge_list(3, ["A", "B"], [])
+
+    def test_graph_id_defaults_to_none(self):
+        assert Graph(["A"]).graph_id is None
+
+
+class TestEdgeValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(["A", "B"], [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(["A", "B"], [(0, 1), (1, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(["A", "B"], [(0, 2)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(["A", "B"], [(-1, 0)])
+
+
+class TestAccessors:
+    def test_neighbors(self):
+        graph = star_graph("C", "HHH")
+        assert set(graph.neighbors(0)) == {1, 2, 3}
+        assert set(graph.neighbors(1)) == {0}
+
+    def test_degree(self):
+        graph = star_graph("C", "HHHH")
+        assert graph.degree(0) == 4
+        assert graph.degree(1) == 1
+
+    def test_edges_listed_once(self):
+        graph = triangle()
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v in edges)
+
+    def test_vertices_by_label(self):
+        graph = Graph(["A", "B", "A"])
+        groups = graph.vertices_by_label()
+        assert groups == {"A": [0, 2], "B": [1]}
+
+    def test_label_histogram(self):
+        graph = Graph(["A", "B", "A"])
+        assert graph.label_histogram() == {"A": 2, "B": 1}
+
+    def test_distinct_labels(self):
+        assert Graph(["A", "B", "A"]).distinct_labels() == {"A", "B"}
+
+
+class TestMetrics:
+    """Equations (1) and (2) of the paper."""
+
+    def test_density_of_complete_graph_is_one(self):
+        graph = Graph("AAAA", [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert graph.density() == pytest.approx(1.0)
+
+    def test_density_of_triangle(self):
+        assert triangle().density() == pytest.approx(1.0)
+
+    def test_density_of_path(self):
+        # 3 vertices, 2 edges: d = 2*2 / (3*2) = 2/3.
+        assert path_graph("AAA").density() == pytest.approx(2 / 3)
+
+    def test_density_of_tiny_graphs_is_zero(self):
+        assert Graph(["A"]).density() == 0.0
+        assert Graph([]).density() == 0.0
+
+    def test_average_degree(self):
+        # Eq. (2): 2|E| / |V|.
+        assert path_graph("AAA").average_degree() == pytest.approx(4 / 3)
+
+    def test_average_degree_empty(self):
+        assert Graph([]).average_degree() == 0.0
+
+
+class TestConnectivity:
+    def test_connected_path(self):
+        assert path_graph("ABCD").is_connected()
+
+    def test_disconnected_graph(self):
+        assert not Graph("AB").is_connected()
+
+    def test_empty_graph_not_connected(self):
+        assert not Graph([]).is_connected()
+
+    def test_single_vertex_connected(self):
+        assert Graph(["A"]).is_connected()
+
+    def test_components(self):
+        graph = Graph("AABB", [(0, 1), (2, 3)])
+        assert graph.connected_components() == [[0, 1], [2, 3]]
+
+    def test_component_of_isolated_vertices(self):
+        assert Graph("AB").connected_components() == [[0], [1]]
+
+
+class TestSubgraphsAndRelabeling:
+    def test_induced_subgraph(self):
+        graph = cycle_graph("ABCD")
+        sub, mapping = graph.induced_subgraph([0, 1, 2])
+        assert sub.order == 3 and sub.size == 2
+        assert mapping == [0, 1, 2]
+        assert [sub.label(i) for i in range(3)] == ["A", "B", "C"]
+
+    def test_induced_subgraph_keeps_internal_edges_only(self):
+        graph = triangle("ABC")
+        sub, _ = graph.induced_subgraph([0, 1])
+        assert sub.size == 1
+
+    def test_relabeled_preserves_structure(self):
+        graph = path_graph("ABC")
+        permuted = graph.relabeled([2, 0, 1])
+        assert permuted.label(2) == "A"
+        assert permuted.has_edge(2, 0) and permuted.has_edge(0, 1)
+
+    def test_relabeled_requires_permutation(self):
+        with pytest.raises(GraphError):
+            path_graph("AB").relabeled([0, 0])
+
+    def test_copy_is_deep_for_structure(self):
+        graph = path_graph("ABC")
+        clone = graph.copy()
+        clone.add_edge(0, 2)
+        assert not graph.has_edge(0, 2)
+        assert clone.has_edge(0, 2)
+
+    def test_copy_preserves_graph_id(self):
+        graph = path_graph("AB")
+        graph.graph_id = 17
+        assert graph.copy().graph_id == 17
+
+
+class TestEqualityAndSignature:
+    def test_structural_equality(self):
+        assert path_graph("AB") == path_graph("AB")
+
+    def test_label_difference_breaks_equality(self):
+        assert path_graph("AB") != path_graph("AC")
+
+    def test_signature_invariant_under_edge_order(self):
+        a = Graph("ABC", [(0, 1), (1, 2)])
+        b = Graph("ABC", [(1, 2), (0, 1)])
+        assert a.signature() == b.signature()
+
+    def test_signature_differs_for_different_structures(self):
+        assert triangle("ABC").signature() != path_graph("ABC").signature()
+
+    def test_hashable(self):
+        assert len({path_graph("AB"), path_graph("AB")}) == 1
+
+    def test_repr_mentions_counts(self):
+        assert "|V|=3" in repr(triangle())

@@ -1,0 +1,174 @@
+"""The filter-and-verify contract, asserted for every index.
+
+These are the defining correctness properties of the whole design
+space (paper §2.2):
+
+1. **No false negatives** — the candidate set contains every graph that
+   truly contains the query.
+2. **Verification exactness** — ``query()`` answers equal the naive
+   oracle's answers.
+3. Build/metric plumbing: timings, sizes, reports, budget handling.
+
+Every test is parametrized over all six methods plus the naive
+baseline, with CI-scale configurations.
+"""
+
+import time
+
+import pytest
+
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.graphs.graph import Graph
+from repro.indexes import (
+    CTIndex,
+    GCodeIndex,
+    GIndex,
+    GraphGrepSXIndex,
+    GrapesIndex,
+    NaiveIndex,
+    TreeDeltaIndex,
+)
+from repro.utils.budget import Budget, BudgetExceeded
+
+INDEX_FACTORIES = {
+    "naive": lambda: NaiveIndex(),
+    "ggsx": lambda: GraphGrepSXIndex(max_path_edges=3),
+    "grapes": lambda: GrapesIndex(max_path_edges=3, workers=2),
+    "ctindex": lambda: CTIndex(fingerprint_bits=512, feature_edges=3),
+    "gcode": lambda: GCodeIndex(),
+    "gindex": lambda: GIndex(max_fragment_edges=4, support_ratio=0.2),
+    "tree+delta": lambda: TreeDeltaIndex(max_feature_edges=4, support_ratio=0.2),
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = GraphGenConfig(
+        num_graphs=30, mean_nodes=12, mean_density=0.2, num_labels=4, nodes_stddev=3
+    )
+    return generate_dataset(config, seed=11)
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    out = []
+    for size in (2, 4, 6):
+        out.extend(generate_queries(dataset, 4, size, seed=size))
+    return out
+
+
+@pytest.fixture(scope="module")
+def truth(dataset, queries):
+    oracle = NaiveIndex()
+    oracle.build(dataset)
+    return [oracle.query(q).answers for q in queries]
+
+
+@pytest.fixture(scope="module")
+def built_indexes(dataset):
+    built = {}
+    for name, factory in INDEX_FACTORIES.items():
+        index = factory()
+        index.build(dataset)
+        built[name] = index
+    return built
+
+
+@pytest.mark.parametrize("name", list(INDEX_FACTORIES))
+class TestContract:
+    def test_no_false_negatives(self, name, built_indexes, queries, truth):
+        index = built_indexes[name]
+        for query, answers in zip(queries, truth):
+            candidates = index.filter(query)
+            assert answers <= candidates, f"{name} dropped true answers"
+
+    def test_query_answers_match_oracle(self, name, built_indexes, queries, truth):
+        index = built_indexes[name]
+        for query, answers in zip(queries, truth):
+            assert index.query(query).answers == answers
+
+    def test_answers_subset_of_candidates(self, name, built_indexes, queries):
+        index = built_indexes[name]
+        for query in queries:
+            result = index.query(query)
+            assert result.answers <= result.candidates
+
+    def test_every_query_has_an_answer(self, name, built_indexes, queries):
+        # Random-walk queries are subgraphs of some dataset graph.
+        index = built_indexes[name]
+        for query in queries:
+            assert index.query(query).answers
+
+    def test_build_report_metrics(self, name, built_indexes):
+        report = built_indexes[name].build_report
+        assert report.seconds >= 0.0
+        assert report.size_bytes >= 0
+        assert isinstance(report.details, dict)
+
+    def test_index_size_positive_for_real_indexes(self, name, built_indexes):
+        if name == "naive":
+            pytest.skip("the baseline stores nothing")
+        assert built_indexes[name].size_bytes() > 0
+
+    def test_query_result_timings(self, name, built_indexes, queries):
+        result = built_indexes[name].query(queries[0])
+        assert result.filter_seconds >= 0.0
+        assert result.verify_seconds >= 0.0
+        assert result.total_seconds == pytest.approx(
+            result.filter_seconds + result.verify_seconds
+        )
+
+    def test_fp_ratio_in_unit_interval(self, name, built_indexes, queries):
+        for query in queries[:4]:
+            ratio = built_indexes[name].query(query).false_positive_ratio
+            assert 0.0 <= ratio <= 1.0
+
+    def test_unbuilt_index_refuses_queries(self, name):
+        index = INDEX_FACTORIES[name]()
+        with pytest.raises(RuntimeError):
+            index.filter(Graph(["A"]))
+        with pytest.raises(RuntimeError):
+            index.build_report
+
+    def test_single_vertex_query(self, name, built_indexes, dataset):
+        index = built_indexes[name]
+        label = dataset[0].label(0)
+        result = index.query(Graph([label]))
+        expected = {g.graph_id for g in dataset if label in g.distinct_labels()}
+        assert result.answers == expected
+
+    def test_impossible_query_returns_empty(self, name, built_indexes):
+        index = built_indexes[name]
+        query = Graph(["NO_SUCH_LABEL", "NO_SUCH_LABEL"], [(0, 1)])
+        assert index.query(query).answers == set()
+
+    def test_expired_build_budget_raises(self, name, dataset):
+        if name == "naive":
+            pytest.skip("the baseline builds in O(1)")
+        index = INDEX_FACTORIES[name]()
+        budget = Budget(0.0)
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceeded):
+            index.build(dataset, budget=budget)
+
+    def test_rebuild_overwrites_cleanly(self, name, dataset, queries, truth):
+        index = INDEX_FACTORIES[name]()
+        index.build(dataset)
+        first = index.query(queries[0]).answers
+        index.build(dataset)  # rebuild over the same data
+        assert index.query(queries[0]).answers == first == truth[0]
+
+
+class TestDisconnectedQueries:
+    """Disconnected queries exercise the multi-component code paths."""
+
+    @pytest.mark.parametrize("name", list(INDEX_FACTORIES))
+    def test_disconnected_query_correct(self, name, built_indexes, dataset, truth):
+        index = built_indexes[name]
+        label_a = dataset[0].label(0)
+        label_b = dataset[1].label(0)
+        query = Graph([label_a, label_b])  # two isolated labeled vertices
+        oracle = NaiveIndex()
+        oracle.build(dataset)
+        assert index.query(query).answers == oracle.query(query).answers

@@ -1,0 +1,102 @@
+"""End-to-end integration: generate → persist → load → index → query.
+
+Exercises the whole public API surface the way a downstream user
+would, including dataset round-trips through the text format and the
+consistency of all methods over the loaded data.
+"""
+
+import pytest
+
+from repro import (
+    ALL_INDEX_CLASSES,
+    GraphGenConfig,
+    NaiveIndex,
+    dataset_statistics,
+    generate_dataset,
+    generate_queries,
+    make_real_dataset,
+)
+from repro.graphs.io import read_dataset, write_dataset
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Generate, persist and reload a dataset; build every index on the
+    reloaded copy."""
+    config = GraphGenConfig(
+        num_graphs=24, mean_nodes=12, mean_density=0.18, num_labels=4
+    )
+    original = generate_dataset(config, seed=77)
+    path = tmp_path_factory.mktemp("io") / "dataset.gfd"
+    write_dataset(original, path)
+    reloaded = read_dataset(path)
+    queries = generate_queries(reloaded, 6, 5, seed=1)
+    indexes = {}
+    configs = {
+        "ggsx": {"max_path_edges": 3},
+        "grapes": {"max_path_edges": 3, "workers": 2},
+        "ctindex": {"fingerprint_bits": 512, "feature_edges": 3},
+        "gindex": {"max_fragment_edges": 4, "support_ratio": 0.25},
+        "tree+delta": {"max_feature_edges": 4, "support_ratio": 0.25},
+        "gcode": {},
+        "naive": {},
+    }
+    for name, cls in ALL_INDEX_CLASSES.items():
+        index = cls(**configs[name])
+        index.build(reloaded)
+        indexes[name] = index
+    return original, reloaded, queries, indexes
+
+
+class TestEndToEnd:
+    def test_roundtrip_preserves_statistics(self, pipeline):
+        original, reloaded, _, _ = pipeline
+        a = dataset_statistics(original)
+        b = dataset_statistics(reloaded)
+        assert a.num_graphs == b.num_graphs
+        assert a.avg_edges == b.avg_edges
+        assert a.avg_density == pytest.approx(b.avg_density)
+        assert a.num_labels == b.num_labels
+
+    def test_all_methods_agree_on_loaded_data(self, pipeline):
+        _, _, queries, indexes = pipeline
+        for query in queries:
+            answer_sets = {
+                name: index.query(query).answers for name, index in indexes.items()
+            }
+            reference = answer_sets["naive"]
+            for name, answers in answer_sets.items():
+                assert answers == reference, f"{name} diverged from the oracle"
+
+    def test_filtering_monotone_in_answers(self, pipeline):
+        _, _, queries, indexes = pipeline
+        for query in queries:
+            truth = indexes["naive"].query(query).answers
+            for name, index in indexes.items():
+                assert truth <= index.filter(query)
+
+    def test_index_sizes_ordering(self, pipeline):
+        """§6: fixed-width encodings smallest, location tries largest."""
+        _, _, _, indexes = pipeline
+        sizes = {
+            name: index.size_bytes()
+            for name, index in indexes.items()
+            if name != "naive"
+        }
+        assert sizes["ctindex"] == min(sizes.values())
+        assert sizes["grapes"] > sizes["ggsx"]
+
+
+class TestRealStandInsEndToEnd:
+    def test_query_pipeline_on_every_stand_in(self):
+        for name in ("AIDS", "PDBS", "PCM", "PPI"):
+            dataset = make_real_dataset(name, scale=0.02, seed=1)
+            queries = generate_queries(dataset, 2, 4, seed=2)
+            oracle = NaiveIndex()
+            oracle.build(dataset)
+            from repro import GraphGrepSXIndex
+
+            index = GraphGrepSXIndex(max_path_edges=3)
+            index.build(dataset)
+            for query in queries:
+                assert index.query(query).answers == oracle.query(query).answers

@@ -1,0 +1,129 @@
+"""Memory-budget failure injection (the paper's §5.2.4 Grapes story).
+
+Grapes failed the largest graph-count experiments not by time but by
+RAM ("excessive memory usage ... leading to thrashing even in our
+128GB RAM host").  These tests drive byte allowances through the index
+builds and assert (a) overruns raise cleanly, (b) the runner records
+them as a distinct status, and (c) the *ordering* of memory breaking
+points matches the paper: Grapes (locations) outgrows an allowance
+that GGSX (counts only) fits in.
+"""
+
+import pytest
+
+from repro.core.runner import STATUS_MEMORY, STATUS_OK, evaluate_method
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.indexes import CTIndex, GCodeIndex, GIndex, GraphGrepSXIndex, GrapesIndex
+from repro.utils.budget import Budget, BudgetExceeded, MemoryBudgetExceeded
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = GraphGenConfig(
+        num_graphs=30, mean_nodes=16, mean_density=0.15, num_labels=4
+    )
+    return generate_dataset(config, seed=17)
+
+
+class TestBudgetClass:
+    def test_memory_check_unlimited(self):
+        Budget(seconds=None).check_memory(10**12)  # no allowance: no-op
+
+    def test_memory_check_raises(self):
+        budget = Budget(max_bytes=1000)
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.check_memory(1001)
+
+    def test_memory_within_allowance(self):
+        Budget(max_bytes=1000).check_memory(1000)
+
+    def test_memory_exceeded_is_budget_exceeded(self):
+        # Callers catching BudgetExceeded also catch memory overruns.
+        assert issubclass(MemoryBudgetExceeded, BudgetExceeded)
+
+    def test_negative_allowance_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(max_bytes=-1)
+
+    def test_restarted_carries_memory_allowance(self):
+        budget = Budget(seconds=10.0, max_bytes=512)
+        assert budget.restarted().max_bytes == 512
+
+    def test_message_mentions_bytes(self):
+        budget = Budget(max_bytes=10, phase="grapes build")
+        with pytest.raises(MemoryBudgetExceeded, match="grapes build"):
+            budget.check_memory(11)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: GraphGrepSXIndex(max_path_edges=3),
+        lambda: GrapesIndex(max_path_edges=3, workers=2),
+        lambda: CTIndex(fingerprint_bits=4096, feature_edges=3),
+        lambda: GCodeIndex(),
+        lambda: GIndex(max_fragment_edges=4, support_ratio=0.1),
+    ],
+    ids=["ggsx", "grapes", "ctindex", "gcode", "gindex"],
+)
+def test_tiny_memory_allowance_aborts_build(factory, dataset):
+    index = factory()
+    with pytest.raises(MemoryBudgetExceeded):
+        index.build(dataset, budget=Budget(max_bytes=64))
+
+
+def test_generous_memory_allowance_is_transparent(dataset):
+    index = GrapesIndex(max_path_edges=3, workers=2)
+    index.build(dataset, budget=Budget(max_bytes=10**10))
+    reference = GrapesIndex(max_path_edges=3, workers=2)
+    reference.build(dataset)
+    for query in generate_queries(dataset, 3, 4, seed=1):
+        assert index.query(query).answers == reference.query(query).answers
+
+
+def test_runner_records_memory_status(dataset):
+    workloads = {4: generate_queries(dataset, 2, 4, seed=0)}
+    cell = evaluate_method(
+        "grapes",
+        dataset,
+        workloads,
+        method_config={"max_path_edges": 3, "workers": 2},
+        build_budget_seconds=30.0,
+        build_memory_bytes=64,
+    )
+    assert cell.build_status == STATUS_MEMORY
+    assert cell.build_seconds is None
+    assert cell.query_seconds() is None
+
+
+def test_grapes_outgrows_allowance_that_fits_ggsx(dataset):
+    """§5.2.4's mechanism: the location information makes Grapes the
+    first to hit a shared memory ceiling."""
+    ggsx = GraphGrepSXIndex(max_path_edges=3)
+    ggsx.build(dataset)
+    # An allowance comfortably above GGSX's estimate but below Grapes'.
+    allowance = int(ggsx._trie.estimated_bytes() * 1.5)
+
+    fits = GraphGrepSXIndex(max_path_edges=3)
+    fits.build(dataset, budget=Budget(max_bytes=allowance))  # must fit
+
+    grapes = GrapesIndex(max_path_edges=3, workers=1)
+    with pytest.raises(MemoryBudgetExceeded):
+        grapes.build(dataset, budget=Budget(max_bytes=allowance))
+
+
+def test_estimate_tracks_deep_sizeof(dataset):
+    """The cheap estimate must stay within an order of magnitude of the
+    exact deep size — close enough for breaking-point experiments."""
+    from repro.utils.sizeof import deep_sizeof
+
+    for factory in (
+        lambda: GraphGrepSXIndex(max_path_edges=3),
+        lambda: GrapesIndex(max_path_edges=3, workers=1),
+    ):
+        index = factory()
+        index.build(dataset)
+        estimate = index._trie.estimated_bytes()
+        exact = deep_sizeof(index._trie)
+        assert exact / 10 <= estimate <= exact * 10

@@ -1,0 +1,214 @@
+"""Unit tests for the gSpan miner and discriminative selection."""
+
+import pytest
+
+from repro.canonical.dfscode import min_dfs_code
+from repro.features.trees import connected_edge_subsets
+from repro.graphs.graph import Graph
+from repro.isomorphism.vf2 import is_subgraph
+from repro.mining.discriminative import select_discriminative
+from repro.mining.gspan import MinedPattern, mine_frequent_patterns
+
+from conftest import path_graph, random_graph, triangle
+
+
+def _dataset(rng, count=8, **kwargs):
+    graphs = []
+    for i in range(count):
+        graph = random_graph(rng, 3, 6, connected=True, **kwargs)
+        graph.graph_id = i
+        graphs.append(graph)
+    return graphs
+
+
+def _brute_frequent(graphs, min_support, max_edges, trees_only=False):
+    """Ground truth via exhaustive edge-subset enumeration."""
+    support: dict = {}
+    for graph in graphs:
+        codes = set()
+        for subset in connected_edge_subsets(graph, max_edges):
+            vertices = sorted({v for e in subset for v in e})
+            if trees_only and len(vertices) != len(subset) + 1:
+                continue
+            index = {v: i for i, v in enumerate(vertices)}
+            pattern = Graph(
+                [graph.label(v) for v in vertices],
+                [(index[u], index[v]) for u, v in subset],
+            )
+            codes.add(min_dfs_code(pattern))
+        for code in codes:
+            support.setdefault(code, set()).add(graph.graph_id)
+    return {
+        code: ids for code, ids in support.items() if len(ids) >= min_support
+    }
+
+
+class TestMiner:
+    def test_completeness_and_supports(self, rng):
+        graphs = _dataset(rng)
+        mined = mine_frequent_patterns(graphs, min_support=3, max_edges=3)
+        expected = _brute_frequent(graphs, 3, 3)
+        assert set(mined) == set(expected)
+        for code, pattern in mined.items():
+            assert pattern.support_set() == expected[code]
+
+    def test_tree_mining_completeness(self, rng):
+        graphs = _dataset(rng)
+        mined = mine_frequent_patterns(
+            graphs, min_support=3, max_edges=3, trees_only=True
+        )
+        expected = _brute_frequent(graphs, 3, 3, trees_only=True)
+        assert set(mined) == set(expected)
+
+    def test_tree_mining_yields_only_trees(self, rng):
+        graphs = _dataset(rng)
+        mined = mine_frequent_patterns(
+            graphs, min_support=2, max_edges=4, trees_only=True
+        )
+        for pattern in mined.values():
+            assert pattern.graph.size == pattern.graph.order - 1
+
+    def test_supports_verified_by_vf2(self, rng):
+        graphs = _dataset(rng, count=6)
+        mined = mine_frequent_patterns(graphs, min_support=2, max_edges=3)
+        for pattern in mined.values():
+            true_support = {
+                g.graph_id for g in graphs if is_subgraph(pattern.graph, g)
+            }
+            assert pattern.support_set() == true_support
+
+    def test_antimonotone_support(self, rng):
+        graphs = _dataset(rng)
+        mined = mine_frequent_patterns(graphs, min_support=2, max_edges=3)
+        by_code = {code: p.support_set() for code, p in mined.items()}
+        for code, support in by_code.items():
+            if len(code) < 2:
+                continue
+            # The prefix of a minimal code is a minimal sub-pattern.
+            prefix = code[:-1]
+            if prefix in by_code:
+                assert support <= by_code[prefix]
+
+    def test_min_support_threshold_respected(self, rng):
+        graphs = _dataset(rng)
+        mined = mine_frequent_patterns(graphs, min_support=5, max_edges=3)
+        assert all(p.support >= 5 for p in mined.values())
+
+    def test_max_edges_respected(self, rng):
+        graphs = _dataset(rng)
+        mined = mine_frequent_patterns(graphs, min_support=2, max_edges=2)
+        assert all(p.size <= 2 for p in mined.values())
+
+    def test_codes_are_minimal(self, rng):
+        graphs = _dataset(rng)
+        mined = mine_frequent_patterns(graphs, min_support=2, max_edges=3)
+        for code, pattern in mined.items():
+            assert code == min_dfs_code(pattern.graph)
+
+    def test_keep_predicate_prunes_expansion(self, rng):
+        graphs = _dataset(rng)
+        allowed = set(mine_frequent_patterns(graphs, 2, 1))  # single edges only
+        mined = mine_frequent_patterns(
+            graphs, min_support=2, max_edges=3, keep=allowed.__contains__
+        )
+        assert set(mined) == allowed
+
+    def test_query_side_growth(self, rng):
+        """Mining a single graph with support 1 enumerates its patterns."""
+        query = triangle("ABC")
+        mined = mine_frequent_patterns([query], min_support=1, max_edges=3)
+        sizes = sorted(p.size for p in mined.values())
+        # 3 single edges, 3 two-edge paths, 1 triangle.
+        assert sizes == [1, 1, 1, 2, 2, 2, 3]
+
+    def test_empty_inputs(self):
+        assert mine_frequent_patterns([], min_support=1, max_edges=3) == {}
+        assert mine_frequent_patterns([triangle()], 1, 0) == {}
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(ValueError):
+            mine_frequent_patterns([triangle()], min_support=0, max_edges=2)
+
+    def test_embeddings_reference_host_edges(self, rng):
+        graphs = _dataset(rng, count=4)
+        by_id = {g.graph_id: g for g in graphs}
+        mined = mine_frequent_patterns(graphs, min_support=2, max_edges=3)
+        for pattern in mined.values():
+            for embedding in pattern.embeddings:
+                host = by_id[embedding.graph_id]
+                for edge in embedding.used:
+                    u, v = tuple(edge)
+                    assert host.has_edge(u, v)
+
+
+class TestDiscriminative:
+    def _patterns(self, specs):
+        """Build MinedPatterns from (graph, support-ids) pairs."""
+        out = []
+        for graph, ids in specs:
+            pattern = MinedPattern(min_dfs_code(graph), graph)
+            # support_set() only consults embedding.graph_id.
+            pattern.embeddings = [_FakeEmbedding(graph_id) for graph_id in ids]
+            out.append(pattern)
+        return out
+
+    def test_size_one_feature_selected_when_it_prunes(self):
+        # |∩ D(sub)| = N = 10 >= γ·|D(f)| = 2·3: selected.
+        edge = path_graph("AB")
+        patterns = self._patterns([(edge, {0, 1, 2})])
+        selected = select_discriminative(patterns, gamma=2.0, num_graphs=10)
+        assert len(selected) == 1
+
+    def test_ubiquitous_size_one_feature_dropped(self):
+        # A fragment in every graph has no pruning power: N < γ·N.
+        edge = path_graph("AB")
+        patterns = self._patterns([(edge, {0, 1, 2, 3})])
+        assert select_discriminative(patterns, gamma=2.0, num_graphs=4) == []
+
+    def test_redundant_superfeature_dropped(self):
+        edge = path_graph("AB")
+        two_path = path_graph("ABB")
+        # Same support as its indexed subfeature -> |∩D| = 2 < 2·2.
+        patterns = self._patterns([(edge, {0, 1}), (two_path, {0, 1})])
+        selected = select_discriminative(patterns, gamma=2.0, num_graphs=10)
+        codes = {p.code for p in selected}
+        assert min_dfs_code(edge) in codes
+        assert min_dfs_code(two_path) not in codes
+
+    def test_discriminative_superfeature_kept(self):
+        edge = path_graph("AB")
+        two_path = path_graph("ABB")
+        # Support shrinks 4 -> 1: |∩D| = 4 >= 2·1.
+        patterns = self._patterns([(edge, {0, 1, 2, 3}), (two_path, {0})])
+        selected = select_discriminative(patterns, gamma=2.0, num_graphs=10)
+        assert {p.code for p in selected} == {
+            min_dfs_code(edge),
+            min_dfs_code(two_path),
+        }
+
+    def test_gamma_one_selects_everything(self):
+        edge = path_graph("AB")
+        two_path = path_graph("ABB")
+        patterns = self._patterns([(edge, {0, 1}), (two_path, {0, 1})])
+        selected = select_discriminative(patterns, gamma=1.0, num_graphs=2)
+        assert len(selected) == 2
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            select_discriminative([], gamma=0.5, num_graphs=1)
+
+    def test_unrelated_features_do_not_interfere(self):
+        ab = path_graph("AB")
+        cd = path_graph("CD")
+        patterns = self._patterns([(ab, {0, 1}), (cd, {0, 1})])
+        selected = select_discriminative(patterns, gamma=2.0, num_graphs=10)
+        assert len(selected) == 2
+
+
+class _FakeEmbedding:
+    """Only the graph_id is consulted by support_set()."""
+
+    __slots__ = ("graph_id",)
+
+    def __init__(self, graph_id: int) -> None:
+        self.graph_id = graph_id

@@ -1,0 +1,77 @@
+"""Property tests for the shared path trie (GGSX/Grapes substrate)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.indexes.pathtrie import PathTrie
+
+LABEL = st.sampled_from("ABC")
+PATH = st.lists(LABEL, min_size=1, max_size=4).map(tuple)
+INSERTION = st.tuples(
+    PATH,
+    st.integers(min_value=0, max_value=9),   # graph id
+    st.integers(min_value=1, max_value=5),   # count
+    st.sets(st.integers(min_value=0, max_value=20), max_size=3),  # starts
+)
+
+
+@given(st.lists(INSERTION, max_size=40))
+def test_lookup_returns_accumulated_counts(insertions):
+    trie = PathTrie(keep_locations=True)
+    expected_counts: dict = {}
+    expected_starts: dict = {}
+    for path, graph_id, count, starts in insertions:
+        trie.insert(path, graph_id, count, starts)
+        expected_counts.setdefault(path, {}).setdefault(graph_id, 0)
+        expected_counts[path][graph_id] += count
+        expected_starts.setdefault(path, {}).setdefault(graph_id, set()).update(starts)
+    for path, per_graph in expected_counts.items():
+        node = trie.lookup(path)
+        assert node is not None
+        assert node.counts == per_graph
+        assert node.starts == expected_starts[path]
+
+
+@given(st.lists(INSERTION, max_size=30), st.lists(INSERTION, max_size=30))
+def test_merge_equals_sequential_insertion(left_insertions, right_insertions):
+    """Merging shard tries == inserting everything into one trie,
+    provided the shards cover disjoint graph ids (as Grapes' parallel
+    build guarantees).  Offsetting the right shard's ids enforces
+    disjointness."""
+    offset = 10
+    merged = PathTrie(keep_locations=True)
+    right = PathTrie(keep_locations=True)
+    reference = PathTrie(keep_locations=True)
+    for path, graph_id, count, starts in left_insertions:
+        merged.insert(path, graph_id, count, starts)
+        reference.insert(path, graph_id, count, starts)
+    for path, graph_id, count, starts in right_insertions:
+        right.insert(path, graph_id + offset, count, starts)
+        reference.insert(path, graph_id + offset, count, starts)
+    merged.merge(right)
+
+    assert merged.node_count() == reference.node_count()
+    assert merged.num_features == reference.num_features
+    paths = {p for p, *_ in left_insertions} | {p for p, *_ in right_insertions}
+    for path in paths:
+        got, want = merged.lookup(path), reference.lookup(path)
+        assert got is not None and want is not None
+        assert got.counts == want.counts
+        assert got.starts == want.starts
+
+
+@given(st.lists(PATH, max_size=30))
+def test_num_features_counts_distinct_terminals(paths):
+    trie = PathTrie()
+    for path in paths:
+        trie.insert(path, 0, 1)
+    assert trie.num_features == len(set(paths))
+
+
+@given(st.lists(PATH, min_size=1, max_size=20))
+def test_unseen_paths_not_found(paths):
+    trie = PathTrie()
+    for path in paths:
+        trie.insert(path, 0, 1)
+    probe = ("Z",) * 3
+    assert trie.lookup(probe) is None

@@ -1,0 +1,167 @@
+"""Tests for the ASCII plots and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.plots import ascii_plot
+from repro.graphs.io import read_dataset
+
+
+class TestAsciiPlot:
+    SERIES = {
+        "ggsx": [(10, 0.01), (20, 0.1), (30, 1.0)],
+        "gindex": [(10, 1.0), (20, 10.0), (30, None)],
+    }
+
+    def test_contains_title_and_legend(self):
+        plot = ascii_plot("Indexing time", self.SERIES)
+        assert "Indexing time" in plot
+        assert "o=ggsx" in plot and "x=gindex" in plot
+
+    def test_markers_present(self):
+        plot = ascii_plot("t", self.SERIES)
+        assert "o" in plot and "x" in plot
+
+    def test_missing_points_skipped(self):
+        plot = ascii_plot("t", {"a": [(1, None), (2, None)]})
+        assert "(no data)" in plot
+
+    def test_log_axis_labels(self):
+        plot = ascii_plot("t", self.SERIES, log_y=True)
+        assert "log-y" in plot
+        assert "0.01" in plot  # bottom label
+        assert "10" in plot  # top label
+
+    def test_linear_axis(self):
+        plot = ascii_plot("t", self.SERIES, log_y=False)
+        assert "linear-y" in plot
+
+    def test_dimensions_respected(self):
+        plot = ascii_plot("t", self.SERIES, width=30, height=8)
+        body_lines = [l for l in plot.splitlines() if "|" in l]
+        assert len(body_lines) == 8
+        assert all(len(l.split("|", 1)[1]) == 30 for l in body_lines)
+
+    def test_single_point(self):
+        plot = ascii_plot("t", {"a": [(5, 2.0)]})
+        assert "#" not in plot  # only first marker used
+        assert "o" in plot
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    path = tmp_path / "data.gfd"
+    code = main(
+        [
+            "generate",
+            str(path),
+            "--graphs", "12",
+            "--nodes", "10",
+            "--density", "0.25",
+            "--labels", "3",
+            "--seed", "4",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestCli:
+    def test_generate_writes_dataset(self, dataset_file):
+        dataset = read_dataset(dataset_file)
+        assert len(dataset) == 12
+
+    def test_generate_real_stand_in(self, tmp_path):
+        path = tmp_path / "aids.gfd"
+        code = main(["generate", str(path), "--real", "AIDS", "--scale", "0.002"])
+        assert code == 0
+        assert len(read_dataset(path)) >= 5
+
+    def test_stats_prints_table(self, dataset_file, capsys):
+        assert main(["stats", str(dataset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "#graphs" in out and "avg degree" in out
+
+    def test_queries_roundtrip(self, dataset_file, tmp_path):
+        query_file = tmp_path / "queries.gfd"
+        code = main(
+            ["queries", str(dataset_file), str(query_file), "--count", "3", "--edges", "4"]
+        )
+        assert code == 0
+        workload = read_dataset(query_file)
+        assert len(workload) == 3
+        assert all(q.size == 4 for q in workload)
+
+    def test_build_and_save(self, dataset_file, tmp_path, capsys):
+        index_file = tmp_path / "ggsx.idx"
+        code = main(
+            [
+                "build", str(dataset_file),
+                "--method", "ggsx",
+                "--option", "max_path_edges=3",
+                "--save", str(index_file),
+            ]
+        )
+        assert code == 0
+        assert index_file.exists()
+        assert "built ggsx" in capsys.readouterr().out
+
+    def test_build_unknown_method_fails(self, dataset_file, capsys):
+        assert main(["build", str(dataset_file), "--method", "btree"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_build_budget_timeout(self, dataset_file, capsys):
+        code = main(
+            [
+                "build", str(dataset_file),
+                "--method", "gindex",
+                "--budget", "0.000001",
+            ]
+        )
+        assert code == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_query_compares_methods(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "queries.gfd"
+        main(["queries", str(dataset_file), str(query_file), "--count", "2", "--edges", "3"])
+        code = main(
+            [
+                "query", str(dataset_file), str(query_file),
+                "--method", "ggsx",
+                "--method", "naive",
+                "--option", "max_path_edges=2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ggsx" in out and "naive" in out
+        assert "DISAGREES" not in out
+
+    def test_query_with_loaded_index(self, dataset_file, tmp_path, capsys):
+        index_file = tmp_path / "saved.idx"
+        main(["build", str(dataset_file), "--method", "ctindex",
+              "--option", "fingerprint_bits=256", "--option", "feature_edges=2",
+              "--save", str(index_file)])
+        query_file = tmp_path / "queries.gfd"
+        main(["queries", str(dataset_file), str(query_file), "--count", "2", "--edges", "3"])
+        code = main(
+            [
+                "query", str(dataset_file), str(query_file),
+                "--load", str(index_file),
+                "--method", "naive",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ctindex" in out and "DISAGREES" not in out
+
+    def test_missing_dataset_fails_cleanly(self, capsys):
+        assert main(["stats", "/no/such/file.gfd"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bad_option_syntax_fails(self, dataset_file, capsys):
+        code = main(
+            ["build", str(dataset_file), "--method", "ggsx", "--option", "oops"]
+        )
+        assert code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err

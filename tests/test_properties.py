@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Three families, matching DESIGN.md's "key correctness invariants":
+
+1. Canonical labels are invariant under vertex renumbering and equal
+   only for isomorphic features.
+2. VF2 agrees with networkx monomorphism on arbitrary inputs, and
+   containment is reflexive/transitive where expected.
+3. Every index's filtering never drops a true answer, and verification
+   returns exactly the naive oracle's answers (the filter-and-verify
+   contract under arbitrary datasets and queries).
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.canonical.dfscode import dfs_code_graph, min_dfs_code
+from repro.canonical.paths import path_canonical
+from repro.canonical.cycles import cycle_canonical
+from repro.canonical.trees import tree_canonical
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.indexes import (
+    CTIndex,
+    GCodeIndex,
+    GIndex,
+    GraphGrepSXIndex,
+    GrapesIndex,
+    NaiveIndex,
+    TreeDeltaIndex,
+)
+from repro.isomorphism.vf2 import is_subgraph
+
+from conftest import nx_is_monomorphic, to_networkx, nx_label_match
+
+# ----------------------------------------------------------------------
+# graph strategies
+# ----------------------------------------------------------------------
+
+LABEL = st.sampled_from("AB")
+
+
+@st.composite
+def graphs(draw, min_vertices=1, max_vertices=6, connected=False):
+    n = draw(st.integers(min_vertices, max_vertices))
+    labels = [draw(LABEL) for _ in range(n)]
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = [e for e in possible if draw(st.booleans())]
+    graph = Graph(labels, chosen)
+    if connected and not graph.is_connected():
+        components = graph.connected_components()
+        for previous, current in zip(components, components[1:]):
+            graph.add_edge(previous[0], current[0])
+    return graph
+
+
+@st.composite
+def graph_with_permutation(draw, **kwargs):
+    graph = draw(graphs(**kwargs))
+    permutation = draw(st.permutations(range(graph.order)))
+    return graph, list(permutation)
+
+
+@st.composite
+def trees(draw, min_vertices=2, max_vertices=7):
+    n = draw(st.integers(min_vertices, max_vertices))
+    labels = [draw(LABEL) for _ in range(n)]
+    edges = [(v, draw(st.integers(0, v - 1))) for v in range(1, n)]
+    return Graph(labels, edges)
+
+
+# ----------------------------------------------------------------------
+# 1. canonical labels
+# ----------------------------------------------------------------------
+
+
+@given(graph_with_permutation(min_vertices=2, connected=True))
+@settings(max_examples=120, deadline=None)
+def test_min_dfs_code_invariant_under_renumbering(data):
+    graph, permutation = data
+    if graph.size == 0:
+        return
+    assert min_dfs_code(graph) == min_dfs_code(graph.relabeled(permutation))
+
+
+@given(graphs(min_vertices=2, connected=True), graphs(min_vertices=2, connected=True))
+@settings(max_examples=80, deadline=None)
+def test_min_dfs_code_separates_non_isomorphic(a, b):
+    if a.size == 0 or b.size == 0:
+        return
+    same_code = min_dfs_code(a) == min_dfs_code(b)
+    isomorphic = nx.is_isomorphic(
+        to_networkx(a), to_networkx(b), node_match=nx_label_match
+    )
+    assert same_code == isomorphic
+
+
+@given(graphs(min_vertices=2, connected=True))
+@settings(max_examples=80, deadline=None)
+def test_dfs_code_roundtrip(graph):
+    if graph.size == 0:
+        return
+    code = min_dfs_code(graph)
+    assert min_dfs_code(dfs_code_graph(code)) == code
+
+
+@given(st.lists(LABEL, min_size=1, max_size=8))
+def test_path_canonical_direction_invariance(labels):
+    assert path_canonical(labels) == path_canonical(list(reversed(labels)))
+
+
+@given(st.lists(LABEL, min_size=3, max_size=8), st.integers(0, 7))
+def test_cycle_canonical_rotation_invariance(labels, shift):
+    rotated = labels[shift % len(labels):] + labels[: shift % len(labels)]
+    assert cycle_canonical(labels) == cycle_canonical(rotated)
+
+
+@given(st.lists(LABEL, min_size=3, max_size=8))
+def test_cycle_canonical_reflection_invariance(labels):
+    assert cycle_canonical(labels) == cycle_canonical(list(reversed(labels)))
+
+
+@given(graph_with_permutation(min_vertices=2, max_vertices=7))
+@settings(max_examples=100, deadline=None)
+def test_tree_canonical_invariant_under_renumbering(data):
+    tree, permutation = data
+    if tree.size != tree.order - 1 or not tree.is_connected():
+        return
+    relabeled = tree.relabeled(permutation)
+    assert tree_canonical(tree, list(tree.edges())) == tree_canonical(
+        relabeled, list(relabeled.edges())
+    )
+
+
+@given(trees(), trees())
+@settings(max_examples=80, deadline=None)
+def test_tree_canonical_separates_non_isomorphic(a, b):
+    same = tree_canonical(a, list(a.edges())) == tree_canonical(b, list(b.edges()))
+    isomorphic = nx.is_isomorphic(
+        to_networkx(a), to_networkx(b), node_match=nx_label_match
+    )
+    assert same == isomorphic
+
+
+# ----------------------------------------------------------------------
+# 2. subgraph isomorphism
+# ----------------------------------------------------------------------
+
+
+@given(graphs(max_vertices=4), graphs(max_vertices=6))
+@settings(max_examples=150, deadline=None)
+def test_vf2_agrees_with_networkx(query, data):
+    assert is_subgraph(query, data) == nx_is_monomorphic(query, data)
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_containment_reflexive(graph):
+    assert is_subgraph(graph, graph)
+
+
+@given(graphs(min_vertices=2, max_vertices=6), st.data())
+@settings(max_examples=60, deadline=None)
+def test_induced_subgraph_always_contained(graph, data):
+    k = data.draw(st.integers(1, graph.order))
+    vertices = data.draw(
+        st.lists(
+            st.integers(0, graph.order - 1), min_size=k, max_size=k, unique=True
+        )
+    )
+    sub, _ = graph.induced_subgraph(vertices)
+    assert is_subgraph(sub, graph)
+
+
+# ----------------------------------------------------------------------
+# 3. the filter-and-verify contract, property-based
+# ----------------------------------------------------------------------
+
+_INDEX_FACTORIES = [
+    lambda: GraphGrepSXIndex(max_path_edges=2),
+    lambda: GrapesIndex(max_path_edges=2, workers=1),
+    lambda: CTIndex(fingerprint_bits=128, feature_edges=2),
+    lambda: GCodeIndex(path_depth=1, counter_buckets=8),
+    lambda: GIndex(max_fragment_edges=3, support_ratio=0.34),
+    lambda: TreeDeltaIndex(max_feature_edges=3, support_ratio=0.34),
+]
+
+
+@given(
+    st.lists(graphs(min_vertices=2, max_vertices=5), min_size=2, max_size=6),
+    graphs(min_vertices=1, max_vertices=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_all_indexes_filter_and_verify_exactly(dataset_graphs, query):
+    dataset = GraphDataset(graph.copy() for graph in dataset_graphs)
+    oracle = NaiveIndex()
+    oracle.build(dataset)
+    truth = oracle.query(query).answers
+    for factory in _INDEX_FACTORIES:
+        index = factory()
+        index.build(dataset)
+        candidates = index.filter(query)
+        assert truth <= candidates, f"{index.name} produced false negatives"
+        assert index.query(query).answers == truth, f"{index.name} wrong answers"

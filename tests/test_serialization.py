@@ -1,0 +1,111 @@
+"""Tests for sweep-result JSON persistence and the report CLI."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.core.experiments import nodes_sweep, real_dataset_experiment
+from repro.core.presets import CI_PROFILE
+from repro.core.report import render_sweep
+from repro.core.serialization import load_sweep, save_sweep, sweep_from_json, sweep_to_json
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return replace(
+        CI_PROFILE,
+        nodes_values=(8, 12),
+        default_num_graphs=8,
+        default_nodes=10,
+        default_density=0.2,
+        default_labels=3,
+        query_sizes=(3,),
+        queries_per_size=2,
+        build_budget_seconds=10.0,
+        query_budget_seconds=10.0,
+        real_dataset_scale=0.01,
+        real_dataset_names=("PCM",),
+        method_configs={
+            "ggsx": {"max_path_edges": 2},
+            "gindex": {"max_fragment_edges": 3, "support_ratio": 0.3},
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(tiny_profile):
+    return nodes_sweep(tiny_profile)
+
+
+class TestRoundtrip:
+    def test_json_roundtrip_preserves_structure(self, sweep):
+        restored = sweep_from_json(sweep_to_json(sweep))
+        assert restored.x_name == sweep.x_name
+        assert restored.x_values == sweep.x_values
+        assert restored.methods == sweep.methods
+        assert restored.query_sizes == sweep.query_sizes
+        assert set(restored.cells) == set(sweep.cells)
+
+    def test_roundtrip_preserves_measurements(self, sweep):
+        restored = sweep_from_json(sweep_to_json(sweep))
+        for key, cell in sweep.cells.items():
+            other = restored.cells[key]
+            assert other.build_status == cell.build_status
+            assert other.build_seconds == cell.build_seconds
+            assert other.index_bytes == cell.index_bytes
+            assert set(other.per_size) == set(cell.per_size)
+            for size, stats in cell.per_size.items():
+                assert other.per_size[size].status == stats.status
+                if stats.stats is not None:
+                    assert other.per_size[size].stats == stats.stats
+
+    def test_rendering_identical_after_roundtrip(self, sweep):
+        restored = sweep_from_json(sweep_to_json(sweep))
+        assert render_sweep(restored, "2") == render_sweep(sweep, "2")
+
+    def test_file_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        assert render_sweep(load_sweep(path), "2") == render_sweep(sweep, "2")
+
+    def test_dataset_stats_roundtrip(self, sweep):
+        restored = sweep_from_json(sweep_to_json(sweep))
+        for x, stats in sweep.dataset_stats.items():
+            assert restored.dataset_stats[x] == stats
+
+    def test_real_experiment_roundtrip(self, tiny_profile):
+        result = real_dataset_experiment(tiny_profile, methods=["ggsx"])
+        restored = sweep_from_json(sweep_to_json(result))
+        assert restored.x_values == ["PCM"]
+        assert restored.dataset_stats["PCM"] == result.dataset_stats["PCM"]
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_from_json('{"schema": "something-else"}')
+
+
+class TestReportCli:
+    def test_report_renders_saved_sweep(self, sweep, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        code = main(["report", str(path), "--figure", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out and "ggsx" in out
+
+    def test_report_with_plots(self, sweep, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        code = main(["report", str(path), "--plot"])
+        assert code == 0
+        assert "log-y" in capsys.readouterr().out
+
+    def test_report_missing_file(self, capsys):
+        assert main(["report", "/no/such.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_report_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope"}')
+        assert main(["report", str(path)]) == 2

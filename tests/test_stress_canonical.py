@@ -1,0 +1,101 @@
+"""Heavier randomized stress tests for the canonical-form stack.
+
+These go beyond the quick randomized tests: larger graphs, more
+automorphic structure (uniform labels), and cross-checks between the
+independent canonical forms (DFS codes vs AHU for trees).
+"""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.canonical.dfscode import min_dfs_code
+from repro.canonical.trees import tree_canonical
+from repro.graphs.graph import Graph
+
+from conftest import nx_label_match, random_graph, to_networkx
+
+
+class TestLargerGraphs:
+    def test_invariance_on_8_vertex_graphs(self, rng):
+        for _ in range(40):
+            graph = random_graph(rng, 7, 8, connected=True)
+            permutation = list(range(graph.order))
+            rng.shuffle(permutation)
+            assert min_dfs_code(graph) == min_dfs_code(graph.relabeled(permutation))
+
+    def test_uniform_labels_maximal_symmetry(self, rng):
+        """All-same-label graphs maximize automorphisms — the hardest
+        case for embedding-set canonicalization."""
+        for _ in range(25):
+            graph = random_graph(rng, 5, 7, labels="X", connected=True)
+            permutation = list(range(graph.order))
+            rng.shuffle(permutation)
+            assert min_dfs_code(graph) == min_dfs_code(graph.relabeled(permutation))
+
+    def test_classic_symmetric_graphs(self):
+        # Complete graphs, cycles, complete bipartite: all permutations
+        # must agree.
+        k5 = Graph(["X"] * 5, list(itertools.combinations(range(5), 2)))
+        c6 = Graph(["X"] * 6, [(i, (i + 1) % 6) for i in range(6)])
+        k33 = Graph(
+            ["X"] * 6, [(i, j) for i in range(3) for j in range(3, 6)]
+        )
+        for graph in (k5, c6, k33):
+            reference = min_dfs_code(graph)
+            for _ in range(5):
+                permutation = list(range(graph.order))
+                import random as random_module
+
+                random_module.Random(len(reference)).shuffle(permutation)
+                assert min_dfs_code(graph.relabeled(permutation)) == reference
+
+    def test_petersen_graph_canonical(self):
+        """The Petersen graph: vertex-transitive, girth 5."""
+        petersen = nx.petersen_graph()
+        labels = ["X"] * 10
+        graph = Graph(labels, list(petersen.edges()))
+        reference = min_dfs_code(graph)
+        for seed in range(4):
+            import random as random_module
+
+            permutation = list(range(10))
+            random_module.Random(seed).shuffle(permutation)
+            assert min_dfs_code(graph.relabeled(permutation)) == reference
+
+
+class TestCrossCanonicalConsistency:
+    def test_dfs_code_and_ahu_agree_on_tree_isomorphism(self, rng):
+        """Two independent canonical forms must induce the same
+        equivalence classes on trees."""
+        trees = []
+        for _ in range(30):
+            n = rng.randint(2, 7)
+            labels = [rng.choice("AB") for _ in range(n)]
+            edges = [(v, rng.randrange(v)) for v in range(1, n)]
+            trees.append(Graph(labels, edges))
+        for a, b in itertools.combinations(trees, 2):
+            by_dfs = min_dfs_code(a) == min_dfs_code(b)
+            by_ahu = tree_canonical(a, list(a.edges())) == tree_canonical(
+                b, list(b.edges())
+            )
+            assert by_dfs == by_ahu, (
+                list(a.edges()), a.labels, list(b.edges()), b.labels
+            )
+
+    def test_canonical_classes_match_networkx_on_trees(self, rng):
+        trees = []
+        for _ in range(20):
+            n = rng.randint(2, 6)
+            labels = [rng.choice("AB") for _ in range(n)]
+            edges = [(v, rng.randrange(v)) for v in range(1, n)]
+            trees.append(Graph(labels, edges))
+        for a, b in itertools.combinations(trees, 2):
+            ours = tree_canonical(a, list(a.edges())) == tree_canonical(
+                b, list(b.edges())
+            )
+            theirs = nx.is_isomorphic(
+                to_networkx(a), to_networkx(b), node_match=nx_label_match
+            )
+            assert ours == theirs

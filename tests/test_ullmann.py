@@ -1,0 +1,96 @@
+"""Tests for the Ullmann verifier (the ablation baseline)."""
+
+import time
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.isomorphism.ullmann import ullmann_is_subgraph
+from repro.isomorphism.vf2 import is_subgraph
+from repro.utils.budget import Budget, BudgetExceeded
+
+from conftest import (
+    cycle_graph,
+    nx_is_monomorphic,
+    path_graph,
+    random_graph,
+    star_graph,
+    triangle,
+)
+
+
+class TestBasics:
+    def test_single_vertex(self):
+        assert ullmann_is_subgraph(Graph(["A"]), path_graph("AB"))
+
+    def test_label_mismatch(self):
+        assert not ullmann_is_subgraph(Graph(["Z"]), path_graph("AB"))
+
+    def test_monomorphism_semantics(self):
+        # A 3-path embeds into a triangle (extra edges allowed).
+        assert ullmann_is_subgraph(path_graph("AAA"), triangle("AAA"))
+
+    def test_triangle_not_in_path(self):
+        assert not ullmann_is_subgraph(triangle("AAA"), path_graph("AAA"))
+
+    def test_query_larger_than_data(self):
+        assert not ullmann_is_subgraph(path_graph("AAAA"), path_graph("AA"))
+
+    def test_empty_query(self):
+        assert ullmann_is_subgraph(Graph([]), path_graph("AB"))
+
+    def test_identity(self):
+        graph = cycle_graph("ABCD")
+        assert ullmann_is_subgraph(graph, graph)
+
+    def test_injectivity(self):
+        assert not ullmann_is_subgraph(Graph("AA"), Graph(["A"]))
+
+    def test_disconnected_query(self):
+        assert ullmann_is_subgraph(Graph("AB"), path_graph("AB"))
+        assert not ullmann_is_subgraph(Graph("AB"), Graph(["A"]))
+
+    def test_star_into_star(self):
+        assert ullmann_is_subgraph(star_graph("C", "HH"), star_graph("C", "HHH"))
+        assert not ullmann_is_subgraph(star_graph("C", "HHHH"), star_graph("C", "HHH"))
+
+
+class TestAgainstOracles:
+    def test_agreement_with_vf2_and_networkx(self, rng):
+        positives = negatives = 0
+        for _ in range(250):
+            query = random_graph(rng, 1, 4)
+            data = random_graph(rng, 1, 6)
+            expected = nx_is_monomorphic(query, data)
+            assert ullmann_is_subgraph(query, data) == expected
+            assert is_subgraph(query, data) == expected
+            positives += expected
+            negatives += not expected
+        assert positives > 20 and negatives > 20
+
+    def test_extracted_subgraphs_always_found(self, rng):
+        for _ in range(50):
+            data = random_graph(rng, 3, 7, connected=True)
+            vertices = sorted(rng.sample(range(data.order), 3))
+            query, _ = data.induced_subgraph(vertices)
+            assert ullmann_is_subgraph(query, data)
+
+
+class TestBudget:
+    def test_expired_budget_raises(self, monkeypatch):
+        # Ullmann's refinement prunes hard, so force a poll on the very
+        # first search node rather than hand-crafting a slow instance.
+        import repro.isomorphism.ullmann as ullmann_module
+
+        monkeypatch.setattr(ullmann_module, "_BUDGET_POLL_INTERVAL", 1)
+        query = Graph(["X"] * 3, [(0, 1), (1, 2)])
+        data = Graph(["X"] * 5, [(i, i + 1) for i in range(4)])
+        budget = Budget(0.0)
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceeded):
+            ullmann_is_subgraph(query, data, budget=budget)
+
+    def test_generous_budget_transparent(self):
+        assert ullmann_is_subgraph(
+            path_graph("AA"), triangle("AAA"), budget=Budget(60.0)
+        )

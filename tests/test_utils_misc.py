@@ -1,0 +1,172 @@
+"""Unit tests for sizeof, timing, rng, hashing and budget utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.budget import Budget, BudgetExceeded
+from repro.utils.hashing import hash_positions, stable_hash
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.sizeof import deep_sizeof
+from repro.utils.timing import Timer
+
+
+class TestDeepSizeof:
+    def test_larger_container_is_larger(self):
+        assert deep_sizeof(list(range(1000))) > deep_sizeof(list(range(10)))
+
+    def test_nested_structures_counted(self):
+        flat = deep_sizeof([1, 2, 3])
+        nested = deep_sizeof([[1, 2, 3], [4, 5, 6]])
+        assert nested > flat
+
+    def test_shared_objects_counted_once(self):
+        payload = ["x" * 10_000]
+        shared = [payload, payload]
+        duplicated = [["x" * 10_000], ["y" * 10_000]]
+        assert deep_sizeof(shared) < deep_sizeof(duplicated)
+
+    def test_dict_keys_and_values_counted(self):
+        small = deep_sizeof({})
+        big = deep_sizeof({"k" * 100: "v" * 1000})
+        assert big > small + 1000
+
+    def test_numpy_buffer_counted(self):
+        small = deep_sizeof(np.zeros(10))
+        big = deep_sizeof(np.zeros(10_000))
+        assert big - small > 70_000
+
+    def test_slots_instances_counted(self):
+        class Slotted:
+            __slots__ = ("payload",)
+
+            def __init__(self):
+                self.payload = "z" * 5000
+
+        assert deep_sizeof(Slotted()) > 5000
+
+    def test_bitset_payload_counted(self):
+        from repro.utils.bitset import Bitset
+
+        small = deep_sizeof(Bitset(64))
+        big = deep_sizeof(Bitset(1 << 16))
+        assert big - small >= (1 << 16) // 8 - 64
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_restart(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.restart()
+        assert timer.lap() >= 0.0
+
+    def test_lap_requires_start(self):
+        with pytest.raises(RuntimeError):
+            Timer().lap()
+
+
+class TestRng:
+    def test_make_rng_from_int_is_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_make_rng_passthrough(self):
+        rng = make_rng(1)
+        assert make_rng(rng) is rng
+
+    def test_spawn_rngs_independent_and_reproducible(self):
+        children_a = spawn_rngs(make_rng(7), 3)
+        children_b = spawn_rngs(make_rng(7), 3)
+        for a, b in zip(children_a, children_b):
+            assert a.random() == b.random()
+
+    def test_spawn_rngs_distinct_streams(self):
+        children = spawn_rngs(make_rng(7), 2)
+        assert children[0].random() != children[1].random()
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(make_rng(0), -1)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(("A", "B")) == stable_hash(("A", "B"))
+
+    def test_distinct_inputs_differ(self):
+        assert stable_hash(("A", "B")) != stable_hash(("B", "A"))
+
+    def test_salt_changes_hash(self):
+        assert stable_hash("x") != stable_hash("x", salt=b"s")
+
+    def test_hash_positions_in_range(self):
+        for position in hash_positions(("A", "B", "C"), width=512, count=8):
+            assert 0 <= position < 512
+
+    def test_hash_positions_deterministic(self):
+        assert hash_positions("f", 100, 3) == hash_positions("f", 100, 3)
+
+    def test_hash_positions_validation(self):
+        with pytest.raises(ValueError):
+            hash_positions("f", 0, 1)
+        with pytest.raises(ValueError):
+            hash_positions("f", 10, 0)
+
+
+class TestBudget:
+    def test_unlimited_never_raises(self):
+        budget = Budget(None)
+        budget.check()
+        assert not budget.exceeded
+        assert budget.remaining() == float("inf")
+
+    def test_expired_budget_raises(self):
+        budget = Budget(0.0)
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceeded):
+            budget.check()
+
+    def test_exceeded_flag(self):
+        budget = Budget(0.0)
+        time.sleep(0.002)
+        assert budget.exceeded
+
+    def test_fresh_budget_does_not_raise(self):
+        Budget(60.0).check()
+
+    def test_remaining_decreases(self):
+        budget = Budget(60.0)
+        first = budget.remaining()
+        time.sleep(0.002)
+        assert budget.remaining() < first
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(-1.0)
+
+    def test_phase_in_message(self):
+        budget = Budget(0.0, phase="gindex build")
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceeded, match="gindex build"):
+            budget.check()
+
+    def test_restarted_gets_fresh_deadline(self):
+        budget = Budget(0.05)
+        time.sleep(0.06)
+        assert budget.exceeded
+        assert not budget.restarted().exceeded
+
+    def test_elapsed_monotone(self):
+        budget = Budget(None)
+        first = budget.elapsed()
+        time.sleep(0.002)
+        assert budget.elapsed() > first

@@ -1,0 +1,120 @@
+"""Tests for the contract-validation harness itself."""
+
+import pytest
+
+from repro.core.validation import validate_index
+from repro.graphs.graph import Graph
+from repro.indexes import GraphGrepSXIndex, NaiveIndex
+from repro.indexes.base import GraphIndex
+
+
+class TestValidateCorrectIndexes:
+    def test_ggsx_passes(self):
+        report = validate_index(
+            lambda: GraphGrepSXIndex(max_path_edges=2), trials=2, seed=3
+        )
+        assert report.ok
+        assert report.queries_checked > 0
+        assert "OK" in report.summary()
+
+    def test_naive_passes(self):
+        assert validate_index(NaiveIndex, trials=2, seed=4).ok
+
+    def test_deterministic_given_seed(self):
+        a = validate_index(NaiveIndex, trials=2, seed=9)
+        b = validate_index(NaiveIndex, trials=2, seed=9)
+        assert a.queries_checked == b.queries_checked
+
+
+class _LossyIndex(GraphIndex):
+    """Deliberately broken: drops a candidate it should keep."""
+
+    name = "lossy"
+
+    def _build(self, dataset, budget):
+        return {}
+
+    def _filter(self, query, budget):
+        ids = self._dataset.all_ids()
+        if len(ids) > 1 and query.size == 0 and query.order == 1:
+            ids.discard(0)  # false negative for single-vertex queries
+        return ids
+
+    def _size_payload(self):
+        return ()
+
+
+class _OvereagerIndex(GraphIndex):
+    """Deliberately broken: claims answers without verification."""
+
+    name = "overeager"
+
+    def _build(self, dataset, budget):
+        return {}
+
+    def _filter(self, query, budget):
+        return self._dataset.all_ids()
+
+    def verify(self, query, candidates, budget=None):
+        return set(candidates)  # skips the isomorphism test entirely
+
+    def _size_payload(self):
+        return ()
+
+
+class TestValidateCatchesBrokenIndexes:
+    def test_false_negatives_detected(self):
+        report = validate_index(_LossyIndex, trials=2, seed=5)
+        assert not report.ok
+        assert any(v.kind == "false_negative" for v in report.violations)
+
+    def test_wrong_answers_detected(self):
+        report = validate_index(_OvereagerIndex, trials=1, seed=6)
+        assert not report.ok
+        assert any(v.kind == "wrong_answers" for v in report.violations)
+
+    def test_fail_fast_stops_early(self):
+        report = validate_index(_OvereagerIndex, trials=3, seed=6, fail_fast=True)
+        assert len(report.violations) == 1
+
+    def test_violations_carry_context(self):
+        report = validate_index(_OvereagerIndex, trials=1, seed=6)
+        violation = report.violations[0]
+        assert violation.query_repr
+        assert "expected" in violation.detail
+        assert "VIOLATIONS" in report.summary()
+
+
+class TestAllMethodsPassValidation:
+    """The six real methods each clear the fuzzing harness."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: GraphGrepSXIndex(max_path_edges=3),
+            NaiveIndex,
+        ],
+        ids=["ggsx-len3", "naive"],
+    )
+    def test_fast_methods_two_rounds(self, factory):
+        assert validate_index(factory, trials=2, seed=11).ok
+
+    def test_remaining_methods_one_round(self):
+        from repro.indexes import (
+            CTIndex,
+            GCodeIndex,
+            GIndex,
+            GrapesIndex,
+            TreeDeltaIndex,
+        )
+
+        factories = [
+            lambda: GrapesIndex(max_path_edges=2, workers=2),
+            lambda: CTIndex(fingerprint_bits=256, feature_edges=2),
+            lambda: GCodeIndex(path_depth=1, counter_buckets=8),
+            lambda: GIndex(max_fragment_edges=3, support_ratio=0.3),
+            lambda: TreeDeltaIndex(max_feature_edges=3, support_ratio=0.3),
+        ]
+        for factory in factories:
+            report = validate_index(factory, trials=1, queries_per_trial=4, seed=12)
+            assert report.ok, report.violations

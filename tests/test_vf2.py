@@ -1,0 +1,178 @@
+"""Unit and randomized tests for VF2 subgraph monomorphism (Def. 3)."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.isomorphism.heuristics import connectivity_order, frequency_degree_order
+from repro.isomorphism.vf2 import (
+    SubgraphMatcher,
+    count_embeddings,
+    find_embedding,
+    is_subgraph,
+)
+from repro.utils.budget import Budget, BudgetExceeded
+
+from conftest import (
+    cycle_graph,
+    nx_is_monomorphic,
+    path_graph,
+    random_graph,
+    star_graph,
+    triangle,
+)
+
+
+class TestBasicMatching:
+    def test_single_vertex_in_anything(self):
+        assert is_subgraph(Graph(["A"]), path_graph("AB"))
+
+    def test_label_mismatch_fails(self):
+        assert not is_subgraph(Graph(["Z"]), path_graph("AB"))
+
+    def test_edge_in_triangle(self):
+        assert is_subgraph(path_graph("AA"), triangle("AAA"))
+
+    def test_monomorphism_not_induced(self):
+        """Def. 3: extra data edges are allowed — a 3-path maps into a
+        triangle even though the triangle has a chord w.r.t. the path."""
+        assert is_subgraph(path_graph("AAA"), triangle("AAA"))
+
+    def test_triangle_not_in_path(self):
+        assert not is_subgraph(triangle("AAA"), path_graph("AAA"))
+
+    def test_query_larger_than_data_fails_fast(self):
+        assert not is_subgraph(path_graph("AAAA"), path_graph("AA"))
+
+    def test_identity(self):
+        graph = cycle_graph("ABCA")
+        assert is_subgraph(graph, graph)
+
+    def test_empty_query_matches(self):
+        assert is_subgraph(Graph([]), path_graph("AB"))
+
+    def test_disconnected_query(self):
+        query = Graph("AB")  # two isolated vertices
+        assert is_subgraph(query, path_graph("AB"))
+        assert not is_subgraph(query, Graph(["A"]))
+
+    def test_injectivity_enforced(self):
+        # Two A-vertices in the query need two distinct A's in the data.
+        query = Graph("AA")
+        assert not is_subgraph(query, Graph(["A"]))
+
+
+class TestEmbeddings:
+    def test_find_embedding_valid(self):
+        query = path_graph("AB")
+        data = Graph("BAB", [(0, 1), (1, 2)])
+        embedding = find_embedding(query, data)
+        assert embedding is not None
+        for u, v in query.edges():
+            assert data.has_edge(embedding[u], embedding[v])
+        for v in query.vertices():
+            assert query.label(v) == data.label(embedding[v])
+
+    def test_find_embedding_none_when_absent(self):
+        assert find_embedding(triangle(), path_graph("AAA")) is None
+
+    def test_count_embeddings_triangle_in_triangle(self):
+        # 3 rotations x 2 reflections.
+        assert count_embeddings(triangle("AAA"), triangle("AAA")) == 6
+
+    def test_count_embeddings_edge_in_star(self):
+        star = star_graph("C", "HHH")
+        assert count_embeddings(path_graph("CH"), star) == 3
+
+    def test_count_with_limit(self):
+        assert count_embeddings(triangle("AAA"), triangle("AAA"), limit=2) == 2
+
+    def test_all_embeddings_distinct(self):
+        query = path_graph("AA")
+        data = cycle_graph("AAAA")
+        seen = set()
+        for embedding in SubgraphMatcher(query, data).iter_embeddings():
+            key = tuple(sorted(embedding.items()))
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) == 8  # 4 edges x 2 directions
+
+
+class TestAgainstNetworkx:
+    def test_randomized_agreement(self, rng):
+        positives = negatives = 0
+        for _ in range(250):
+            query = random_graph(rng, 1, 4)
+            data = random_graph(rng, 1, 6)
+            expected = nx_is_monomorphic(query, data)
+            assert is_subgraph(query, data) == expected
+            positives += expected
+            negatives += not expected
+        # The random mix must actually exercise both outcomes.
+        assert positives > 20 and negatives > 20
+
+    def test_randomized_agreement_with_ctindex_ordering(self, rng):
+        for _ in range(120):
+            query = random_graph(rng, 1, 4)
+            data = random_graph(rng, 1, 6)
+            got = is_subgraph(query, data, ordering=frequency_degree_order)
+            assert got == nx_is_monomorphic(query, data)
+
+    def test_queries_extracted_from_data_always_match(self, rng):
+        for _ in range(60):
+            data = random_graph(rng, 3, 7, connected=True)
+            vertices = sorted(
+                rng.sample(range(data.order), rng.randint(1, data.order))
+            )
+            query, _ = data.induced_subgraph(vertices)
+            assert is_subgraph(query, data)
+
+
+class TestOrderings:
+    def test_connectivity_order_is_permutation(self, rng):
+        for _ in range(30):
+            graph = random_graph(rng, 1, 7)
+            order = connectivity_order(graph)
+            assert sorted(order) == list(graph.vertices())
+
+    def test_connectivity_order_stays_connected(self, rng):
+        for _ in range(30):
+            graph = random_graph(rng, 2, 7, connected=True)
+            order = connectivity_order(graph)
+            for position in range(1, len(order)):
+                prefix = set(order[:position])
+                assert any(w in prefix for w in graph.neighbors(order[position]))
+
+    def test_frequency_degree_order_is_permutation(self, rng):
+        for _ in range(30):
+            graph = random_graph(rng, 1, 7)
+            order = frequency_degree_order(graph)
+            assert sorted(order) == list(graph.vertices())
+
+    def test_frequency_degree_prefers_rare_labels(self):
+        data = Graph(["R"] + ["C"] * 5)
+        query = Graph(["C", "R"], [(0, 1)])
+        order = frequency_degree_order(query, data)
+        assert order[0] == 1  # 'R' is rarer in the data graph
+
+    def test_both_orderings_give_same_answers(self, rng):
+        for _ in range(60):
+            query = random_graph(rng, 1, 4)
+            data = random_graph(rng, 1, 6)
+            assert is_subgraph(query, data, ordering=connectivity_order) == \
+                is_subgraph(query, data, ordering=frequency_degree_order)
+
+
+class TestBudget:
+    def test_expired_budget_aborts_search(self):
+        # A pathological all-same-label instance with many branches.
+        query = Graph(["X"] * 8, [(i, j) for i in range(8) for j in range(i + 1, 8)])
+        data = Graph(["X"] * 14, [(i, j) for i in range(14) for j in range(i + 1, 14)])
+        budget = Budget(0.0)
+        import time
+
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceeded):
+            count_embeddings(query, data, budget=budget)
+
+    def test_fresh_budget_allows_search(self):
+        assert is_subgraph(path_graph("AA"), triangle("AAA"), budget=Budget(30.0))

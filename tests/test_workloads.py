@@ -1,0 +1,113 @@
+"""Tests for workload characterization and selectivity analysis."""
+
+import pytest
+
+from repro.core.workloads import (
+    characterize_queries,
+    filtering_profile,
+    selectivity_profile,
+)
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.indexes import GraphGrepSXIndex, NaiveIndex
+
+from conftest import path_graph, triangle
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = GraphGenConfig(
+        num_graphs=20, mean_nodes=12, mean_density=0.2, num_labels=4
+    )
+    return generate_dataset(config, seed=42)
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    return generate_queries(dataset, 8, 5, seed=0)
+
+
+class TestCharacterize:
+    def test_basic_statistics(self, queries):
+        stats = characterize_queries(queries)
+        assert stats.num_queries == 8
+        assert stats.avg_edges == pytest.approx(5.0)
+        assert stats.all_connected
+
+    def test_empty_workload(self):
+        stats = characterize_queries([])
+        assert stats.num_queries == 0
+        assert not stats.all_connected or stats.num_queries == 0
+
+    def test_label_union(self):
+        stats = characterize_queries([path_graph("AB"), path_graph("BC")])
+        assert stats.num_distinct_labels == 3
+
+    def test_disconnected_counted(self):
+        stats = characterize_queries([Graph("AB"), triangle()])
+        assert stats.num_connected == 1
+
+
+class TestSelectivity:
+    def test_counts_match_oracle(self, dataset, queries):
+        profile = selectivity_profile(dataset, queries)
+        oracle = NaiveIndex()
+        oracle.build(dataset)
+        for query, count in zip(queries, profile.answer_counts):
+            assert count == len(oracle.query(query).answers)
+
+    def test_walk_queries_never_empty(self, dataset, queries):
+        profile = selectivity_profile(dataset, queries)
+        assert profile.num_empty == 0
+        assert profile.avg_selectivity > 0.0
+
+    def test_impossible_query_selectivity(self, dataset):
+        ghost = Graph(["NOPE", "NOPE"], [(0, 1)])
+        profile = selectivity_profile(dataset, [ghost])
+        assert profile.answer_counts == (0,)
+        assert profile.num_empty == 1
+        assert profile.avg_selectivity == 0.0
+
+    def test_percentiles(self, dataset, queries):
+        profile = selectivity_profile(dataset, queries)
+        assert profile.percentile(0.0) == min(profile.answer_counts)
+        assert profile.percentile(1.0) == max(profile.answer_counts)
+        assert profile.percentile(0.0) <= profile.percentile(0.5) <= profile.percentile(1.0)
+
+    def test_percentile_validation(self, dataset, queries):
+        profile = selectivity_profile(dataset, queries)
+        with pytest.raises(ValueError):
+            profile.percentile(1.5)
+
+
+class TestFilteringProfile:
+    def test_fp_ratio_matches_query_results(self, dataset, queries):
+        index = GraphGrepSXIndex(max_path_edges=3)
+        index.build(dataset)
+        profile = filtering_profile(index, queries)
+        from repro.core.metrics import false_positive_ratio
+
+        expected = false_positive_ratio([index.query(q) for q in queries])
+        assert profile.false_positive_ratio == pytest.approx(expected)
+
+    def test_naive_profile_is_all_candidates(self, dataset, queries):
+        index = NaiveIndex()
+        index.build(dataset)
+        profile = filtering_profile(index, queries)
+        assert profile.avg_candidates == len(dataset)
+        assert profile.method == "naive"
+
+    def test_perfect_queries_counted(self, dataset, queries):
+        index = GraphGrepSXIndex(max_path_edges=3)
+        index.build(dataset)
+        profile = filtering_profile(index, queries)
+        assert 0 <= profile.perfect_queries <= profile.num_queries
+
+    def test_empty_workload(self, dataset):
+        index = NaiveIndex()
+        index.build(dataset)
+        profile = filtering_profile(index, [])
+        assert profile.false_positive_ratio == 0.0
+        assert profile.avg_candidates == 0.0
