@@ -1,0 +1,55 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Importable by name from every ``test_fig*.py`` file (conftest modules
+are not importable under pytest's importlib import mode).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.presets import CI_PROFILE, PAPER_PROFILE
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_profile():
+    """The profile benchmarks run under (env-selectable)."""
+    if os.environ.get("REPRO_SCALE", "").lower() == "paper":
+        return PAPER_PROFILE
+    # Trim the CI profile further: benches favour wall-clock over grid
+    # resolution, and the shape claims survive the smaller grid.
+    return replace(
+        CI_PROFILE,
+        nodes_values=(10, 14, 18, 24, 32, 44),
+        density_values=(0.05, 0.08, 0.12, 0.18, 0.26),
+        label_values=(2, 3, 4, 8, 12),
+        graph_count_values=(30, 60, 120, 240),
+        default_num_graphs=40,
+        queries_per_size=5,
+        build_budget_seconds=10.0,
+        query_budget_seconds=10.0,
+        real_dataset_scale=0.02,
+    )
+
+
+def bench_jobs() -> int | None:
+    """Worker count for the sweeps (opt-in parallel mode).
+
+    ``REPRO_JOBS=N`` fans every sweep's (method × dataset) cells out to
+    N processes via :class:`repro.core.parallel.ParallelRunner`; unset
+    (or 1) keeps the sequential path, whose cells are equivalent by the
+    engine's ordered-merge guarantee.  ``REPRO_JOBS=0`` means all
+    cores, matching ``repro sweep --jobs 0``.
+    """
+    value = int(os.environ.get("REPRO_JOBS", "1"))
+    return None if value == 0 else max(1, value)
+
+
+def save_and_print(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered figure and echo it into the bench log."""
+    (results_dir / name).write_text(text, encoding="utf-8")
+    print()
+    print(text)

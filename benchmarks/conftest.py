@@ -8,41 +8,22 @@ qualitative *shape* claims of §5/§6 that are stable at the active scale.
 
 Scale selection: ``REPRO_SCALE=paper`` runs the full §4 configuration
 (expect extremely long runtimes in pure Python); the default is a
-trimmed CI profile sized for minutes, not hours.  EXPERIMENTS.md records
-the outputs of both the shipped CI runs and the paper's own numbers.
+trimmed CI profile sized for minutes, not hours.  ``REPRO_JOBS=N``
+opts the sweeps into the parallel engine with N worker processes.
+EXPERIMENTS.md records the outputs of both the shipped CI runs and the
+paper's own numbers.
+
+Helper functions live in :mod:`benchkit` (``benchmarks/benchkit.py``);
+only fixtures live here.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import replace
 from pathlib import Path
 
 import pytest
 
-from repro.core.presets import CI_PROFILE, PAPER_PROFILE
-
-RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def bench_profile():
-    """The profile benchmarks run under (env-selectable)."""
-    if os.environ.get("REPRO_SCALE", "").lower() == "paper":
-        return PAPER_PROFILE
-    # Trim the CI profile further: benches favour wall-clock over grid
-    # resolution, and the shape claims survive the smaller grid.
-    return replace(
-        CI_PROFILE,
-        nodes_values=(10, 14, 18, 24, 32, 44),
-        density_values=(0.05, 0.08, 0.12, 0.18, 0.26),
-        label_values=(2, 3, 4, 8, 12),
-        graph_count_values=(30, 60, 120, 240),
-        default_num_graphs=40,
-        queries_per_size=5,
-        build_budget_seconds=10.0,
-        query_budget_seconds=10.0,
-        real_dataset_scale=0.02,
-    )
+from benchkit import RESULTS_DIR, bench_jobs, bench_profile
 
 
 @pytest.fixture(scope="session")
@@ -51,13 +32,11 @@ def profile():
 
 
 @pytest.fixture(scope="session")
+def jobs() -> int:
+    return bench_jobs()
+
+
+@pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
-
-
-def save_and_print(results_dir: Path, name: str, text: str) -> None:
-    """Persist a rendered figure and echo it into the bench log."""
-    (results_dir / name).write_text(text, encoding="utf-8")
-    print()
-    print(text)

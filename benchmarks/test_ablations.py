@@ -22,7 +22,7 @@ from repro.isomorphism.ullmann import ullmann_is_subgraph
 from repro.isomorphism.vf2 import is_subgraph
 from repro.utils.timing import Timer
 
-from conftest import save_and_print
+from benchkit import save_and_print
 
 
 def _make_workbench(profile):

@@ -14,12 +14,15 @@ stand-ins.  Shape claims checked (from §5.1):
 from repro.core.experiments import real_dataset_experiment
 from repro.core.report import ordering_fraction, render_sweep, series_values
 
-from conftest import save_and_print
+from benchkit import save_and_print
 
 
-def test_fig1(benchmark, profile, results_dir):
+def test_fig1(benchmark, profile, jobs, results_dir):
     result = benchmark.pedantic(
-        real_dataset_experiment, kwargs={"profile": profile}, rounds=1, iterations=1
+        real_dataset_experiment,
+        kwargs={"profile": profile, "jobs": jobs},
+        rounds=1,
+        iterations=1,
     )
     save_and_print(results_dir, "fig1_real_datasets.txt", render_sweep(result, "1"))
 

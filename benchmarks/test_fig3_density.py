@@ -18,23 +18,23 @@ from repro.core.report import (
     series_values,
 )
 
-from conftest import save_and_print
+from benchkit import save_and_print
 
 # The density sweep is shared by Figures 3 and 4; run it once per
 # session and let both bench files consume it.
 _SWEEP_CACHE: dict = {}
 
 
-def shared_density_sweep(profile):
+def shared_density_sweep(profile, jobs=1):
     key = id(profile)
     if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = density_sweep(profile=profile)
+        _SWEEP_CACHE[key] = density_sweep(profile=profile, jobs=jobs)
     return _SWEEP_CACHE[key]
 
 
-def test_fig3(benchmark, profile, results_dir):
+def test_fig3(benchmark, profile, jobs, results_dir):
     sweep = benchmark.pedantic(
-        shared_density_sweep, args=(profile,), rounds=1, iterations=1
+        shared_density_sweep, args=(profile, jobs), rounds=1, iterations=1
     )
     save_and_print(results_dir, "fig3_density.txt", render_sweep(sweep, "3"))
 

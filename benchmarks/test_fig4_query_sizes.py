@@ -12,13 +12,13 @@ size (4, 8, 16, 32 edges).  Shape claims checked (from §5.2.2):
 
 from repro.core.report import render_series_table, series_values
 
-from conftest import save_and_print
+from benchkit import save_and_print
 from test_fig3_density import shared_density_sweep
 
 
-def test_fig4(benchmark, profile, results_dir):
+def test_fig4(benchmark, profile, jobs, results_dir):
     sweep = benchmark.pedantic(
-        shared_density_sweep, args=(profile,), rounds=1, iterations=1
+        shared_density_sweep, args=(profile, jobs), rounds=1, iterations=1
     )
     panels = []
     for size in sweep.query_sizes:

@@ -14,12 +14,12 @@ Shape claims checked (from §5.2.3):
 from repro.core.experiments import labels_sweep
 from repro.core.report import render_sweep, series_values
 
-from conftest import save_and_print
+from benchkit import save_and_print
 
 
-def test_fig5(benchmark, profile, results_dir):
+def test_fig5(benchmark, profile, jobs, results_dir):
     sweep = benchmark.pedantic(
-        labels_sweep, kwargs={"profile": profile}, rounds=1, iterations=1
+        labels_sweep, kwargs={"profile": profile, "jobs": jobs}, rounds=1, iterations=1
     )
     save_and_print(results_dir, "fig5_labels.txt", render_sweep(sweep, "5"))
 

@@ -14,12 +14,12 @@ Shape claims checked (from §5.2.4):
 from repro.core.experiments import graph_count_sweep
 from repro.core.report import render_sweep, series_values
 
-from conftest import save_and_print
+from benchkit import save_and_print
 
 
-def test_fig6(benchmark, profile, results_dir):
+def test_fig6(benchmark, profile, jobs, results_dir):
     sweep = benchmark.pedantic(
-        graph_count_sweep, kwargs={"profile": profile}, rounds=1, iterations=1
+        graph_count_sweep, kwargs={"profile": profile, "jobs": jobs}, rounds=1, iterations=1
     )
     save_and_print(results_dir, "fig6_graph_count.txt", render_sweep(sweep, "6"))
 

@@ -17,7 +17,7 @@ from repro.core.runner import evaluate_method
 from repro.generators.graphgen import GraphGenConfig, generate_dataset
 from repro.generators.queries import generate_queries
 
-from conftest import save_and_print
+from benchkit import save_and_print
 
 
 def _evaluate_all(profile):

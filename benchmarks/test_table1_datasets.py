@@ -13,7 +13,7 @@ from repro.generators.realsets import REAL_DATASET_SPECS, make_real_dataset
 from repro.graphs.statistics import dataset_statistics
 from repro.core.report import render_table1
 
-from conftest import save_and_print
+from benchkit import save_and_print
 
 
 def _collect(profile):

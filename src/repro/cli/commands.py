@@ -44,6 +44,12 @@ def _load_dataset(path: str):
         raise CliError(f"malformed dataset {path}: {exc}")
 
 
+def _require_known_method(name: str) -> None:
+    if name not in ALL_INDEX_CLASSES:
+        known = ", ".join(ALL_INDEX_CLASSES)
+        raise CliError(f"unknown method {name!r}; expected one of {known}")
+
+
 def _supported_options(method: str, options: dict) -> dict:
     """The subset of *options* the method's constructor accepts.
 
@@ -125,9 +131,7 @@ def cmd_queries(args: argparse.Namespace) -> int:
 
 def cmd_build(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
-    if args.method not in ALL_INDEX_CLASSES:
-        known = ", ".join(ALL_INDEX_CLASSES)
-        raise CliError(f"unknown method {args.method!r}; expected one of {known}")
+    _require_known_method(args.method)
     index = make_method(args.method, _parse_options(args.option))
     budget = Budget(args.budget, phase=f"{args.method} build") if args.budget else None
     try:
@@ -168,9 +172,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     for method in methods:
         if args.load and indexes and indexes[0].name == method:
             continue  # already covered by the loaded index
-        if method not in ALL_INDEX_CLASSES:
-            known = ", ".join(ALL_INDEX_CLASSES)
-            raise CliError(f"unknown method {method!r}; expected one of {known}")
+        _require_known_method(method)
         index = make_method(method, _supported_options(method, options))
         index.build(dataset)
         indexes.append(index)
@@ -212,8 +214,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "real": (real_dataset_experiment, "1"),
     }
     run, figure = runners[args.experiment]
-    print(f"running {args.experiment} sweep at scale '{profile.name}'...")
-    sweep = run(profile, seed=args.seed, progress=lambda m: print(f"  {m}", end="\r"))
+    if args.jobs < 0:
+        raise CliError(f"--jobs must be >= 0, got {args.jobs}")
+    jobs = args.jobs if args.jobs > 0 else None  # 0 = all cores
+    workers = jobs if jobs is not None else "all cores"
+    print(
+        f"running {args.experiment} sweep at scale '{profile.name}' "
+        f"(jobs={workers})..."
+    )
+    for method in args.method:
+        _require_known_method(method)
+    sweep = run(
+        profile,
+        methods=args.method or None,
+        seed=args.seed,
+        progress=lambda m: print(f"  {m}", end="\r"),
+        jobs=jobs,
+    )
     print()
 
     output = []

@@ -97,6 +97,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["nodes", "density", "labels", "graphs", "real"],
         help="which parameter sweep to run",
     )
+    sweep.add_argument(
+        "--method",
+        action="append",
+        default=[],
+        help="restrict the sweep to this method (repeatable; default: "
+        "the profile's full roster)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for (method x dataset) cells "
+        "(default 1 = sequential; 0 = all cores)",
+    )
     sweep.add_argument("--out", help="directory for rendered outputs")
     sweep.add_argument("--plot", action="store_true", help="ASCII plots too")
     sweep.add_argument("--json", help="also save raw results as JSON")

@@ -15,11 +15,12 @@ the missing data points the paper draws as truncated curves.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro.core.parallel import ParallelRunner
 from repro.core.presets import ScaleProfile, active_profile
-from repro.core.runner import MethodCell, evaluate_method
+from repro.core.runner import CellTask, MethodCell, run_cell
 from repro.generators.graphgen import GraphGenConfig, generate_dataset
 from repro.generators.queries import generate_queries
 from repro.generators.realsets import make_real_dataset
@@ -105,6 +106,7 @@ def nodes_sweep(
     values: Sequence[int] | None = None,
     seed: int = 0,
     progress: ProgressHook | None = None,
+    jobs: int | None = 1,
 ) -> SweepResult:
     """Figure 2: vary the number of nodes per graph."""
     profile = profile or active_profile()
@@ -121,6 +123,7 @@ def nodes_sweep(
         methods=methods,
         seed=seed,
         progress=progress,
+        jobs=jobs,
     )
 
 
@@ -130,6 +133,7 @@ def density_sweep(
     values: Sequence[float] | None = None,
     seed: int = 0,
     progress: ProgressHook | None = None,
+    jobs: int | None = 1,
 ) -> SweepResult:
     """Figures 3 and 4: vary the mean graph density."""
     profile = profile or active_profile()
@@ -146,6 +150,7 @@ def density_sweep(
         methods=methods,
         seed=seed,
         progress=progress,
+        jobs=jobs,
     )
 
 
@@ -155,6 +160,7 @@ def labels_sweep(
     values: Sequence[int] | None = None,
     seed: int = 0,
     progress: ProgressHook | None = None,
+    jobs: int | None = 1,
 ) -> SweepResult:
     """Figure 5: vary the number of distinct labels."""
     profile = profile or active_profile()
@@ -171,6 +177,7 @@ def labels_sweep(
         methods=methods,
         seed=seed,
         progress=progress,
+        jobs=jobs,
     )
 
 
@@ -180,6 +187,7 @@ def graph_count_sweep(
     values: Sequence[int] | None = None,
     seed: int = 0,
     progress: ProgressHook | None = None,
+    jobs: int | None = 1,
 ) -> SweepResult:
     """Figure 6: vary the number of graphs in the dataset."""
     profile = profile or active_profile()
@@ -196,6 +204,7 @@ def graph_count_sweep(
         methods=methods,
         seed=seed,
         progress=progress,
+        jobs=jobs,
     )
 
 
@@ -207,6 +216,7 @@ def _synthetic_sweep(
     methods: Sequence[str] | None,
     seed: int,
     progress: ProgressHook | None,
+    jobs: int | None = 1,
 ) -> SweepResult:
     method_names = list(methods if methods is not None else profile.method_names())
     result = SweepResult(
@@ -215,21 +225,15 @@ def _synthetic_sweep(
         methods=method_names,
         query_sizes=profile.query_sizes,
     )
-    for x in values:
-        dataset = generate_dataset(config_for(x), seed=seed)
-        workloads = _make_workloads(dataset, profile, seed)
-        result.dataset_stats[x] = dataset_statistics(dataset)
-        for method in method_names:
-            if progress is not None:
-                progress(f"{x_name}={x} method={method}")
-            result.cells[(x, method)] = evaluate_method(
-                method,
-                dataset,
-                workloads,
-                method_config=profile.method_configs.get(method),
-                build_budget_seconds=profile.build_budget_seconds,
-                query_budget_seconds=profile.query_budget_seconds,
-            )
+    def tasks():
+        for x in values:
+            dataset = generate_dataset(config_for(x), seed=seed)
+            workloads = _make_workloads(dataset, profile, seed)
+            result.dataset_stats[x] = dataset_statistics(dataset)
+            for method in method_names:
+                yield _cell_task((x, method), method, dataset, workloads, profile)
+
+    _dispatch(result, tasks(), len(values) * len(method_names), x_name, jobs, progress)
     return result
 
 
@@ -244,6 +248,7 @@ def real_dataset_experiment(
     names: Sequence[str] | None = None,
     seed: int = 0,
     progress: ProgressHook | None = None,
+    jobs: int | None = 1,
 ) -> SweepResult:
     """Figure 1 and Table 1: all methods over the real-dataset stand-ins."""
     profile = profile or active_profile()
@@ -255,22 +260,68 @@ def real_dataset_experiment(
         methods=method_names,
         query_sizes=profile.query_sizes,
     )
-    for name in dataset_names:
-        dataset = make_real_dataset(name, scale=profile.real_dataset_scale, seed=seed)
-        workloads = _make_workloads(dataset, profile, seed)
-        result.dataset_stats[name] = dataset_statistics(dataset, name=name)
-        for method in method_names:
-            if progress is not None:
-                progress(f"dataset={name} method={method}")
-            result.cells[(name, method)] = evaluate_method(
-                method,
-                dataset,
-                workloads,
-                method_config=profile.method_configs.get(method),
-                build_budget_seconds=profile.build_budget_seconds,
-                query_budget_seconds=profile.query_budget_seconds,
+    def tasks():
+        for name in dataset_names:
+            dataset = make_real_dataset(
+                name, scale=profile.real_dataset_scale, seed=seed
             )
+            workloads = _make_workloads(dataset, profile, seed)
+            result.dataset_stats[name] = dataset_statistics(dataset, name=name)
+            for method in method_names:
+                yield _cell_task((name, method), method, dataset, workloads, profile)
+
+    total = len(dataset_names) * len(method_names)
+    _dispatch(result, tasks(), total, "dataset", jobs, progress)
     return result
+
+
+def _cell_task(key, method, dataset, workloads, profile: ScaleProfile) -> CellTask:
+    return CellTask(
+        key=key,
+        method=method,
+        dataset=dataset,
+        workloads=workloads,
+        method_config=profile.method_configs.get(method),
+        build_budget_seconds=profile.build_budget_seconds,
+        query_budget_seconds=profile.query_budget_seconds,
+    )
+
+
+def _dispatch(
+    result: SweepResult,
+    tasks: "Iterable[CellTask]",
+    total: int,
+    x_name: str,
+    jobs: int | None,
+    progress: ProgressHook | None,
+) -> None:
+    """Execute *tasks* (parallel when jobs > 1) and merge deterministically.
+
+    Sequential runs stream the lazy *tasks* iterable — only one x
+    value's dataset is alive at a time, as before the engine existed —
+    and report each cell *before* it runs, so an hours-long cell is
+    visible in flight.  Parallel runs must materialize every task to
+    submit it, and can only report completions; outcomes still come
+    back in task order regardless of worker completion order, so
+    ``result.cells`` has the exact insertion order — x outer, method
+    inner — the sequential loop produces.
+    """
+
+    def label(done: int, task: CellTask) -> str:
+        return f"[{done}/{total}] {x_name}={task.key[0]} method={task.method}"
+
+    runner = ParallelRunner(jobs=jobs)
+    if runner.jobs <= 1:
+        for done, task in enumerate(tasks, start=1):
+            if progress is not None:
+                progress(label(done, task))
+            result.cells[task.key] = run_cell(task)
+        return
+    hook = None
+    if progress is not None:
+        hook = lambda done, _total, task: progress(label(done, task))
+    for outcome in runner.run(list(tasks), progress=hook):
+        result.cells[outcome.key] = outcome.cell
 
 
 def _make_workloads(

@@ -1,0 +1,205 @@
+"""Parallel execution of experiment cells across worker processes.
+
+Every (method × dataset) cell of the paper's figure grid is independent
+— the same observation *NScale* and the billion-node matching line of
+work exploit — so reproducing a figure is an embarrassingly parallel
+workload.  :class:`ParallelRunner` fans :class:`~repro.core.runner.CellTask`
+items out to a ``ProcessPoolExecutor``: the index build, batched query
+execution, and budget enforcement all happen inside the worker, and
+only the finished :class:`~repro.core.runner.MethodCell` (plus a small
+execution report) crosses the process boundary back.
+
+Determinism guarantee
+---------------------
+Results are merged back **in task-submission order**, regardless of the
+order workers finish, and a ``jobs=1`` runner executes the exact same
+code path in-process.  Cells therefore carry identical *measured
+content* (statuses, candidate/answer counts, index sizes, FP ratios)
+either way — only wall-clock timing fields differ run to run, exactly
+as they do between two sequential runs.
+:func:`repro.core.serialization.canonical_sweep` strips those timing
+fields, under which a parallel sweep serializes byte-identically to a
+sequential one; ``tests/test_parallel_runner.py`` holds that property.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.core.runner import CellTask, MethodCell, run_cell
+
+__all__ = ["TaskOutcome", "ParallelRunner", "run_cells"]
+
+#: Called after each task completes: (done_count, total, task).
+ProgressCallback = Callable[[int, int, CellTask], None]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskOutcome:
+    """One executed cell plus where/how it ran.
+
+    Execution metadata lives here — *not* on the cell — so that
+    parallel and sequential runs produce identical cells.
+    """
+
+    key: tuple
+    cell: MethodCell
+    #: PID of the process that executed the task (the parent's own pid
+    #: when running sequentially).
+    worker_pid: int
+    #: Wall-clock seconds the task spent executing in its worker.
+    seconds: float
+
+
+def _execute(task: CellTask) -> tuple[MethodCell, int, float]:
+    """Worker-side entry point: run one cell, report pid and duration."""
+    start = time.perf_counter()
+    cell = run_cell(task)
+    return cell, os.getpid(), time.perf_counter() - start
+
+
+def _mp_context():
+    """Prefer fork (cheap on Linux: no re-import, datasets inherited by
+    the executor machinery's pickling only); fall back to the platform
+    default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class ParallelRunner:
+    """Run cell tasks across ``jobs`` worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``None`` means ``os.cpu_count()``;
+        ``jobs <= 1`` runs every task in-process with no pool and no
+        pickling — the sequential path, byte-for-byte the code the
+        workers run.
+    worker_initializer / initargs:
+        Optional callable invoked once in each worker at startup
+        (per-worker logging, instrumentation, warm caches).
+
+    Use as a context manager to keep the pool alive across several
+    :meth:`run` / :meth:`map` calls; otherwise each call manages its
+    own short-lived pool.
+
+    Examples
+    --------
+    >>> runner = ParallelRunner(jobs=1)
+    >>> runner.jobs
+    1
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        worker_initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        self.jobs = (os.cpu_count() or 1) if jobs is None else max(1, int(jobs))
+        self._worker_initializer = worker_initializer
+        self._initargs = initargs
+        self._executor: ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def __enter__(self) -> "ParallelRunner":
+        if self.jobs > 1 and self._executor is None:
+            self._executor = self._make_executor()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down a pool kept alive by context-manager use."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=_mp_context(),
+            initializer=self._worker_initializer,
+            initargs=self._initargs,
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def map(
+        self,
+        func: Callable,
+        items: Sequence,
+        progress: Callable[[int, int, object], None] | None = None,
+    ) -> list:
+        """Apply a picklable *func* to every item, preserving order.
+
+        The generic primitive under :meth:`run`: results come back in
+        ``items`` order no matter which worker finishes first.  With
+        ``jobs <= 1`` this is a plain in-process loop.
+        """
+        total = len(items)
+        if self.jobs <= 1:
+            results = []
+            for done, item in enumerate(items, start=1):
+                results.append(func(item))
+                if progress is not None:
+                    progress(done, total, item)
+            return results
+
+        owns_pool = self._executor is None
+        executor = self._executor or self._make_executor()
+        try:
+            futures: list[Future] = [executor.submit(func, item) for item in items]
+            index_of = {future: i for i, future in enumerate(futures)}
+            pending = set(futures)
+            done_count = 0
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    done_count += 1
+                    if progress is not None:
+                        progress(done_count, total, items[index_of[future]])
+            # Collect in submission order; a worker-side exception (a
+            # programming error — method failures are statuses inside
+            # the cell) re-raises here exactly as it would sequentially.
+            return [future.result() for future in futures]
+        finally:
+            if owns_pool:
+                executor.shutdown()
+
+    def run(
+        self,
+        tasks: Sequence[CellTask],
+        progress: ProgressCallback | None = None,
+    ) -> list[TaskOutcome]:
+        """Execute every task; outcomes are in ``tasks`` order."""
+        raw = self.map(_execute, tasks, progress=progress)
+        return [
+            TaskOutcome(key=task.key, cell=cell, worker_pid=pid, seconds=seconds)
+            for task, (cell, pid, seconds) in zip(tasks, raw)
+        ]
+
+
+def run_cells(
+    tasks: Sequence[CellTask],
+    jobs: int | None = 1,
+    progress: ProgressCallback | None = None,
+) -> dict[tuple, MethodCell]:
+    """One-shot convenience: tasks in, ``{key: cell}`` out.
+
+    Insertion order of the returned dict equals task order, so callers
+    that fill result tables from it get the same ordering a sequential
+    loop would have produced.
+    """
+    outcomes = ParallelRunner(jobs=jobs).run(tasks, progress=progress)
+    return {outcome.key: outcome.cell for outcome in outcomes}

@@ -27,8 +27,10 @@ __all__ = [
     "STATUS_ERROR",
     "SizeStats",
     "MethodCell",
+    "CellTask",
     "make_method",
     "evaluate_method",
+    "run_cell",
 ]
 
 STATUS_OK = "ok"
@@ -86,6 +88,47 @@ class MethodCell:
         if cell is None or cell.status != STATUS_OK or cell.stats is None:
             return None
         return cell.stats.avg_query_seconds
+
+
+@dataclass(frozen=True, slots=True)
+class CellTask:
+    """A picklable description of one (method × dataset) cell.
+
+    This is the unit of work the parallel engine ships to worker
+    processes (:mod:`repro.core.parallel`): everything
+    :func:`evaluate_method` needs, as plain data.  ``key`` is an opaque
+    tag the caller uses to place the resulting
+    :class:`MethodCell` — sweeps use ``(x_value, method_name)``.
+    """
+
+    key: tuple
+    method: str
+    dataset: GraphDataset
+    #: Query size -> queries of that size.
+    workloads: Mapping[int, Sequence[Graph]]
+    method_config: Mapping[str, object] | None = None
+    build_budget_seconds: float | None = None
+    query_budget_seconds: float | None = None
+    build_memory_bytes: int | None = None
+
+
+def run_cell(task: CellTask) -> MethodCell:
+    """Execute one cell: a pure, picklable function of its task.
+
+    Builds the index and runs every workload *in the calling process* —
+    when dispatched by :class:`repro.core.parallel.ParallelRunner` the
+    budgets are therefore enforced inside the worker, and only the
+    resulting :class:`MethodCell` crosses the process boundary.
+    """
+    return evaluate_method(
+        task.method,
+        task.dataset,
+        task.workloads,
+        method_config=task.method_config,
+        build_budget_seconds=task.build_budget_seconds,
+        query_budget_seconds=task.query_budget_seconds,
+        build_memory_bytes=task.build_memory_bytes,
+    )
 
 
 def make_method(name: str, config: Mapping[str, object] | None = None) -> GraphIndex:

@@ -19,7 +19,14 @@ from repro.core.metrics import WorkloadStats
 from repro.core.runner import MethodCell, SizeStats
 from repro.graphs.statistics import DatasetStatistics
 
-__all__ = ["sweep_to_json", "sweep_from_json", "save_sweep", "load_sweep"]
+__all__ = [
+    "sweep_to_json",
+    "sweep_from_json",
+    "save_sweep",
+    "load_sweep",
+    "canonical_cell",
+    "canonical_sweep",
+]
 
 _SCHEMA = "repro-sweep-v1"
 
@@ -75,6 +82,63 @@ def sweep_from_json(text: str) -> SweepResult:
         # x_values were already plain scalars.
         sweep.cells[(x, entry["method"])] = _cell_from_dict(entry["cell"])
     return sweep
+
+
+# ----------------------------------------------------------------------
+# canonicalization: the timing-free projection of a result
+# ----------------------------------------------------------------------
+
+
+def canonical_cell(cell: MethodCell) -> MethodCell:
+    """*cell* with every wall-clock field zeroed.
+
+    What remains — statuses, candidate/answer counts, FP ratios, index
+    sizes, build details — is a deterministic function of (method,
+    dataset, workloads).  Two runs of the same experiment agree on
+    their canonical cells whether they executed sequentially or through
+    :class:`repro.core.parallel.ParallelRunner`; only timings vary, as
+    they do between any two runs.  The equivalence suite serializes
+    canonical sweeps and compares the JSON byte-for-byte.
+    """
+    out = MethodCell(
+        method=cell.method,
+        build_status=cell.build_status,
+        build_seconds=None if cell.build_seconds is None else 0.0,
+        index_bytes=cell.index_bytes,
+        build_details=dict(cell.build_details),
+        build_error=cell.build_error,
+    )
+    for size, stats in cell.per_size.items():
+        workload = stats.stats
+        if workload is not None:
+            workload = WorkloadStats(
+                num_queries=workload.num_queries,
+                avg_query_seconds=0.0,
+                avg_filter_seconds=0.0,
+                avg_verify_seconds=0.0,
+                avg_candidates=workload.avg_candidates,
+                avg_answers=workload.avg_answers,
+                false_positive_ratio=workload.false_positive_ratio,
+            )
+        out.per_size[size] = SizeStats(
+            status=stats.status, stats=workload, error=stats.error
+        )
+    return out
+
+
+def canonical_sweep(sweep: SweepResult) -> SweepResult:
+    """*sweep* with every cell canonicalized (dataset stats are already
+    deterministic); safe to diff or hash across runs and worker counts."""
+    out = SweepResult(
+        x_name=sweep.x_name,
+        x_values=list(sweep.x_values),
+        methods=list(sweep.methods),
+        dataset_stats=dict(sweep.dataset_stats),
+        query_sizes=tuple(sweep.query_sizes),
+    )
+    for key, cell in sweep.cells.items():
+        out.cells[key] = canonical_cell(cell)
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -29,6 +29,13 @@ class BudgetExceeded(RuntimeError):
         self.limit_seconds = limit_seconds
         self.phase = phase
 
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*args)`` with the
+        # formatted message as the sole argument, which does not match
+        # this constructor; rebuild from the structured fields instead
+        # so the exception survives a worker-process boundary.
+        return (type(self), (self.limit_seconds, self.phase))
+
 
 class MemoryBudgetExceeded(BudgetExceeded):
     """Raised when an index grows past its memory allowance."""
@@ -43,6 +50,9 @@ class MemoryBudgetExceeded(BudgetExceeded):
         self.limit_bytes = limit_bytes
         self.observed_bytes = observed_bytes
         self.phase = phase
+
+    def __reduce__(self):
+        return (type(self), (self.limit_bytes, self.observed_bytes, self.phase))
 
 
 class Budget:

@@ -8,7 +8,7 @@ from repro.canonical.paths import path_canonical
 from repro.canonical.trees import tree_canonical, tree_canonical_rooted, tree_centers
 from repro.graphs.graph import Graph
 
-from conftest import path_graph, star_graph
+from testkit import path_graph, star_graph
 
 
 class TestLabelKey:

@@ -9,7 +9,7 @@ from repro.graphs.graph import Graph, GraphError
 from repro.graphs.io import dumps_dataset, loads_dataset, read_dataset, write_dataset
 from repro.graphs.statistics import dataset_statistics, graph_statistics
 
-from conftest import path_graph, triangle
+from testkit import path_graph, triangle
 
 
 class TestDataset:

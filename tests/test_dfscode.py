@@ -13,7 +13,7 @@ from repro.canonical.dfscode import (
 )
 from repro.graphs.graph import Graph, GraphError
 
-from conftest import (
+from testkit import (
     cycle_graph,
     nx_label_match,
     path_graph,

@@ -10,6 +10,7 @@ import pytest
 
 import repro
 import repro.canonical.cycles
+import repro.core.parallel
 import repro.canonical.paths
 import repro.core.validation
 import repro.graphs.graph
@@ -22,6 +23,7 @@ MODULES = [
     repro.canonical.paths,
     repro.canonical.cycles,
     repro.core.validation,
+    repro.core.parallel,
     repro.utils.timing,
     repro.utils.budget,
 ]

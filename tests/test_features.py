@@ -10,7 +10,7 @@ from repro.features.paths import path_features
 from repro.features.trees import connected_edge_subsets, enumerate_trees
 from repro.graphs.graph import Graph
 
-from conftest import cycle_graph, path_graph, random_graph, star_graph, to_networkx, triangle
+from testkit import cycle_graph, path_graph, random_graph, star_graph, to_networkx, triangle
 
 
 class TestPathFeatures:

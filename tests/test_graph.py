@@ -4,7 +4,7 @@ import pytest
 
 from repro.graphs.graph import Graph, GraphError
 
-from conftest import cycle_graph, path_graph, star_graph, triangle
+from testkit import cycle_graph, path_graph, star_graph, triangle
 
 
 class TestConstruction:

@@ -16,7 +16,11 @@ baseline, with CI-scale configurations.
 import time
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.core.parallel import ParallelRunner
+from repro.core.runner import CellTask, make_method
 from repro.generators.graphgen import GraphGenConfig, generate_dataset
 from repro.generators.queries import generate_queries
 from repro.graphs.graph import Graph
@@ -172,3 +176,81 @@ class TestDisconnectedQueries:
         oracle = NaiveIndex()
         oracle.build(dataset)
         assert index.query(query).answers == oracle.query(query).answers
+
+
+# ----------------------------------------------------------------------
+# property-based: the contract holds through the parallel engine
+# ----------------------------------------------------------------------
+
+PARALLEL_METHOD_CONFIGS = {
+    "ggsx": {"max_path_edges": 2},
+    "grapes": {"max_path_edges": 2, "workers": 2},
+    "ctindex": {"fingerprint_bits": 256, "feature_edges": 3},
+    "gcode": {"path_depth": 2, "top_eigenvalues": 2, "counter_buckets": 16},
+}
+
+
+def _probe_candidates(task: CellTask) -> list[tuple[frozenset, frozenset]]:
+    """Worker-side probe: per-query (candidates, answers) for one method.
+
+    Module-level so worker processes (fork start method) can resolve the
+    pickled reference.
+    """
+    index = make_method(task.method, task.method_config)
+    index.build(task.dataset)
+    out = []
+    for queries in task.workloads.values():
+        for query in queries:
+            result = index.query(query)
+            out.append((result.candidates, result.answers))
+    return out
+
+
+class TestParallelContractProperties:
+    """No-false-negatives, randomized, across the process boundary.
+
+    For random seeded datasets and workloads, every method's candidate
+    set — computed inside a pool worker via the parallel engine's
+    generic ``map`` — must contain every answer the in-process naive
+    oracle finds (paper §2.2, property 1), and verification must agree
+    with the oracle exactly (property 2).
+    """
+
+    @settings(
+        max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    def test_candidates_superset_of_naive_answers_in_parallel(self, seed):
+        config = GraphGenConfig(
+            num_graphs=12, mean_nodes=9, mean_density=0.22, num_labels=3
+        )
+        dataset = generate_dataset(config, seed=seed)
+        queries = generate_queries(dataset, 3, 3, seed=seed + 1)
+        queries += generate_queries(dataset, 2, 4, seed=seed + 2)
+
+        oracle = NaiveIndex()
+        oracle.build(dataset)
+        truth = [oracle.query(q).answers for q in queries]
+
+        tasks = [
+            CellTask(
+                key=(method,),
+                method=method,
+                dataset=dataset,
+                workloads={0: queries},
+                method_config=config_
+            )
+            for method, config_ in PARALLEL_METHOD_CONFIGS.items()
+        ]
+        with ParallelRunner(jobs=2) as runner:
+            probes = runner.map(_probe_candidates, tasks)
+
+        for task, per_query in zip(tasks, probes):
+            assert len(per_query) == len(queries)
+            for answers, (candidates, method_answers) in zip(truth, per_query):
+                assert answers <= candidates, (
+                    f"{task.method} dropped true answers (seed={seed})"
+                )
+                assert method_answers == answers, (
+                    f"{task.method} verification diverged (seed={seed})"
+                )

@@ -22,7 +22,7 @@ from repro.indexes import (
 )
 from repro.indexes.pathtrie import PathTrie
 
-from conftest import cycle_graph, path_graph, star_graph, triangle
+from testkit import cycle_graph, path_graph, star_graph, triangle
 
 
 @pytest.fixture(scope="module")

@@ -9,7 +9,7 @@ from repro.isomorphism.vf2 import is_subgraph
 from repro.mining.discriminative import select_discriminative
 from repro.mining.gspan import MinedPattern, mine_frequent_patterns
 
-from conftest import path_graph, random_graph, triangle
+from testkit import path_graph, random_graph, triangle
 
 
 def _dataset(rng, count=8, **kwargs):

@@ -1,0 +1,271 @@
+"""Sequential-equivalence harness for the parallel experiment engine.
+
+The engine's contract (:mod:`repro.core.parallel`) is that fanning
+(method × dataset) cells out to worker processes changes *nothing* about
+the measured results: identical statuses, candidate/answer counts, FP
+ratios, index sizes, build details, and identical ordering after the
+deterministic merge — only wall-clock timings vary, as between any two
+runs.  These tests hold that contract for every cell field, prove the
+paper's three failure statuses survive the process boundary, and check
+the pool really does dispatch work to multiple worker processes.
+
+The suite relies on the fork start method (the runner's preference on
+Linux) so monkeypatched registries and test-module functions are
+visible inside workers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.experiments import nodes_sweep
+from repro.core.parallel import ParallelRunner, run_cells
+from repro.core.presets import CI_PROFILE
+from repro.core.runner import (
+    STATUS_ERROR,
+    STATUS_MEMORY,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellTask,
+    MethodCell,
+    SizeStats,
+    run_cell,
+)
+from repro.core.serialization import canonical_cell, canonical_sweep, sweep_to_json
+from repro.core.metrics import WorkloadStats
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.indexes import ALL_INDEX_CLASSES
+from repro.utils.budget import BudgetExceeded, MemoryBudgetExceeded
+
+from testkit import ExplodingIndex
+
+# Three real index methods (plus the naive baseline) with CI-scale
+# settings; enough to cover trie, fingerprint, and spectral designs.
+METHOD_CONFIGS = {
+    "naive": None,
+    "ggsx": {"max_path_edges": 2},
+    "ctindex": {"fingerprint_bits": 256, "feature_edges": 3},
+    "gcode": {"path_depth": 2, "top_eigenvalues": 2, "counter_buckets": 16},
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = GraphGenConfig(
+        num_graphs=24, mean_nodes=10, mean_density=0.2, num_labels=4
+    )
+    return generate_dataset(config, seed=17)
+
+
+@pytest.fixture(scope="module")
+def workloads(dataset):
+    return {
+        3: generate_queries(dataset, 4, 3, seed=3),
+        5: generate_queries(dataset, 3, 5, seed=5),
+    }
+
+
+def make_tasks(dataset, workloads, methods=METHOD_CONFIGS, **budgets):
+    return [
+        CellTask(
+            key=("d0", method),
+            method=method,
+            dataset=dataset,
+            workloads=workloads,
+            method_config=config,
+            **budgets,
+        )
+        for method, config in methods.items()
+    ]
+
+
+# ----------------------------------------------------------------------
+# sequential ↔ parallel equivalence
+# ----------------------------------------------------------------------
+
+
+class TestEquivalence:
+    def test_cells_identical_across_worker_counts(self, dataset, workloads):
+        tasks = make_tasks(dataset, workloads)
+        sequential = run_cells(tasks, jobs=1)
+        parallel = run_cells(tasks, jobs=2)
+
+        # Deterministic merge: same keys, same insertion order.
+        assert list(sequential) == list(parallel) == [t.key for t in tasks]
+
+        for key in sequential:
+            seq, par = canonical_cell(sequential[key]), canonical_cell(parallel[key])
+            assert seq == par, f"cell {key} differs between jobs=1 and jobs=2"
+            assert par.build_status == STATUS_OK
+            assert par.per_size and all(
+                s.status == STATUS_OK for s in par.per_size.values()
+            )
+
+    def test_parallel_matches_direct_run_cell(self, dataset, workloads):
+        """One worker hop changes nothing vs. calling run_cell inline."""
+        task = make_tasks(dataset, workloads)[1]  # ggsx
+        inline = run_cell(task)
+        (outcome,) = ParallelRunner(jobs=2).run([task])
+        assert canonical_cell(outcome.cell) == canonical_cell(inline)
+
+    def test_sweep_serializes_byte_identical(self):
+        """A whole sweep, canonicalized, is byte-identical across jobs."""
+        from dataclasses import replace
+
+        tiny = replace(
+            CI_PROFILE,
+            nodes_values=(8, 12),
+            default_num_graphs=10,
+            default_nodes=10,
+            default_density=0.2,
+            default_labels=3,
+            query_sizes=(3, 5),
+            queries_per_size=3,
+            method_configs={
+                name: config
+                for name, config in METHOD_CONFIGS.items()
+                if config is not None
+            },
+        )
+        sequential = nodes_sweep(tiny, seed=3, jobs=1)
+        parallel = nodes_sweep(tiny, seed=3, jobs=2)
+        assert sweep_to_json(canonical_sweep(sequential)) == sweep_to_json(
+            canonical_sweep(parallel)
+        )
+        assert list(sequential.cells) == list(parallel.cells)
+
+
+# ----------------------------------------------------------------------
+# failure statuses across the process boundary
+# ----------------------------------------------------------------------
+
+
+def _real_methods():
+    return {k: v for k, v in METHOD_CONFIGS.items() if k != "naive"}
+
+
+class TestFailureInjection:
+    def test_timeout_status_survives_workers(self, dataset, workloads):
+        tasks = make_tasks(
+            dataset, workloads, methods=_real_methods(), build_budget_seconds=0.0
+        )
+        for key, cell in run_cells(tasks, jobs=2).items():
+            assert cell.build_status == STATUS_TIMEOUT, key
+            assert cell.build_seconds is None and not cell.per_size
+
+    def test_memory_status_survives_workers(self, dataset, workloads):
+        tasks = make_tasks(
+            dataset, workloads, methods=_real_methods(), build_memory_bytes=1
+        )
+        for key, cell in run_cells(tasks, jobs=2).items():
+            assert cell.build_status == STATUS_MEMORY, key
+
+    def test_error_status_survives_workers(self, dataset, workloads, monkeypatch):
+        # Registered under fork the workers inherit the patched registry.
+        monkeypatch.setitem(ALL_INDEX_CLASSES, "exploding", ExplodingIndex)
+        tasks = make_tasks(dataset, workloads, methods={"exploding": None})
+        (cell,) = run_cells(tasks, jobs=2).values()
+        assert cell.build_status == STATUS_ERROR
+        assert "injected build failure" in cell.build_error
+
+    def test_query_timeout_status_survives_workers(self, dataset, workloads):
+        tasks = make_tasks(
+            dataset, workloads, methods=_real_methods(), query_budget_seconds=0.0
+        )
+        for key, cell in run_cells(tasks, jobs=2).items():
+            assert cell.build_status == STATUS_OK, key
+            assert all(
+                s.status == STATUS_TIMEOUT for s in cell.per_size.values()
+            ), key
+
+    def test_budget_exceptions_pickle(self):
+        exc = pickle.loads(pickle.dumps(BudgetExceeded(1.5, "build")))
+        assert exc.limit_seconds == 1.5 and exc.phase == "build"
+        exc = pickle.loads(pickle.dumps(MemoryBudgetExceeded(64, 128, "build")))
+        assert exc.limit_bytes == 64 and exc.observed_bytes == 128
+
+    def test_result_types_pickle_roundtrip(self, dataset, workloads):
+        cell = run_cell(make_tasks(dataset, workloads)[1])
+        assert pickle.loads(pickle.dumps(cell)) == cell
+        stats = WorkloadStats(2, 0.1, 0.05, 0.05, 3.0, 1.0, 0.5)
+        assert pickle.loads(pickle.dumps(stats)) == stats
+        size = SizeStats(status=STATUS_OK, stats=stats)
+        assert pickle.loads(pickle.dumps(size)) == size
+
+    def test_worker_programming_errors_propagate(self, dataset, workloads):
+        """Unknown methods are caller bugs, not statuses — parallel runs
+        raise exactly like sequential ones."""
+        tasks = make_tasks(dataset, workloads, methods={"no_such_method": None})
+        with pytest.raises(ValueError, match="unknown method"):
+            run_cells(tasks, jobs=2)
+        with pytest.raises(ValueError, match="unknown method"):
+            run_cells(tasks, jobs=1)
+
+
+# ----------------------------------------------------------------------
+# the pool actually dispatches to multiple workers
+# ----------------------------------------------------------------------
+
+
+def _record_worker_pid(directory: str) -> None:
+    """Worker initializer: leave a pid marker at pool startup."""
+    with open(os.path.join(directory, f"worker-{os.getpid()}"), "w") as fh:
+        fh.write("up")
+
+
+class TestDispatch:
+    def test_pool_spawns_and_uses_multiple_workers(self, dataset, workloads, tmp_path):
+        tasks = make_tasks(dataset, workloads) * 2  # 8 cells to spread
+        runner = ParallelRunner(
+            jobs=2, worker_initializer=_record_worker_pid, initargs=(str(tmp_path),)
+        )
+        with runner:
+            outcomes = runner.run(tasks)
+
+        started = {int(p.name.split("-")[1]) for p in tmp_path.iterdir()}
+        assert len(started) == 2, "jobs=2 should start two worker processes"
+        assert os.getpid() not in started
+
+        used = {outcome.worker_pid for outcome in outcomes}
+        assert used <= started
+        assert os.getpid() not in used
+        # Wall-clock execution really happened in the workers.
+        assert all(outcome.seconds > 0.0 for outcome in outcomes)
+
+    def test_sequential_runs_in_process(self, dataset, workloads):
+        outcomes = ParallelRunner(jobs=1).run(make_tasks(dataset, workloads))
+        assert {o.worker_pid for o in outcomes} == {os.getpid()}
+
+    def test_progress_reports_every_task_once(self, dataset, workloads):
+        seen = []
+        tasks = make_tasks(dataset, workloads)
+        ParallelRunner(jobs=2).run(
+            tasks, progress=lambda done, total, task: seen.append((done, total))
+        )
+        assert sorted(seen) == [(i, len(tasks)) for i in range(1, len(tasks) + 1)]
+
+    def test_jobs_default_is_cpu_count(self):
+        assert ParallelRunner().jobs == (os.cpu_count() or 1)
+
+    def test_pool_reuse_across_runs(self, dataset, workloads):
+        tasks = make_tasks(dataset, workloads, methods={"naive": None})
+        with ParallelRunner(jobs=2) as runner:
+            first = runner.run(tasks)
+            second = runner.run(tasks)
+        assert canonical_cell(first[0].cell) == canonical_cell(second[0].cell)
+
+
+class TestCellMergeOrder:
+    def test_merge_order_is_submission_order(self, dataset, workloads):
+        """Even when later tasks finish first (naive finishes long before
+        the index builds), outcomes come back in task order."""
+        methods = {"ggsx": METHOD_CONFIGS["ggsx"], "naive": None}
+        tasks = make_tasks(dataset, workloads, methods=methods)
+        outcomes = ParallelRunner(jobs=2).run(tasks)
+        assert [o.key for o in outcomes] == [t.key for t in tasks]
+        assert [o.cell.method for o in outcomes] == ["ggsx", "naive"]
+        assert isinstance(outcomes[0].cell, MethodCell)

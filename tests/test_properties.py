@@ -32,7 +32,7 @@ from repro.indexes import (
 )
 from repro.isomorphism.vf2 import is_subgraph
 
-from conftest import nx_is_monomorphic, to_networkx, nx_label_match
+from testkit import nx_is_monomorphic, to_networkx, nx_label_match
 
 # ----------------------------------------------------------------------
 # graph strategies

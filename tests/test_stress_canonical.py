@@ -14,7 +14,7 @@ from repro.canonical.dfscode import min_dfs_code
 from repro.canonical.trees import tree_canonical
 from repro.graphs.graph import Graph
 
-from conftest import nx_label_match, random_graph, to_networkx
+from testkit import nx_label_match, random_graph, to_networkx
 
 
 class TestLargerGraphs:

@@ -9,7 +9,7 @@ from repro.isomorphism.ullmann import ullmann_is_subgraph
 from repro.isomorphism.vf2 import is_subgraph
 from repro.utils.budget import Budget, BudgetExceeded
 
-from conftest import (
+from testkit import (
     cycle_graph,
     nx_is_monomorphic,
     path_graph,

@@ -12,7 +12,7 @@ from repro.isomorphism.vf2 import (
 )
 from repro.utils.budget import Budget, BudgetExceeded
 
-from conftest import (
+from testkit import (
     cycle_graph,
     nx_is_monomorphic,
     path_graph,

@@ -13,7 +13,7 @@ from repro.graphs.dataset import GraphDataset
 from repro.graphs.graph import Graph
 from repro.indexes import GraphGrepSXIndex, NaiveIndex
 
-from conftest import path_graph, triangle
+from testkit import path_graph, triangle
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,110 @@
+"""Shared test helpers: random graph builders and networkx bridges.
+
+The suite cross-checks our from-scratch algorithms against networkx
+(isomorphism, cycle enumeration) and brute force; these helpers keep
+that plumbing in one place.  networkx is a *test-only* dependency — the
+library itself never imports it.
+
+This module lives beside the tests (not inside ``conftest.py``) so that
+both ``tests/`` and ``benchmarks/`` can import it under pytest's
+importlib import mode, where conftest modules are not importable by
+name.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import networkx as nx
+
+from repro.graphs.graph import Graph
+from repro.indexes.naive import NaiveIndex
+
+LABELS = "ABCD"
+
+
+def random_graph(
+    rng: random.Random,
+    min_vertices: int = 2,
+    max_vertices: int = 7,
+    labels: str = LABELS,
+    edge_probability: float | None = None,
+    connected: bool = False,
+) -> Graph:
+    """A uniformly random labeled graph for randomized tests."""
+    n = rng.randint(min_vertices, max_vertices)
+    vertex_labels = [rng.choice(labels) for _ in range(n)]
+    possible = list(itertools.combinations(range(n), 2))
+    if edge_probability is None:
+        edges = rng.sample(possible, rng.randint(0, len(possible)))
+    else:
+        edges = [e for e in possible if rng.random() < edge_probability]
+    graph = Graph(vertex_labels, edges)
+    if connected and not graph.is_connected():
+        return _connect(graph, rng)
+    return graph
+
+
+def _connect(graph: Graph, rng: random.Random) -> Graph:
+    """Join the components of *graph* with random bridge edges."""
+    joined = graph.copy()
+    components = joined.connected_components()
+    for previous, current in zip(components, components[1:]):
+        joined.add_edge(rng.choice(previous), rng.choice(current))
+    return joined
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    """Convert to a networkx graph with labels on the ``label`` key."""
+    out = nx.Graph()
+    for v in graph.vertices():
+        out.add_node(v, label=graph.label(v))
+    out.add_edges_from(graph.edges())
+    return out
+
+
+def nx_label_match(a: dict, b: dict) -> bool:
+    return a["label"] == b["label"]
+
+
+def nx_is_monomorphic(query: Graph, data: Graph) -> bool:
+    """Ground truth for Definition 3 via networkx."""
+    matcher = nx.algorithms.isomorphism.GraphMatcher(
+        to_networkx(data), to_networkx(query), node_match=nx_label_match
+    )
+    return matcher.subgraph_is_monomorphic()
+
+
+# A small zoo of named graphs used across test files.
+
+
+def triangle(labels: str = "AAA") -> Graph:
+    return Graph(list(labels), [(0, 1), (1, 2), (0, 2)])
+
+
+def path_graph(labels: str) -> Graph:
+    return Graph(list(labels), [(i, i + 1) for i in range(len(labels) - 1)])
+
+
+def star_graph(center: str, leaves: str) -> Graph:
+    return Graph([center] + list(leaves), [(0, i + 1) for i in range(len(leaves))])
+
+
+def cycle_graph(labels: str) -> Graph:
+    n = len(labels)
+    return Graph(list(labels), [(i, (i + 1) % n) for i in range(n)])
+
+
+# Failure-injection indexes for the parallel-engine tests.  They live
+# here (an importable, top-level module) so worker processes can
+# unpickle references to them.
+
+
+class ExplodingIndex(NaiveIndex):
+    """An index whose build always crashes — exercises STATUS_ERROR."""
+
+    name = "exploding"
+
+    def _build(self, dataset, budget):
+        raise RuntimeError("injected build failure")
