@@ -48,6 +48,27 @@ def bench_jobs() -> int | None:
     return None if value == 0 else max(1, value)
 
 
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").lower() not in ("", "0", "false", "no")
+
+
+def bench_engine() -> dict:
+    """Engine kwargs for every benchmark sweep call.
+
+    ``REPRO_JOBS`` picks the worker count (above);
+    ``REPRO_SHARED_MEM=1`` packs each dataset into a shared-memory
+    arena, and ``REPRO_BATCH_QUERIES=1`` splits cells into per-query
+    batches — the CLI's ``--shared-mem`` / ``--batch-queries``, exposed
+    to CI so the full engine path runs on every push.  All modes are
+    result-equivalent; only wall-clock changes.
+    """
+    return {
+        "jobs": bench_jobs(),
+        "shared_mem": _env_flag("REPRO_SHARED_MEM"),
+        "batch_queries": _env_flag("REPRO_BATCH_QUERIES"),
+    }
+
+
 def save_and_print(results_dir: Path, name: str, text: str) -> None:
     """Persist a rendered figure and echo it into the bench log."""
     (results_dir / name).write_text(text, encoding="utf-8")

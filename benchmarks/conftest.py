@@ -23,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from benchkit import RESULTS_DIR, bench_jobs, bench_profile
+from benchkit import RESULTS_DIR, bench_engine, bench_jobs, bench_profile
 
 
 @pytest.fixture(scope="session")
@@ -34,6 +34,12 @@ def profile():
 @pytest.fixture(scope="session")
 def jobs() -> int:
     return bench_jobs()
+
+
+@pytest.fixture(scope="session")
+def engine() -> dict:
+    """Engine kwargs (jobs / shared_mem / batch_queries) for sweeps."""
+    return bench_engine()
 
 
 @pytest.fixture(scope="session")

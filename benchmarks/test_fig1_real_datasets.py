@@ -17,10 +17,10 @@ from repro.core.report import ordering_fraction, render_sweep, series_values
 from benchkit import save_and_print
 
 
-def test_fig1(benchmark, profile, jobs, results_dir):
+def test_fig1(benchmark, profile, engine, results_dir):
     result = benchmark.pedantic(
         real_dataset_experiment,
-        kwargs={"profile": profile, "jobs": jobs},
+        kwargs={"profile": profile, **engine},
         rounds=1,
         iterations=1,
     )

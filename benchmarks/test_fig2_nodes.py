@@ -22,9 +22,9 @@ from repro.core.report import (
 from benchkit import save_and_print
 
 
-def test_fig2(benchmark, profile, jobs, results_dir):
+def test_fig2(benchmark, profile, engine, results_dir):
     sweep = benchmark.pedantic(
-        nodes_sweep, kwargs={"profile": profile, "jobs": jobs}, rounds=1, iterations=1
+        nodes_sweep, kwargs={"profile": profile, **engine}, rounds=1, iterations=1
     )
     save_and_print(results_dir, "fig2_nodes.txt", render_sweep(sweep, "2"))
 

@@ -25,16 +25,16 @@ from benchkit import save_and_print
 _SWEEP_CACHE: dict = {}
 
 
-def shared_density_sweep(profile, jobs=1):
+def shared_density_sweep(profile, engine=None):
     key = id(profile)
     if key not in _SWEEP_CACHE:
-        _SWEEP_CACHE[key] = density_sweep(profile=profile, jobs=jobs)
+        _SWEEP_CACHE[key] = density_sweep(profile=profile, **(engine or {}))
     return _SWEEP_CACHE[key]
 
 
-def test_fig3(benchmark, profile, jobs, results_dir):
+def test_fig3(benchmark, profile, engine, results_dir):
     sweep = benchmark.pedantic(
-        shared_density_sweep, args=(profile, jobs), rounds=1, iterations=1
+        shared_density_sweep, args=(profile, engine), rounds=1, iterations=1
     )
     save_and_print(results_dir, "fig3_density.txt", render_sweep(sweep, "3"))
 

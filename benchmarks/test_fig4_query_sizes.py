@@ -16,9 +16,9 @@ from benchkit import save_and_print
 from test_fig3_density import shared_density_sweep
 
 
-def test_fig4(benchmark, profile, jobs, results_dir):
+def test_fig4(benchmark, profile, engine, results_dir):
     sweep = benchmark.pedantic(
-        shared_density_sweep, args=(profile, jobs), rounds=1, iterations=1
+        shared_density_sweep, args=(profile, engine), rounds=1, iterations=1
     )
     panels = []
     for size in sweep.query_sizes:

@@ -17,9 +17,9 @@ from repro.core.report import render_sweep, series_values
 from benchkit import save_and_print
 
 
-def test_fig6(benchmark, profile, jobs, results_dir):
+def test_fig6(benchmark, profile, engine, results_dir):
     sweep = benchmark.pedantic(
-        graph_count_sweep, kwargs={"profile": profile, "jobs": jobs}, rounds=1, iterations=1
+        graph_count_sweep, kwargs={"profile": profile, **engine}, rounds=1, iterations=1
     )
     save_and_print(results_dir, "fig6_graph_count.txt", render_sweep(sweep, "6"))
 

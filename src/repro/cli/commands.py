@@ -6,6 +6,7 @@ import argparse
 import inspect
 from pathlib import Path
 
+from repro.core.arena import ArenaHandle, DatasetArena, cached_dataset
 from repro.core.experiments import (
     density_sweep,
     graph_count_sweep,
@@ -14,6 +15,7 @@ from repro.core.experiments import (
     real_dataset_experiment,
 )
 from repro.core.metrics import summarize_results
+from repro.core.parallel import persistent_pool
 from repro.core.plots import ascii_plot
 from repro.core.presets import active_profile
 from repro.core.report import render_sweep, render_table1
@@ -82,6 +84,90 @@ def _parse_options(pairs: list[str]) -> dict:
     return options
 
 
+def _resolve_jobs(jobs: int) -> int | None:
+    """CLI --jobs convention: 0 = all cores (None), otherwise N >= 1."""
+    if jobs < 0:
+        raise CliError(f"--jobs must be >= 0, got {jobs}")
+    return jobs if jobs > 0 else None
+
+
+def _shareable(dataset, jobs: int | None):
+    """The dataset itself, or an arena handle when a pool will run.
+
+    ``repro build``/``repro query`` batch per-method pipelines across
+    workers; sharing the dataset through one arena segment keeps it from
+    being pickled once per method.  Returns ``(payload_dataset, arena)``
+    — the caller closes the arena (if any) when done.
+    """
+    if jobs is not None and jobs <= 1:
+        return dataset, None
+    arena = DatasetArena.create(dataset)
+    return arena.handle, arena
+
+
+def _resolve_payload_dataset(dataset):
+    """Worker side of :func:`_shareable`."""
+    if isinstance(dataset, ArenaHandle):
+        return cached_dataset(dataset)
+    return dataset
+
+
+def _build_worker(payload: tuple) -> dict:
+    """Build one method over the (possibly arena-shared) dataset.
+
+    Top-level so worker processes can import it; budget overruns come
+    back as a status, programming errors propagate like any other
+    pool task.
+    """
+    dataset, method, options, budget_seconds = payload
+    dataset = _resolve_payload_dataset(dataset)
+    index = make_method(method, options)
+    budget = (
+        Budget(budget_seconds, phase=f"{method} build") if budget_seconds else None
+    )
+    try:
+        report = index.build(dataset, budget=budget)
+    except BudgetExceeded:
+        return {"method": method, "status": "timeout"}
+    return {
+        "method": method,
+        "status": "ok",
+        "seconds": report.seconds,
+        "size_bytes": report.size_bytes,
+        "details": dict(report.details),
+    }
+
+
+def _query_worker(payload: tuple) -> dict:
+    """Build one method and run the workload through it (top-level for
+    pool pickling).  Answer sets come back as sorted id tuples so the
+    parent can check cross-method agreement without shipping sets."""
+    dataset, queries, method, options, budget_seconds = payload
+    dataset = _resolve_payload_dataset(dataset)
+    index = make_method(method, options)
+    index.build(dataset)
+    return _run_query_rows(index, queries, budget_seconds)
+
+
+def _run_query_rows(index, queries, budget_seconds) -> dict:
+    """Query *index* and reduce the outcome to a printable row."""
+    budget = (
+        Budget(budget_seconds, phase=f"{index.name} queries")
+        if budget_seconds
+        else None
+    )
+    try:
+        results = [index.query(query, budget=budget) for query in queries]
+    except BudgetExceeded:
+        return {"method": index.name, "status": "timeout"}
+    return {
+        "method": index.name,
+        "status": "ok",
+        "stats": summarize_results(results),
+        "answers": tuple(tuple(sorted(r.answers)) for r in results),
+    }
+
+
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
@@ -131,26 +217,85 @@ def cmd_queries(args: argparse.Namespace) -> int:
 
 def cmd_build(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
-    _require_known_method(args.method)
-    index = make_method(args.method, _parse_options(args.option))
-    budget = Budget(args.budget, phase=f"{args.method} build") if args.budget else None
+    methods = list(args.method)
+    for method in methods:
+        _require_known_method(method)
+    if args.save and len(methods) > 1:
+        raise CliError("--save supports a single --method")
+    jobs = _resolve_jobs(args.jobs)
+    options = _parse_options(args.option)
+
+    if len(methods) == 1:
+        # The original single-build path — a pool buys nothing for one
+        # build: options unfiltered (a typo'd key should fail loudly),
+        # index kept in-process for --save.
+        method = methods[0]
+        index = make_method(method, options)
+        budget = Budget(args.budget, phase=f"{method} build") if args.budget else None
+        try:
+            report = index.build(dataset, budget=budget)
+        except BudgetExceeded:
+            raise CliError(
+                f"{method} exceeded the {args.budget:.0f}s build budget "
+                "(the paper's 'failed to index')"
+            )
+        _print_build_row(method, len(dataset), {
+            "status": "ok",
+            "seconds": report.seconds,
+            "size_bytes": report.size_bytes,
+            "details": dict(report.details),
+        })
+        if args.save:
+            save_index(index, args.save)
+            print(f"saved index to {args.save}")
+        return 0
+
+    # Several methods: each gets the subset of options its constructor
+    # accepts (like `repro query`), but a key NO selected method knows
+    # is certainly a typo and must fail as loudly as the single-method
+    # path does.
+    for key in options:
+        if all(key not in _supported_options(m, options) for m in methods):
+            raise CliError(
+                f"option {key!r} is not accepted by any selected method"
+            )
+    # Batch the builds through the shared pool, with the dataset in one
+    # arena segment instead of pickled per method.
+    payload_dataset, arena = _shareable(dataset, jobs)
     try:
-        report = index.build(dataset, budget=budget)
-    except BudgetExceeded:
+        tasks = [
+            (payload_dataset, method, _supported_options(method, options), args.budget)
+            for method in methods
+        ]
+        rows = persistent_pool().runner(jobs).map(_build_worker, tasks)
+    finally:
+        if arena is not None:
+            arena.close()
+        persistent_pool().close()
+    timed_out = [row for row in rows if row["status"] == "timeout"]
+    for row in rows:
+        _print_build_row(row["method"], len(dataset), row)
+    if timed_out:
+        # Same contract as the single-method path: a timed-out build is
+        # a failed command, even when other methods finished.
+        names = ", ".join(row["method"] for row in timed_out)
         raise CliError(
-            f"{args.method} exceeded the {args.budget:.0f}s build budget "
+            f"{names} exceeded the {args.budget:.0f}s build budget "
             "(the paper's 'failed to index')"
         )
-    print(
-        f"built {args.method} over {len(dataset)} graphs in "
-        f"{report.seconds:.3f}s ({report.size_bytes / 1024:.1f} KiB)"
-    )
-    for key, value in report.details.items():
-        print(f"  {key}: {value}")
-    if args.save:
-        save_index(index, args.save)
-        print(f"saved index to {args.save}")
     return 0
+
+
+def _print_build_row(method: str, num_graphs: int, row: dict) -> None:
+    if row["status"] == "timeout":
+        print(f"{method} TIMED OUT (build budget)")
+        return
+    print(
+        f"built {method} over {num_graphs} graphs in "
+        f"{row['seconds']:.3f}s ({row['size_bytes'] / 1024:.1f} KiB)"
+    )
+    for key, value in row["details"].items():
+        print(f"  {key}: {value}")
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -160,48 +305,81 @@ def cmd_query(args: argparse.Namespace) -> int:
     if not queries:
         raise CliError(f"no queries in {args.queries}")
     options = _parse_options(args.option)
+    jobs = _resolve_jobs(args.jobs)
 
-    indexes = []
+    rows: list[dict] = []
+    loaded_name = None
     if args.load:
         try:
-            index = load_index(args.load, expect_dataset=dataset)
+            loaded = load_index(args.load, expect_dataset=dataset)
         except (FileNotFoundError, IndexFileError) as exc:
             raise CliError(str(exc))
-        indexes.append(index)
-    methods = args.method or list(ALL_INDEX_CLASSES)
+        loaded_name = loaded.name
+        # A persisted index is already built; query it in-process.
+        rows.append(_run_query_rows(loaded, queries, args.budget))
+    methods = [
+        method
+        for method in (args.method or list(ALL_INDEX_CLASSES))
+        if method != loaded_name
+    ]
     for method in methods:
-        if args.load and indexes and indexes[0].name == method:
-            continue  # already covered by the loaded index
         _require_known_method(method)
-        index = make_method(method, _supported_options(method, options))
-        index.build(dataset)
-        indexes.append(index)
+
+    if len(methods) <= 1 or (jobs is not None and jobs <= 1):
+        # One pipeline (or sequential mode): a pool and an arena would
+        # only add overhead.
+        for method in methods:
+            index = make_method(method, _supported_options(method, options))
+            index.build(dataset)
+            rows.append(_run_query_rows(index, queries, args.budget))
+    else:
+        # Batch the per-method build+query pipelines across the pool,
+        # sharing the dataset through one arena segment (ROADMAP item:
+        # `repro query` parallelizes like `repro sweep` does).
+        payload_dataset, arena = _shareable(dataset, jobs)
+        try:
+            tasks = [
+                (
+                    payload_dataset,
+                    tuple(queries),
+                    method,
+                    _supported_options(method, options),
+                    args.budget,
+                )
+                for method in methods
+            ]
+            rows.extend(persistent_pool().runner(jobs).map(_query_worker, tasks))
+        finally:
+            if arena is not None:
+                arena.close()
+            persistent_pool().close()
 
     print(f"{len(queries)} queries against {len(dataset)} graphs:")
     reference = None
-    for index in indexes:
-        budget = (
-            Budget(args.budget, phase=f"{index.name} queries")
-            if args.budget
-            else None
-        )
-        try:
-            results = [index.query(q, budget=budget) for q in queries]
-        except BudgetExceeded:
-            print(f"  {index.name:11s} TIMED OUT")
+    for row in rows:
+        if row["status"] == "timeout":
+            print(f"  {row['method']:11s} TIMED OUT")
             continue
-        stats = summarize_results(results)
-        answers = [r.answers for r in results]
+        stats = row["stats"]
         if reference is None:
-            reference = answers
-        agreement = "" if answers == reference else "  !! DISAGREES"
+            reference = row["answers"]
+        agreement = "" if row["answers"] == reference else "  !! DISAGREES"
         print(
-            f"  {index.name:11s} avg {stats.avg_query_seconds * 1e3:8.3f}ms  "
+            f"  {row['method']:11s} avg {stats.avg_query_seconds * 1e3:8.3f}ms  "
             f"candidates {stats.avg_candidates:7.1f}  "
             f"answers {stats.avg_answers:6.1f}  "
             f"fp {stats.false_positive_ratio:.3f}{agreement}"
         )
     return 0
+
+
+def _sweep_json_path(base: str, experiment: str, multiple: bool) -> Path:
+    """Per-experiment JSON path: the experiment name is appended when a
+    single invocation runs several sweeps."""
+    path = Path(base)
+    if not multiple:
+        return path
+    return path.with_name(f"{path.stem}-{experiment}{path.suffix or '.json'}")
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -213,57 +391,76 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "graphs": (graph_count_sweep, "6"),
         "real": (real_dataset_experiment, "1"),
     }
-    run, figure = runners[args.experiment]
-    if args.jobs < 0:
-        raise CliError(f"--jobs must be >= 0, got {args.jobs}")
-    jobs = args.jobs if args.jobs > 0 else None  # 0 = all cores
+    jobs = _resolve_jobs(args.jobs)
     workers = jobs if jobs is not None else "all cores"
-    print(
-        f"running {args.experiment} sweep at scale '{profile.name}' "
-        f"(jobs={workers})..."
-    )
     for method in args.method:
         _require_known_method(method)
-    sweep = run(
-        profile,
-        methods=args.method or None,
-        seed=args.seed,
-        progress=lambda m: print(f"  {m}", end="\r"),
-        jobs=jobs,
+    experiments = list(dict.fromkeys(args.experiment))
+    engine = "".join(
+        [
+            ", shared-mem" if args.shared_mem else "",
+            ", batched queries" if args.batch_queries else "",
+        ]
     )
-    print()
-
-    output = []
-    if args.experiment == "real":
-        output.append(render_table1(sweep.dataset_stats))
-    output.append(render_sweep(sweep, figure))
-    if args.plot and args.experiment != "real":
-        output.append(
-            ascii_plot(
-                f"Figure {figure}(a): indexing time vs {sweep.x_name}",
-                sweep.indexing_time(),
+    # One persistent pool serves every experiment of this invocation:
+    # workers (and their arena/index caches) survive across sweeps.
+    pool = persistent_pool()
+    try:
+        shared_runner = pool.runner(jobs)
+        for experiment in experiments:
+            run, figure = runners[experiment]
+            print(
+                f"running {experiment} sweep at scale '{profile.name}' "
+                f"(jobs={workers}{engine})..."
             )
-        )
-        output.append(
-            ascii_plot(
-                f"Figure {figure}(c): query time vs {sweep.x_name}",
-                sweep.query_time(),
+            sweep = run(
+                profile,
+                methods=args.method or None,
+                seed=args.seed,
+                progress=lambda m: print(f"  {m}", end="\r"),
+                jobs=jobs,
+                shared_mem=args.shared_mem,
+                batch_queries=args.batch_queries,
+                runner=shared_runner,
             )
-        )
-    text = "\n".join(part for part in output if part)
-    print(text)
-    if args.out:
-        out_dir = Path(args.out)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / f"fig{figure}_{args.experiment}.txt").write_text(
-            text, encoding="utf-8"
-        )
-        print(f"wrote {out_dir / f'fig{figure}_{args.experiment}.txt'}")
-    if args.json:
-        from repro.core.serialization import save_sweep
+            print()
 
-        save_sweep(sweep, args.json)
-        print(f"wrote raw results to {args.json}")
+            output = []
+            if experiment == "real":
+                output.append(render_table1(sweep.dataset_stats))
+            output.append(render_sweep(sweep, figure))
+            if args.plot and experiment != "real":
+                output.append(
+                    ascii_plot(
+                        f"Figure {figure}(a): indexing time vs {sweep.x_name}",
+                        sweep.indexing_time(),
+                    )
+                )
+                output.append(
+                    ascii_plot(
+                        f"Figure {figure}(c): query time vs {sweep.x_name}",
+                        sweep.query_time(),
+                    )
+                )
+            text = "\n".join(part for part in output if part)
+            print(text)
+            if args.out:
+                out_dir = Path(args.out)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                (out_dir / f"fig{figure}_{experiment}.txt").write_text(
+                    text, encoding="utf-8"
+                )
+                print(f"wrote {out_dir / f'fig{figure}_{experiment}.txt'}")
+            if args.json:
+                from repro.core.serialization import save_sweep
+
+                json_path = _sweep_json_path(
+                    args.json, experiment, len(experiments) > 1
+                )
+                save_sweep(sweep, json_path)
+                print(f"wrote raw results to {json_path}")
+    finally:
+        pool.close()
     return 0
 
 

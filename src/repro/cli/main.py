@@ -55,16 +55,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     build = subparsers.add_parser("build", help="build an index over a dataset")
     build.add_argument("dataset", help="dataset file (.gfd)")
-    build.add_argument("--method", required=True, help="index method name")
+    build.add_argument(
+        "--method",
+        action="append",
+        required=True,
+        help="index method name (repeatable: batch several builds)",
+    )
     build.add_argument(
         "--option",
         action="append",
         default=[],
         metavar="KEY=VALUE",
-        help="method constructor option (repeatable)",
+        help="method constructor option (repeatable; applies to every "
+        "--method that accepts it)",
     )
     build.add_argument("--budget", type=float, help="build time budget (s)")
-    build.add_argument("--save", help="persist the built index to this file")
+    build.add_argument("--save", help="persist the built index to this file "
+                       "(single --method only)")
+    build.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to spread multiple --method builds over "
+        "(default 1 = sequential; 0 = all cores)",
+    )
     build.set_defaults(handler=commands.cmd_build)
 
     query = subparsers.add_parser(
@@ -87,15 +102,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="method constructor option (applies to every --method)",
     )
+    query.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to spread the per-method build+query "
+        "pipelines over (default 1 = sequential; 0 = all cores)",
+    )
     query.set_defaults(handler=commands.cmd_query)
 
     sweep = subparsers.add_parser(
-        "sweep", help="run one of the paper's sweeps (Figures 1-6)"
+        "sweep", help="run one or more of the paper's sweeps (Figures 1-6)"
     )
     sweep.add_argument(
         "experiment",
+        nargs="+",
         choices=["nodes", "density", "labels", "graphs", "real"],
-        help="which parameter sweep to run",
+        help="which parameter sweep(s) to run; several experiments share "
+        "one persistent worker pool",
     )
     sweep.add_argument(
         "--method",
@@ -112,9 +137,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for (method x dataset) cells "
         "(default 1 = sequential; 0 = all cores)",
     )
+    sweep.add_argument(
+        "--shared-mem",
+        action="store_true",
+        help="pack each dataset once into a shared-memory arena instead "
+        "of pickling it per task",
+    )
+    sweep.add_argument(
+        "--batch-queries",
+        action="store_true",
+        help="split each cell's query workload into per-worker batches "
+        "(deterministic merge)",
+    )
     sweep.add_argument("--out", help="directory for rendered outputs")
     sweep.add_argument("--plot", action="store_true", help="ASCII plots too")
-    sweep.add_argument("--json", help="also save raw results as JSON")
+    sweep.add_argument(
+        "--json",
+        help="also save raw results as JSON (with several experiments, "
+        "the experiment name is appended to the file name)",
+    )
     sweep.add_argument("--seed", type=int, default=0)
     sweep.set_defaults(handler=commands.cmd_sweep)
 

@@ -18,9 +18,20 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro.core.arena import DatasetArena, SharedCellTask, share_task
 from repro.core.parallel import ParallelRunner
 from repro.core.presets import ScaleProfile, active_profile
 from repro.core.runner import CellTask, MethodCell, run_cell
+from repro.core.scheduling import (
+    QueryBatch,
+    estimate_batch_cost,
+    estimate_cost,
+    longest_first,
+    merge_batches,
+    run_batch,
+    split_cell,
+)
+from repro.graphs.dataset import dataset_fingerprint
 from repro.generators.graphgen import GraphGenConfig, generate_dataset
 from repro.generators.queries import generate_queries
 from repro.generators.realsets import make_real_dataset
@@ -107,6 +118,9 @@ def nodes_sweep(
     seed: int = 0,
     progress: ProgressHook | None = None,
     jobs: int | None = 1,
+    shared_mem: bool = False,
+    batch_queries: bool = False,
+    runner: ParallelRunner | None = None,
 ) -> SweepResult:
     """Figure 2: vary the number of nodes per graph."""
     profile = profile or active_profile()
@@ -124,6 +138,9 @@ def nodes_sweep(
         seed=seed,
         progress=progress,
         jobs=jobs,
+        shared_mem=shared_mem,
+        batch_queries=batch_queries,
+        runner=runner,
     )
 
 
@@ -134,6 +151,9 @@ def density_sweep(
     seed: int = 0,
     progress: ProgressHook | None = None,
     jobs: int | None = 1,
+    shared_mem: bool = False,
+    batch_queries: bool = False,
+    runner: ParallelRunner | None = None,
 ) -> SweepResult:
     """Figures 3 and 4: vary the mean graph density."""
     profile = profile or active_profile()
@@ -151,6 +171,9 @@ def density_sweep(
         seed=seed,
         progress=progress,
         jobs=jobs,
+        shared_mem=shared_mem,
+        batch_queries=batch_queries,
+        runner=runner,
     )
 
 
@@ -161,6 +184,9 @@ def labels_sweep(
     seed: int = 0,
     progress: ProgressHook | None = None,
     jobs: int | None = 1,
+    shared_mem: bool = False,
+    batch_queries: bool = False,
+    runner: ParallelRunner | None = None,
 ) -> SweepResult:
     """Figure 5: vary the number of distinct labels."""
     profile = profile or active_profile()
@@ -178,6 +204,9 @@ def labels_sweep(
         seed=seed,
         progress=progress,
         jobs=jobs,
+        shared_mem=shared_mem,
+        batch_queries=batch_queries,
+        runner=runner,
     )
 
 
@@ -188,6 +217,9 @@ def graph_count_sweep(
     seed: int = 0,
     progress: ProgressHook | None = None,
     jobs: int | None = 1,
+    shared_mem: bool = False,
+    batch_queries: bool = False,
+    runner: ParallelRunner | None = None,
 ) -> SweepResult:
     """Figure 6: vary the number of graphs in the dataset."""
     profile = profile or active_profile()
@@ -205,6 +237,9 @@ def graph_count_sweep(
         seed=seed,
         progress=progress,
         jobs=jobs,
+        shared_mem=shared_mem,
+        batch_queries=batch_queries,
+        runner=runner,
     )
 
 
@@ -217,6 +252,9 @@ def _synthetic_sweep(
     seed: int,
     progress: ProgressHook | None,
     jobs: int | None = 1,
+    shared_mem: bool = False,
+    batch_queries: bool = False,
+    runner: ParallelRunner | None = None,
 ) -> SweepResult:
     method_names = list(methods if methods is not None else profile.method_names())
     result = SweepResult(
@@ -233,7 +271,17 @@ def _synthetic_sweep(
             for method in method_names:
                 yield _cell_task((x, method), method, dataset, workloads, profile)
 
-    _dispatch(result, tasks(), len(values) * len(method_names), x_name, jobs, progress)
+    _dispatch(
+        result,
+        tasks(),
+        len(values) * len(method_names),
+        x_name,
+        jobs,
+        progress,
+        shared_mem=shared_mem,
+        batch_queries=batch_queries,
+        runner=runner,
+    )
     return result
 
 
@@ -249,6 +297,9 @@ def real_dataset_experiment(
     seed: int = 0,
     progress: ProgressHook | None = None,
     jobs: int | None = 1,
+    shared_mem: bool = False,
+    batch_queries: bool = False,
+    runner: ParallelRunner | None = None,
 ) -> SweepResult:
     """Figure 1 and Table 1: all methods over the real-dataset stand-ins."""
     profile = profile or active_profile()
@@ -271,7 +322,17 @@ def real_dataset_experiment(
                 yield _cell_task((name, method), method, dataset, workloads, profile)
 
     total = len(dataset_names) * len(method_names)
-    _dispatch(result, tasks(), total, "dataset", jobs, progress)
+    _dispatch(
+        result,
+        tasks(),
+        total,
+        "dataset",
+        jobs,
+        progress,
+        shared_mem=shared_mem,
+        batch_queries=batch_queries,
+        runner=runner,
+    )
     return result
 
 
@@ -294,34 +355,124 @@ def _dispatch(
     x_name: str,
     jobs: int | None,
     progress: ProgressHook | None,
+    shared_mem: bool = False,
+    batch_queries: bool = False,
+    runner: ParallelRunner | None = None,
 ) -> None:
-    """Execute *tasks* (parallel when jobs > 1) and merge deterministically.
+    """Execute *tasks* and merge deterministically.
 
-    Sequential runs stream the lazy *tasks* iterable — only one x
-    value's dataset is alive at a time, as before the engine existed —
-    and report each cell *before* it runs, so an hours-long cell is
-    visible in flight.  Parallel runs must materialize every task to
-    submit it, and can only report completions; outcomes still come
-    back in task order regardless of worker completion order, so
-    ``result.cells`` has the exact insertion order — x outer, method
-    inner — the sequential loop produces.
+    Sequential runs (no engine features requested) stream the lazy
+    *tasks* iterable — only one x value's dataset is alive at a time,
+    as before the engine existed — and report each cell *before* it
+    runs, so an hours-long cell is visible in flight.  Engine runs must
+    materialize every task to submit it, and can only report
+    completions; results still merge in task order regardless of worker
+    completion order, so ``result.cells`` has the exact insertion order
+    — x outer, method inner — the sequential loop produces.
+
+    Engine features (each independently optional):
+
+    * ``shared_mem`` — each x value's dataset is packed once into a
+      :class:`~repro.core.arena.DatasetArena`; tasks ship arena handles
+      instead of pickled datasets.  Segments are unlinked in the
+      ``finally`` below, even when a worker crashes mid-sweep.
+    * ``batch_queries`` — cells split into per-query batches
+      (:func:`~repro.core.scheduling.split_cell`) so one slow cell's
+      workload spreads across workers; merged cells are byte-identical
+      (canonicalized) to unbatched ones.
+    * parallel submissions are always longest-first
+      (:func:`~repro.core.scheduling.longest_first`) to shrink the tail.
+    * ``runner`` — an externally owned (persistent) runner to reuse;
+      its pool is left alive for the caller's next sweep.
     """
 
-    def label(done: int, task: CellTask) -> str:
+    def label(done: int, task) -> str:
         return f"[{done}/{total}] {x_name}={task.key[0]} method={task.method}"
 
-    runner = ParallelRunner(jobs=jobs)
-    if runner.jobs <= 1:
+    runner = runner if runner is not None else ParallelRunner(jobs=jobs)
+    if runner.jobs <= 1 and not shared_mem and not batch_queries:
         for done, task in enumerate(tasks, start=1):
             if progress is not None:
                 progress(label(done, task))
             result.cells[task.key] = run_cell(task)
         return
+
+    task_list: list = list(tasks)
+    arenas: list[DatasetArena] = []
+    try:
+        if shared_mem:
+            task_list = _share_tasks(task_list, arenas)
+        if batch_queries:
+            _run_batched(result, task_list, runner, x_name, progress)
+        else:
+            costs = [estimate_cost(task) for task in task_list]
+            order = longest_first(costs) if runner.jobs > 1 else None
+            hook = None
+            if progress is not None:
+                hook = lambda done, _total, task: progress(label(done, task))
+            for outcome in runner.run(task_list, progress=hook, order=order):
+                result.cells[outcome.key] = outcome.cell
+    finally:
+        for arena in arenas:
+            arena.close()
+
+
+def _share_tasks(
+    tasks: list[CellTask], arenas: list[DatasetArena]
+) -> list[SharedCellTask]:
+    """Move every task's dataset into a shared-memory arena (one per
+    distinct dataset object; all methods of an x value share it)."""
+    handle_of: dict[int, object] = {}
+    shared: list[SharedCellTask] = []
+    for task in tasks:
+        handle = handle_of.get(id(task.dataset))
+        if handle is None:
+            arena = DatasetArena.create(task.dataset)
+            arenas.append(arena)
+            handle = arena.handle
+            handle_of[id(task.dataset)] = handle
+        shared.append(share_task(task, handle))
+    return shared
+
+
+def _run_batched(
+    result: SweepResult,
+    tasks: "list[CellTask | SharedCellTask]",
+    runner: ParallelRunner,
+    x_name: str,
+    progress: ProgressHook | None,
+) -> None:
+    """Split cells into query batches, run longest-first, merge in order."""
+    fingerprint_of: dict[int, int] = {}
+    batches: list[QueryBatch] = []
+    groups: list[tuple] = []  # (task, range of batch indices)
+    for task in tasks:
+        if isinstance(task, SharedCellTask):
+            key = task.handle.fingerprint
+        else:
+            key = fingerprint_of.get(id(task.dataset))
+            if key is None:
+                key = dataset_fingerprint(task.dataset)
+                fingerprint_of[id(task.dataset)] = key
+        cell_batches = split_cell(task, runner.jobs, dataset_key=key)
+        start = len(batches)
+        batches.extend(cell_batches)
+        groups.append((task, range(start, start + len(cell_batches))))
+
+    total = len(batches)
     hook = None
     if progress is not None:
-        hook = lambda done, _total, task: progress(label(done, task))
-    for outcome in runner.run(list(tasks), progress=hook):
-        result.cells[outcome.key] = outcome.cell
+        hook = lambda done, _total, batch: progress(
+            f"[{done}/{total}] {x_name}={batch.key[0]} method={batch.method} "
+            f"batch {batch.batch_index + 1}/{batch.num_batches}"
+        )
+    costs = [estimate_batch_cost(batch) for batch in batches]
+    order = longest_first(costs) if runner.jobs > 1 else None
+    outcomes = runner.map(run_batch, batches, progress=hook, order=order)
+    for task, indices in groups:
+        result.cells[task.key] = merge_batches(
+            [batches[i] for i in indices], [outcomes[i] for i in indices]
+        )
 
 
 def _make_workloads(

@@ -16,7 +16,14 @@ from dataclasses import dataclass
 
 from repro.indexes.base import QueryResult
 
-__all__ = ["false_positive_ratio", "WorkloadStats", "summarize_results"]
+__all__ = [
+    "false_positive_ratio",
+    "WorkloadStats",
+    "summarize_results",
+    "QueryRecord",
+    "record_of",
+    "summarize_records",
+]
 
 
 def false_positive_ratio(results: Iterable[QueryResult]) -> float:
@@ -53,4 +60,58 @@ def summarize_results(results: Sequence[QueryResult]) -> WorkloadStats:
         avg_candidates=sum(len(r.candidates) for r in results) / count,
         avg_answers=sum(len(r.answers) for r in results) / count,
         false_positive_ratio=false_positive_ratio(results),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRecord:
+    """One query's measurements, reduced to scalars.
+
+    The per-query batching engine (:mod:`repro.core.scheduling`) ships
+    these across the process boundary instead of full
+    :class:`~repro.indexes.base.QueryResult` objects: the candidate and
+    answer *sets* stay in the worker, only their sizes and the (already
+    computed, bit-exact) per-query FP ratio travel.
+    """
+
+    total_seconds: float
+    filter_seconds: float
+    verify_seconds: float
+    num_candidates: int
+    num_answers: int
+    false_positive_ratio: float
+
+
+def record_of(result: QueryResult) -> QueryRecord:
+    """Reduce one result to its scalar record."""
+    return QueryRecord(
+        total_seconds=result.total_seconds,
+        filter_seconds=result.filter_seconds,
+        verify_seconds=result.verify_seconds,
+        num_candidates=len(result.candidates),
+        num_answers=len(result.answers),
+        false_positive_ratio=result.false_positive_ratio,
+    )
+
+
+def summarize_records(records: Sequence[QueryRecord]) -> WorkloadStats:
+    """:func:`summarize_results` over records, arithmetic mirrored exactly.
+
+    Records concatenated back into original query order must aggregate
+    to the *bit-identical* statistics a sequential run computes —
+    same values summed in the same order, then divided once — so a
+    batched workload canonicalizes byte-for-byte like an unbatched one.
+    """
+    if not records:
+        return WorkloadStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    count = len(records)
+    ratios = [record.false_positive_ratio for record in records]
+    return WorkloadStats(
+        num_queries=count,
+        avg_query_seconds=sum(r.total_seconds for r in records) / count,
+        avg_filter_seconds=sum(r.filter_seconds for r in records) / count,
+        avg_verify_seconds=sum(r.verify_seconds for r in records) / count,
+        avg_candidates=sum(r.num_candidates for r in records) / count,
+        avg_answers=sum(r.num_answers for r in records) / count,
+        false_positive_ratio=sum(ratios) / len(ratios),
     )

@@ -24,6 +24,7 @@ sequential one; ``tests/test_parallel_runner.py`` holds that property.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import time
@@ -31,12 +32,20 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
+from repro.core.arena import SharedCellTask, run_shared_cell
 from repro.core.runner import CellTask, MethodCell, run_cell
 
-__all__ = ["TaskOutcome", "ParallelRunner", "run_cells"]
+__all__ = [
+    "TaskOutcome",
+    "ParallelRunner",
+    "PersistentPool",
+    "execute_task",
+    "persistent_pool",
+    "run_cells",
+]
 
 #: Called after each task completes: (done_count, total, task).
-ProgressCallback = Callable[[int, int, CellTask], None]
+ProgressCallback = Callable[[int, int, object], None]
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,10 +65,17 @@ class TaskOutcome:
     seconds: float
 
 
-def _execute(task: CellTask) -> tuple[MethodCell, int, float]:
+def execute_task(task: CellTask | SharedCellTask) -> MethodCell:
+    """Run either task flavor in the calling process."""
+    if isinstance(task, SharedCellTask):
+        return run_shared_cell(task)
+    return run_cell(task)
+
+
+def _execute(task: CellTask | SharedCellTask) -> tuple[MethodCell, int, float]:
     """Worker-side entry point: run one cell, report pid and duration."""
     start = time.perf_counter()
-    cell = run_cell(task)
+    cell = execute_task(task)
     return cell, os.getpid(), time.perf_counter() - start
 
 
@@ -140,26 +156,39 @@ class ParallelRunner:
         func: Callable,
         items: Sequence,
         progress: Callable[[int, int, object], None] | None = None,
+        order: Sequence[int] | None = None,
     ) -> list:
         """Apply a picklable *func* to every item, preserving order.
 
         The generic primitive under :meth:`run`: results come back in
         ``items`` order no matter which worker finishes first.  With
         ``jobs <= 1`` this is a plain in-process loop.
+
+        *order*, if given, is a permutation of ``range(len(items))``
+        giving the **submission** (and, sequentially, execution) order —
+        the adaptive scheduler passes a longest-first permutation here.
+        Results are *returned* in ``items`` order regardless, so
+        scheduling never changes what callers observe.
         """
         total = len(items)
+        if order is None:
+            order = range(total)
+        elif sorted(order) != list(range(total)):
+            raise ValueError("order must be a permutation of range(len(items))")
         if self.jobs <= 1:
-            results = []
-            for done, item in enumerate(items, start=1):
-                results.append(func(item))
+            results: list = [None] * total
+            for done, index in enumerate(order, start=1):
+                results[index] = func(items[index])
                 if progress is not None:
-                    progress(done, total, item)
+                    progress(done, total, items[index])
             return results
 
         owns_pool = self._executor is None
         executor = self._executor or self._make_executor()
         try:
-            futures: list[Future] = [executor.submit(func, item) for item in items]
+            futures: list[Future | None] = [None] * total
+            for index in order:
+                futures[index] = executor.submit(func, items[index])
             index_of = {future: i for i, future in enumerate(futures)}
             pending = set(futures)
             done_count = 0
@@ -179,11 +208,16 @@ class ParallelRunner:
 
     def run(
         self,
-        tasks: Sequence[CellTask],
+        tasks: Sequence[CellTask | SharedCellTask],
         progress: ProgressCallback | None = None,
+        order: Sequence[int] | None = None,
     ) -> list[TaskOutcome]:
-        """Execute every task; outcomes are in ``tasks`` order."""
-        raw = self.map(_execute, tasks, progress=progress)
+        """Execute every task; outcomes are in ``tasks`` order.
+
+        *order* is an optional submission permutation (see :meth:`map`);
+        outcome order is unaffected by it.
+        """
+        raw = self.map(_execute, tasks, progress=progress, order=order)
         return [
             TaskOutcome(key=task.key, cell=cell, worker_pid=pid, seconds=seconds)
             for task, (cell, pid, seconds) in zip(tasks, raw)
@@ -191,9 +225,10 @@ class ParallelRunner:
 
 
 def run_cells(
-    tasks: Sequence[CellTask],
+    tasks: Sequence[CellTask | SharedCellTask],
     jobs: int | None = 1,
     progress: ProgressCallback | None = None,
+    order: Sequence[int] | None = None,
 ) -> dict[tuple, MethodCell]:
     """One-shot convenience: tasks in, ``{key: cell}`` out.
 
@@ -201,5 +236,73 @@ def run_cells(
     that fill result tables from it get the same ordering a sequential
     loop would have produced.
     """
-    outcomes = ParallelRunner(jobs=jobs).run(tasks, progress=progress)
+    outcomes = ParallelRunner(jobs=jobs).run(tasks, progress=progress, order=order)
     return {outcome.key: outcome.cell for outcome in outcomes}
+
+
+# ----------------------------------------------------------------------
+# the persistent pool: one set of workers per CLI invocation
+# ----------------------------------------------------------------------
+
+
+class PersistentPool:
+    """Keeps one :class:`ParallelRunner`'s workers alive across sweeps.
+
+    PR 1 span up a fresh ``ProcessPoolExecutor`` per sweep; a CLI
+    invocation reproducing several figures paid worker startup (and lost
+    every worker-side cache) each time.  A ``PersistentPool`` hands out
+    the *same* entered runner for as long as the requested worker count
+    stays put, so the arena dataset cache and the batched-mode index
+    cache (:mod:`repro.core.arena`, :mod:`repro.core.scheduling`) stay
+    warm from one sweep to the next.
+
+    The module-level singleton (:func:`persistent_pool`) is closed via
+    ``atexit``; callers that want deterministic teardown (the CLI does)
+    call :meth:`close` themselves.
+    """
+
+    def __init__(self) -> None:
+        self._runner: ParallelRunner | None = None
+
+    def runner(self, jobs: int | None) -> ParallelRunner:
+        """The shared runner for *jobs* workers (``None`` = all cores).
+
+        Reuses the live runner when the resolved worker count matches;
+        otherwise the old pool is shut down and a fresh one created.
+        """
+        resolved = (os.cpu_count() or 1) if jobs is None else max(1, int(jobs))
+        if self._runner is not None and self._runner.jobs == resolved:
+            return self._runner
+        self.close()
+        runner = ParallelRunner(jobs=resolved)
+        runner.__enter__()  # owns its executor until close()
+        self._runner = runner
+        return runner
+
+    @property
+    def active_runner(self) -> ParallelRunner | None:
+        """The currently live runner, if any (introspection/tests)."""
+        return self._runner
+
+    def close(self) -> None:
+        """Shut down the pooled workers (idempotent)."""
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+_GLOBAL_POOL = PersistentPool()
+
+
+def persistent_pool() -> PersistentPool:
+    """The process-wide pool shared by every sweep of one invocation."""
+    return _GLOBAL_POOL
+
+
+atexit.register(_GLOBAL_POOL.close)

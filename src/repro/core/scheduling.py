@@ -1,0 +1,411 @@
+"""Per-query batching and adaptive (longest-first) cell scheduling.
+
+PR 1 parallelized at cell granularity, so one slow (method × dataset)
+cell — a frequent-mining build over the largest dataset, say — owns the
+tail of every sweep: the response-time/granularity trade-off Das et al.
+measure on large-graph query processing.  This module shrinks that tail
+in two independent ways:
+
+* **Longest-first scheduling** — cells are *submitted* in descending
+  estimated cost (:func:`estimate_cost`: dataset size × query work), so
+  the expensive cells start first and the cheap ones pack the stragglers.
+  Results still merge in original submission order, so scheduling is
+  invisible in the output.
+* **Per-query batching** — one cell's query workload splits into
+  :class:`QueryBatch` subtasks (:func:`split_cell`), each carrying a
+  contiguous slice of every query size.  Workers build (or fetch from
+  the per-worker cache) the cell's index and answer just their slice;
+  :func:`merge_batches` reassembles the per-query records **in original
+  query order** and aggregates them with arithmetic mirrored from the
+  sequential path — the merged cell canonicalizes byte-identically to
+  an unbatched run.
+
+Semantics note: the paper's per-workload query budget is enforced per
+*batch* in batched mode (wall-clock cannot be shared across processes).
+With no budget, or the zero budget the failure tests use, the two modes
+agree exactly; a real mid-workload timeout may land on a different query
+than sequentially — the same nondeterminism two sequential runs already
+have.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.arena import ArenaHandle, SharedCellTask, cached_dataset
+from repro.core.metrics import QueryRecord, record_of, summarize_records
+from repro.core.runner import (
+    STATUS_ERROR,
+    STATUS_MEMORY,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellTask,
+    MethodCell,
+    SizeStats,
+    make_method,
+)
+from repro.graphs.dataset import GraphDataset, dataset_fingerprint
+from repro.graphs.graph import Graph
+from repro.utils.budget import Budget, BudgetExceeded, MemoryBudgetExceeded
+
+__all__ = [
+    "BatchOutcome",
+    "BatchPart",
+    "QueryBatch",
+    "clear_index_cache",
+    "estimate_batch_cost",
+    "estimate_cost",
+    "longest_first",
+    "merge_batches",
+    "run_batch",
+    "split_cell",
+]
+
+
+# ----------------------------------------------------------------------
+# adaptive scheduling: cost model + longest-first ordering
+# ----------------------------------------------------------------------
+
+
+def _weight_of(dataset: GraphDataset | ArenaHandle) -> float:
+    """Rough size of a dataset, by object or by arena handle."""
+    if isinstance(dataset, ArenaHandle):
+        return float(
+            dataset.num_graphs + dataset.total_vertices + dataset.total_edges
+        )
+    return float(len(dataset) + dataset.total_vertices() + dataset.total_edges())
+
+
+def _dataset_weight(task: CellTask | SharedCellTask) -> float:
+    """Rough size of the dataset a task runs against."""
+    if isinstance(task, SharedCellTask):
+        return _weight_of(task.handle)
+    return _weight_of(task.dataset)
+
+
+def _query_work(workloads: Mapping[int, Sequence[Graph]]) -> float:
+    """Total query edges — the workload side of the cost product."""
+    return float(sum(size * len(queries) for size, queries in workloads.items()))
+
+
+def estimate_cost(task: CellTask | SharedCellTask) -> float:
+    """Estimated cell cost: dataset size × (1 + query work).
+
+    Deliberately method-blind — the paper's whole point is that method
+    cost profiles differ wildly and unpredictably — but dataset size and
+    query volume dominate within a sweep, which is what tail-shrinking
+    needs: the big-dataset cells start first.
+    """
+    return _dataset_weight(task) * (1.0 + _query_work(task.workloads))
+
+
+def estimate_batch_cost(batch: "QueryBatch") -> float:
+    """Cost of one batch: its build share plus its slice of the queries."""
+    work = float(sum(part.size * len(part.queries) for part in batch.parts))
+    return _weight_of(batch.dataset) * (1.0 + work)
+
+
+def longest_first(costs: Sequence[float]) -> list[int]:
+    """Submission order: indices by descending cost, stable on ties.
+
+    The returned permutation feeds ``ParallelRunner.run(..., order=...)``;
+    results still come back in the *original* index order, so the sweep
+    output is submission-deterministic regardless of completion order.
+    """
+    return sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+
+
+# ----------------------------------------------------------------------
+# per-query batching: task shapes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BatchPart:
+    """A contiguous slice of one query size's workload."""
+
+    size: int
+    #: Position of ``queries[0]`` within the size's full workload.
+    start: int
+    queries: tuple[Graph, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryBatch:
+    """One worker-sized share of a cell's query workload.
+
+    Every batch of a cell carries enough to (re)build the cell's index
+    — workers deduplicate actual builds through a cache keyed by
+    ``(dataset_key, method, config, budgets)`` so a cell's index is
+    built at most once per worker, and at most ``min(jobs, batches)``
+    times per cell overall.
+    """
+
+    key: tuple
+    method: str
+    dataset: GraphDataset | ArenaHandle
+    #: Content fingerprint of the dataset — the index-cache key part.
+    dataset_key: int
+    batch_index: int
+    num_batches: int
+    #: Every query size of the parent cell, in workload order (the
+    #: merged cell's ``per_size`` insertion order).
+    sizes: tuple[int, ...]
+    parts: tuple[BatchPart, ...]
+    method_config: Mapping[str, object] | None = None
+    build_budget_seconds: float | None = None
+    query_budget_seconds: float | None = None
+    build_memory_bytes: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PartOutcome:
+    """What happened to one batch part."""
+
+    size: int
+    start: int
+    status: str
+    records: tuple[QueryRecord, ...] = ()
+    error: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class BatchOutcome:
+    """One executed batch: build outcome plus per-part query records."""
+
+    key: tuple
+    batch_index: int
+    build_status: str
+    build_seconds: float | None = None
+    index_bytes: int | None = None
+    build_details: dict = field(default_factory=dict)
+    build_error: str = ""
+    parts: tuple[PartOutcome, ...] = ()
+
+
+def split_cell(
+    task: CellTask | SharedCellTask, num_batches: int, dataset_key: int | None = None
+) -> list[QueryBatch]:
+    """Split one cell into up to *num_batches* query batches.
+
+    Each size's workload is cut into contiguous chunks (chunk *i* of a
+    ``q``-query size is ``queries[i*q//n : (i+1)*q//n]``), so batch 0
+    holds the head of every size and batch n-1 the tail.  Cells with
+    fewer queries than batches produce fewer batches; a cell with no
+    queries still produces one build-only batch.  The split is a pure
+    function of (task, num_batches) — deterministic across runs.
+    """
+    if isinstance(task, SharedCellTask):
+        dataset: GraphDataset | ArenaHandle = task.handle
+        key = task.handle.fingerprint if dataset_key is None else dataset_key
+    else:
+        dataset = task.dataset
+        key = dataset_fingerprint(task.dataset) if dataset_key is None else dataset_key
+    sizes = tuple(task.workloads)
+    total_queries = sum(len(queries) for queries in task.workloads.values())
+    count = max(1, min(int(num_batches), total_queries)) if total_queries else 1
+    parts_of: list[list[BatchPart]] = [[] for _ in range(count)]
+    for size, queries in task.workloads.items():
+        queries = list(queries)
+        length = len(queries)
+        for i in range(count):
+            lo = (i * length) // count
+            hi = ((i + 1) * length) // count
+            if hi > lo:
+                parts_of[i].append(BatchPart(size, lo, tuple(queries[lo:hi])))
+    return [
+        QueryBatch(
+            key=task.key,
+            method=task.method,
+            dataset=dataset,
+            dataset_key=key,
+            batch_index=i,
+            num_batches=count,
+            sizes=sizes,
+            parts=tuple(parts_of[i]),
+            method_config=task.method_config,
+            build_budget_seconds=task.build_budget_seconds,
+            query_budget_seconds=task.query_budget_seconds,
+            build_memory_bytes=task.build_memory_bytes,
+        )
+        for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# worker side: cached builds + batch execution
+# ----------------------------------------------------------------------
+
+#: Per-process built-index cache.  Failed builds are cached too, so every
+#: batch of a cell reports the same deterministic failure status.
+_INDEX_CACHE: dict[tuple, tuple] = {}
+
+
+def clear_index_cache() -> None:
+    """Drop this process's built-index cache (tests and memory pressure)."""
+    _INDEX_CACHE.clear()
+
+
+def _config_key(config: Mapping[str, object] | None) -> tuple:
+    return tuple(sorted((config or {}).items(), key=lambda kv: kv[0]))
+
+
+def _built_index_for(batch: QueryBatch) -> tuple:
+    """``("ok", index, report)`` or ``(failure_status, error_message)``."""
+    cache_key = (
+        batch.dataset_key,
+        batch.method,
+        _config_key(batch.method_config),
+        batch.build_budget_seconds,
+        batch.build_memory_bytes,
+    )
+    entry = _INDEX_CACHE.get(cache_key)
+    if entry is not None:
+        return entry
+    if isinstance(batch.dataset, ArenaHandle):
+        dataset = cached_dataset(batch.dataset)
+    else:
+        dataset = batch.dataset
+    index = make_method(batch.method, batch.method_config)
+    budget = (
+        Budget(
+            batch.build_budget_seconds,
+            max_bytes=batch.build_memory_bytes,
+            phase=f"{batch.method} build",
+        )
+        if batch.build_budget_seconds is not None
+        or batch.build_memory_bytes is not None
+        else None
+    )
+    try:
+        report = index.build(dataset, budget=budget)
+    except MemoryBudgetExceeded:
+        entry = (STATUS_MEMORY, "")
+    except BudgetExceeded:
+        entry = (STATUS_TIMEOUT, "")
+    except (MemoryError, RecursionError, ValueError, RuntimeError) as exc:
+        entry = (STATUS_ERROR, f"{type(exc).__name__}: {exc}")
+    else:
+        entry = (STATUS_OK, index, report)
+    _INDEX_CACHE[cache_key] = entry
+    return entry
+
+
+def run_batch(batch: QueryBatch) -> BatchOutcome:
+    """Worker entry point: build/fetch the index, answer this slice.
+
+    Mirrors :func:`repro.core.runner.evaluate_method` per part: method
+    failures become statuses, never exceptions; programming errors
+    (unknown method) propagate.
+    """
+    entry = _built_index_for(batch)
+    if entry[0] != STATUS_OK:
+        return BatchOutcome(
+            key=batch.key,
+            batch_index=batch.batch_index,
+            build_status=entry[0],
+            build_error=entry[1],
+        )
+    _, index, report = entry
+    parts: list[PartOutcome] = []
+    for part in batch.parts:
+        budget = (
+            Budget(
+                batch.query_budget_seconds,
+                phase=f"{batch.method} queries size {part.size}",
+            )
+            if batch.query_budget_seconds is not None
+            else None
+        )
+        try:
+            records = tuple(
+                record_of(index.query(query, budget=budget))
+                for query in part.queries
+            )
+        except BudgetExceeded:
+            parts.append(PartOutcome(part.size, part.start, STATUS_TIMEOUT))
+        except (MemoryError, RecursionError, ValueError, RuntimeError) as exc:
+            parts.append(
+                PartOutcome(
+                    part.size,
+                    part.start,
+                    STATUS_ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            parts.append(PartOutcome(part.size, part.start, STATUS_OK, records))
+    return BatchOutcome(
+        key=batch.key,
+        batch_index=batch.batch_index,
+        build_status=STATUS_OK,
+        build_seconds=report.seconds,
+        index_bytes=report.size_bytes,
+        build_details=dict(report.details),
+        parts=tuple(parts),
+    )
+
+
+# ----------------------------------------------------------------------
+# deterministic merge
+# ----------------------------------------------------------------------
+
+
+def merge_batches(
+    batches: Sequence[QueryBatch], outcomes: Sequence[BatchOutcome]
+) -> MethodCell:
+    """Reassemble one cell from its batch outcomes, order-independently.
+
+    *batches* and *outcomes* are aligned pairs in any order (they are
+    sorted internally by batch index / part start), so the merged cell
+    is a pure function of the outcome *set* — completion order cannot
+    leak in.  Build fields come from the lowest-index batch; a size's
+    status is the status of its earliest non-OK part (the sequential
+    "first failure aborts the workload" semantics), otherwise its
+    records concatenate in query order and aggregate exactly as the
+    sequential path would.
+    """
+    if not batches:
+        raise ValueError("merge_batches needs at least one batch")
+    pairs = sorted(zip(batches, outcomes), key=lambda pair: pair[1].batch_index)
+    lead_batch, lead = pairs[0]
+    # Builds are deterministic so batches normally agree, but a budget
+    # that sits right at the build time can succeed in one worker and
+    # time out in another.  Any build failure fails the whole cell —
+    # the sequential all-or-nothing semantics — rather than silently
+    # merging the successful batches' partial query records.
+    failed_build = next(
+        (o for _, o in pairs if o.build_status != STATUS_OK), None
+    )
+    if failed_build is not None:
+        return MethodCell(
+            method=lead_batch.method,
+            build_status=failed_build.build_status,
+            build_error=failed_build.build_error,
+        )
+    cell = MethodCell(
+        method=lead_batch.method,
+        build_status=lead.build_status,
+        build_seconds=lead.build_seconds,
+        index_bytes=lead.index_bytes,
+        build_details=dict(lead.build_details),
+        build_error=lead.build_error,
+    )
+    parts_by_size: dict[int, list[PartOutcome]] = {}
+    for _, outcome in pairs:
+        for part in outcome.parts:
+            parts_by_size.setdefault(part.size, []).append(part)
+    for size in lead_batch.sizes:
+        parts = sorted(parts_by_size.get(size, []), key=lambda p: p.start)
+        failed = next((p for p in parts if p.status != STATUS_OK), None)
+        if failed is not None:
+            cell.per_size[size] = SizeStats(status=failed.status, error=failed.error)
+            continue
+        records: list[QueryRecord] = []
+        for part in parts:
+            records.extend(part.records)
+        cell.per_size[size] = SizeStats(
+            status=STATUS_OK, stats=summarize_records(records)
+        )
+    return cell

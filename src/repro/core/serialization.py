@@ -26,6 +26,8 @@ __all__ = [
     "load_sweep",
     "canonical_cell",
     "canonical_sweep",
+    "canonical_json",
+    "sweep_digest",
 ]
 
 _SCHEMA = "repro-sweep-v1"
@@ -139,6 +141,28 @@ def canonical_sweep(sweep: SweepResult) -> SweepResult:
     for key, cell in sweep.cells.items():
         out.cells[key] = canonical_cell(cell)
     return out
+
+
+def canonical_json(sweep: SweepResult) -> str:
+    """The canonical (timing-free) JSON serialization of *sweep*.
+
+    The equivalence currency of the engine: two runs of one experiment
+    must produce byte-identical canonical JSON whether they executed
+    sequentially, fanned out per cell, attached datasets from a
+    shared-memory arena, or split cells into query batches.
+    """
+    return sweep_to_json(canonical_sweep(sweep))
+
+
+def sweep_digest(sweep: SweepResult) -> str:
+    """A short stable hex digest of the canonical JSON.
+
+    Handy for CI smoke checks and logs: equal digests mean equal
+    measured content across execution modes.
+    """
+    from repro.utils.hashing import stable_digest
+
+    return f"{stable_digest(canonical_json(sweep).encode('utf-8')):016x}"
 
 
 # ----------------------------------------------------------------------

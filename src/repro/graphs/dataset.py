@@ -3,15 +3,33 @@
 The benchmarked systems all operate on a *graph-transaction database* — a
 set of many (small to medium) graphs, each with a stable id.  Queries ask
 for the ids of all graphs containing the query graph (paper §1).
+
+Besides the in-memory :class:`GraphDataset`, this module defines the
+**flat-array packing** the shared-memory arena (:mod:`repro.core.arena`)
+ships across process boundaries: every graph's labels and adjacency
+lists are concatenated into int64 arrays with prefix-offset tables, so a
+whole dataset serializes once into one contiguous buffer and workers
+read it back through :class:`PackedDatasetReader` without unpickling
+per task.
 """
 
 from __future__ import annotations
 
+import pickle
+import struct
+from array import array
 from collections.abc import Hashable, Iterable, Iterator
 
 from repro.graphs.graph import Graph
+from repro.utils.hashing import stable_digest
 
-__all__ = ["GraphDataset"]
+__all__ = [
+    "GraphDataset",
+    "PackedDatasetReader",
+    "pack_dataset",
+    "unpack_dataset",
+    "dataset_fingerprint",
+]
 
 
 class GraphDataset:
@@ -95,3 +113,157 @@ class GraphDataset:
     def __repr__(self) -> str:
         name = f" {self.name!r}" if self.name else ""
         return f"GraphDataset({len(self._graphs)} graphs{name})"
+
+
+# ----------------------------------------------------------------------
+# flat-array packing (the shared-memory arena's wire format)
+# ----------------------------------------------------------------------
+
+#: Format tag; bump when the layout below changes.
+_PACK_MAGIC = b"RPRODS01"
+#: G, V, A (= 2|E| adjacency entries), label-table blob length, name length.
+_PACK_HEADER = "<5q"
+_HEADER_BYTES = len(_PACK_MAGIC) + struct.calcsize(_PACK_HEADER)
+
+# Layout after the header (everything int64, little-endian):
+#   vstarts : G+1   prefix offsets of each graph's vertices
+#   astarts : V+1   prefix offsets of each vertex's adjacency run
+#   labels  : V     per-vertex indices into the pickled label table
+#   adj     : A     graph-local neighbor ids, per vertex, in the order
+#                   the source set iterates (so reconstruction matches a
+#                   pickle round-trip exactly — see Graph.from_adjacency)
+# then the pickled label table and the UTF-8 dataset name.
+
+
+def pack_dataset(dataset: GraphDataset) -> bytes:
+    """Serialize *dataset* into one flat, shareable byte buffer.
+
+    Labels may be any picklable hashable: they are deduplicated into a
+    table (pickled once) and vertices store table indices.  The packing
+    is deterministic for a given dataset object, making
+    :func:`dataset_fingerprint` a usable cache key.
+    """
+    vstarts = array("q", [0])
+    astarts = array("q", [0])
+    labels = array("q")
+    adjacency = array("q")
+    label_index: dict[Hashable, int] = {}
+    for graph in dataset:
+        for v in graph.vertices():
+            label = graph.label(v)
+            index = label_index.setdefault(label, len(label_index))
+            labels.append(index)
+            for w in graph.neighbors(v):
+                adjacency.append(w)
+            astarts.append(len(adjacency))
+        vstarts.append(len(labels))
+    label_blob = pickle.dumps(tuple(label_index), protocol=pickle.HIGHEST_PROTOCOL)
+    name_blob = dataset.name.encode("utf-8")
+
+    ints = vstarts.tobytes() + astarts.tobytes() + labels.tobytes() + adjacency.tobytes()
+    header = _PACK_MAGIC + struct.pack(
+        _PACK_HEADER,
+        len(dataset),
+        len(labels),
+        len(adjacency),
+        len(label_blob),
+        len(name_blob),
+    )
+    return b"".join((header, ints, label_blob, name_blob))
+
+
+def unpack_dataset(buffer) -> GraphDataset:
+    """Rebuild a :class:`GraphDataset` from a packed buffer.
+
+    The inverse of :func:`pack_dataset`; graph ids are re-assigned
+    densely in packed order (which is the original id order).
+    """
+    with PackedDatasetReader(buffer) as reader:
+        return GraphDataset(reader.graphs(), name=reader.dataset_name)
+
+
+def dataset_fingerprint(dataset: GraphDataset) -> int:
+    """64-bit content hash of the packed form — the arena cache key."""
+    return stable_digest(pack_dataset(dataset))
+
+
+class PackedDatasetReader:
+    """Zero-copy view over a buffer written by :func:`pack_dataset`.
+
+    Casts the buffer's int64 sections into a :class:`memoryview` and
+    materializes :class:`Graph` objects straight out of it — no
+    intermediate bytes objects, no unpickling beyond the (small) label
+    table.  This is how arena workers read a shared-memory segment.
+
+    Use as a context manager (or call :meth:`close`) so the underlying
+    buffer can be released — shared memory cannot unmap while views are
+    alive.  Trailing bytes beyond the packed payload are ignored, which
+    tolerates page-rounded shared-memory segments.
+    """
+
+    def __init__(self, buffer) -> None:
+        base = memoryview(buffer)
+        self._views: list[memoryview] = [base]
+        magic = bytes(base[: len(_PACK_MAGIC)])
+        if magic != _PACK_MAGIC:
+            self.close()
+            raise ValueError(f"not a packed dataset (magic {magic!r})")
+        g, v, a, label_len, name_len = struct.unpack_from(
+            _PACK_HEADER, base, len(_PACK_MAGIC)
+        )
+        ints_count = (g + 1) + (v + 1) + v + a
+        ints_end = _HEADER_BYTES + 8 * ints_count
+        if len(base) < ints_end + label_len + name_len:
+            self.close()
+            raise ValueError("packed dataset buffer is truncated")
+        ints = base[_HEADER_BYTES:ints_end].cast("q")
+        self._views.append(ints)
+        self._ints = ints
+        # Section offsets inside the one int64 view.
+        self._vstarts = 0
+        self._astarts = g + 1
+        self._labels = self._astarts + v + 1
+        self._adj = self._labels + v
+        self.num_graphs = g
+        self.total_vertices = v
+        self.total_edges = a // 2
+        self._label_table: tuple[Hashable, ...] = (
+            pickle.loads(bytes(base[ints_end : ints_end + label_len]))
+            if label_len
+            else ()
+        )
+        self.dataset_name = bytes(
+            base[ints_end + label_len : ints_end + label_len + name_len]
+        ).decode("utf-8")
+
+    def graph(self, index: int) -> Graph:
+        """Materialize graph *index* (packed order) from the buffer."""
+        if not (0 <= index < self.num_graphs):
+            raise IndexError(f"graph index {index} out of range")
+        ints = self._ints
+        v0 = ints[self._vstarts + index]
+        v1 = ints[self._vstarts + index + 1]
+        labels = tuple(
+            self._label_table[ints[self._labels + v]] for v in range(v0, v1)
+        )
+        neighbors = []
+        for v in range(v0, v1):
+            a0 = ints[self._astarts + v]
+            a1 = ints[self._astarts + v + 1]
+            neighbors.append([ints[self._adj + k] for k in range(a0, a1)])
+        return Graph.from_adjacency(labels, neighbors)
+
+    def graphs(self) -> Iterator[Graph]:
+        """Yield every graph in packed (= original id) order."""
+        return (self.graph(i) for i in range(self.num_graphs))
+
+    def close(self) -> None:
+        """Release every memoryview so the buffer can be unmapped."""
+        while self._views:
+            self._views.pop().release()
+
+    def __enter__(self) -> "PackedDatasetReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -112,6 +112,56 @@ class Graph:
                 )
         return cls(labels, edges, graph_id=graph_id)
 
+    @classmethod
+    def from_adjacency(
+        cls,
+        labels: Sequence[Label],
+        neighbors: Sequence[Sequence[int]],
+        graph_id: int | None = None,
+    ) -> "Graph":
+        """Build a graph directly from per-vertex neighbor lists.
+
+        ``neighbors[v]`` lists the vertices adjacent to ``v``; the lists
+        must be symmetric (``u in neighbors[v]`` iff ``v in
+        neighbors[u]``), duplicate- and self-loop-free.  Unlike feeding
+        an edge list to the constructor, this rebuilds each adjacency
+        set by inserting members in the order given — the same way
+        unpickling restores a set — so a graph round-tripped through the
+        flat-array packing (:func:`repro.graphs.dataset.pack_dataset`)
+        behaves exactly like one round-tripped through pickle, down to
+        set iteration order.
+        """
+        graph = cls(labels, graph_id=graph_id)
+        n = len(graph._labels)
+        if len(neighbors) != n:
+            raise GraphError(
+                f"expected {n} neighbor lists, got {len(neighbors)}"
+            )
+        adjacency: list[set[int]] = []
+        total = 0
+        for v, row in enumerate(neighbors):
+            members = set(row)
+            if len(members) != len(row):
+                raise GraphError(f"duplicate neighbor in row of vertex {v}")
+            if v in members:
+                raise GraphError(f"self-loop on vertex {v} is not allowed")
+            for w in row:
+                if not (0 <= w < n):
+                    raise GraphError(
+                        f"neighbor {w} of vertex {v} out of range for {n} vertices"
+                    )
+            adjacency.append(members)
+            total += len(members)
+        if total % 2:
+            raise GraphError("neighbor lists are not symmetric")
+        for v, members in enumerate(adjacency):
+            for w in members:
+                if v not in adjacency[w]:
+                    raise GraphError(f"asymmetric edge ({v}, {w})")
+        graph._adj = adjacency
+        graph._size = total // 2
+        return graph
+
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 
-__all__ = ["stable_hash", "hash_positions"]
+__all__ = ["stable_hash", "stable_digest", "hash_positions"]
 
 
 def stable_hash(obj: object, *, salt: bytes = b"") -> int:
@@ -23,6 +23,17 @@ def stable_hash(obj: object, *, salt: bytes = b"") -> int:
     64-bit output width.
     """
     digest = hashlib.blake2b(repr(obj).encode("utf-8"), digest_size=8, salt=salt)
+    return int.from_bytes(digest.digest(), "little")
+
+
+def stable_digest(data: bytes) -> int:
+    """A process-independent 64-bit content hash of raw bytes.
+
+    Used to key shared-memory dataset arenas and the worker-side
+    dataset/index caches (:mod:`repro.core.arena`): two identical packed
+    payloads always hash alike, in every process of an invocation.
+    """
+    digest = hashlib.blake2b(data, digest_size=8)
     return int.from_bytes(digest.digest(), "little")
 
 

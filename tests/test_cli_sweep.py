@@ -63,3 +63,40 @@ class TestSweepCommand:
         assert main(["sweep", "real"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "PCM" in out
+
+
+class TestSweepEngineFlags:
+    """--jobs/--shared-mem/--batch-queries and multi-experiment pooling."""
+
+    def test_engine_flags_match_sequential_run(self, tiny_profile, tmp_path, capsys):
+        from repro.core.serialization import canonical_json, load_sweep
+
+        seq_path = tmp_path / "seq.json"
+        eng_path = tmp_path / "eng.json"
+        assert main(["sweep", "nodes", "--json", str(seq_path)]) == 0
+        assert main(
+            ["sweep", "nodes", "--jobs", "2", "--shared-mem",
+             "--batch-queries", "--json", str(eng_path)]
+        ) == 0
+        sequential = load_sweep(seq_path)
+        engined = load_sweep(eng_path)
+        assert canonical_json(engined) == canonical_json(sequential)
+
+    def test_multiple_experiments_share_invocation(self, tiny_profile, tmp_path, capsys):
+        json_path = tmp_path / "multi.json"
+        code = main(
+            ["sweep", "nodes", "graphs", "--jobs", "2", "--shared-mem",
+             "--batch-queries", "--json", str(json_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "running nodes sweep" in out and "running graphs sweep" in out
+        assert "shared-mem" in out and "batched queries" in out
+        assert (tmp_path / "multi-nodes.json").exists()
+        assert (tmp_path / "multi-graphs.json").exists()
+
+    def test_no_arena_leaks_after_sweep_command(self, tiny_profile, capsys):
+        from repro.core.arena import live_arenas
+
+        assert main(["sweep", "nodes", "--jobs", "2", "--shared-mem"]) == 0
+        assert live_arenas() == ()

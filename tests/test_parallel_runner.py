@@ -22,7 +22,12 @@ import pickle
 import pytest
 
 from repro.core.experiments import nodes_sweep
-from repro.core.parallel import ParallelRunner, run_cells
+from repro.core.parallel import (
+    ParallelRunner,
+    PersistentPool,
+    persistent_pool,
+    run_cells,
+)
 from repro.core.presets import CI_PROFILE
 from repro.core.runner import (
     STATUS_ERROR,
@@ -269,3 +274,98 @@ class TestCellMergeOrder:
         assert [o.key for o in outcomes] == [t.key for t in tasks]
         assert [o.cell.method for o in outcomes] == ["ggsx", "naive"]
         assert isinstance(outcomes[0].cell, MethodCell)
+
+    def test_scheduling_order_does_not_change_outcomes(self, dataset, workloads):
+        """A longest-first (here: reversed) submission permutation must
+        be invisible in the merged output."""
+        tasks = make_tasks(dataset, workloads)
+        fifo = run_cells(tasks, jobs=2)
+        reordered = run_cells(
+            tasks, jobs=2, order=list(reversed(range(len(tasks))))
+        )
+        assert list(fifo) == list(reordered) == [t.key for t in tasks]
+        for key in fifo:
+            assert canonical_cell(fifo[key]) == canonical_cell(reordered[key])
+
+
+# ----------------------------------------------------------------------
+# the persistent pool: workers survive across sweeps
+# ----------------------------------------------------------------------
+
+
+class TestPersistentPool:
+    def test_same_runner_reused_for_same_jobs(self):
+        with PersistentPool() as pool:
+            first = pool.runner(2)
+            assert pool.runner(2) is first
+            assert pool.active_runner is first
+
+    def test_new_runner_on_jobs_change(self):
+        with PersistentPool() as pool:
+            first = pool.runner(2)
+            second = pool.runner(3)
+            assert second is not first and second.jobs == 3
+            # The old runner's pool was shut down with it.
+            assert first._executor is None
+
+    def test_close_is_idempotent_and_reopens(self):
+        pool = PersistentPool()
+        runner = pool.runner(2)
+        pool.close()
+        pool.close()
+        assert pool.active_runner is None
+        again = pool.runner(2)
+        assert again is not runner
+        pool.close()
+
+    def test_pool_executes_across_calls_with_warm_workers(
+        self, dataset, workloads
+    ):
+        """Two runs through one persistent pool reuse the same worker
+        processes — the whole point of keeping them alive."""
+        tasks = make_tasks(dataset, workloads, methods={"naive": None})
+        with PersistentPool() as pool:
+            runner = pool.runner(2)
+            first = runner.run(tasks * 2)
+            second = runner.run(tasks * 2)
+        assert {o.worker_pid for o in second} <= {o.worker_pid for o in first}
+        assert canonical_cell(first[0].cell) == canonical_cell(second[0].cell)
+
+    def test_module_singleton_round_trip(self):
+        pool = persistent_pool()
+        assert persistent_pool() is pool
+        runner = pool.runner(2)
+        assert pool.runner(2) is runner
+        pool.close()
+        assert pool.active_runner is None
+
+    def test_sweeps_share_one_pool(self):
+        """Passing the persistent runner into consecutive sweeps keeps
+        results equal to fresh-pool runs."""
+        from dataclasses import replace
+
+        profile = replace(
+            CI_PROFILE,
+            nodes_values=(8, 12),
+            default_num_graphs=8,
+            default_nodes=10,
+            default_density=0.2,
+            default_labels=3,
+            query_sizes=(3,),
+            queries_per_size=2,
+            method_configs={"ggsx": {"max_path_edges": 2}, "naive": {}},
+        )
+        with PersistentPool() as pool:
+            runner = pool.runner(2)
+            first = nodes_sweep(profile, seed=3, jobs=2, runner=runner)
+            second = nodes_sweep(
+                profile, seed=3, jobs=2, shared_mem=True, runner=runner
+            )
+            assert pool.active_runner is runner  # sweeps did not close it
+        fresh = nodes_sweep(profile, seed=3, jobs=1)
+        assert sweep_to_json(canonical_sweep(first)) == sweep_to_json(
+            canonical_sweep(fresh)
+        )
+        assert sweep_to_json(canonical_sweep(second)) == sweep_to_json(
+            canonical_sweep(fresh)
+        )

@@ -165,3 +165,96 @@ class TestCli:
         )
         assert code == 2
         assert "KEY=VALUE" in capsys.readouterr().err
+
+
+class TestCliJobs:
+    """`repro build` / `repro query` batch across methods via --jobs."""
+
+    def test_build_multiple_methods_sequential(self, dataset_file, capsys):
+        code = main(
+            ["build", str(dataset_file), "--method", "ggsx", "--method", "naive",
+             "--option", "max_path_edges=2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "built ggsx" in out and "built naive" in out
+
+    def test_build_multiple_methods_parallel(self, dataset_file, capsys):
+        code = main(
+            ["build", str(dataset_file), "--method", "ggsx", "--method", "naive",
+             "--option", "max_path_edges=2", "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "built ggsx" in out and "built naive" in out
+
+    def test_build_save_requires_single_method(self, dataset_file, tmp_path, capsys):
+        code = main(
+            ["build", str(dataset_file), "--method", "ggsx", "--method", "naive",
+             "--save", str(tmp_path / "x.idx")]
+        )
+        assert code == 2
+        assert "single --method" in capsys.readouterr().err
+
+    def test_build_all_timeout_parallel_fails(self, dataset_file, capsys):
+        code = main(
+            ["build", str(dataset_file), "--method", "gindex", "--method",
+             "tree+delta", "--jobs", "2", "--budget", "0.000001"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "TIMED OUT" in captured.out
+        assert "budget" in captured.err
+
+    def test_build_partial_timeout_still_fails(self, dataset_file, capsys):
+        """One timed-out method fails the command even when others
+        finish — same contract as the single-method path."""
+        code = main(
+            ["build", str(dataset_file), "--method", "gindex", "--method",
+             "naive", "--jobs", "2", "--budget", "0.000001"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "built naive" in captured.out
+        assert "gindex" in captured.err and "budget" in captured.err
+
+    def test_build_rejects_option_no_method_accepts(self, dataset_file, capsys):
+        code = main(
+            ["build", str(dataset_file), "--method", "ggsx", "--method",
+             "naive", "--option", "mx_path_edges=2"]
+        )
+        assert code == 2
+        assert "not accepted by any selected method" in capsys.readouterr().err
+
+    def test_query_parallel_matches_sequential(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "queries.gfd"
+        main(["queries", str(dataset_file), str(query_file),
+              "--count", "3", "--edges", "3"])
+        capsys.readouterr()
+        args = ["query", str(dataset_file), str(query_file),
+                "--method", "ggsx", "--method", "naive", "--method", "ctindex",
+                "--option", "max_path_edges=2", "--option", "fingerprint_bits=256"]
+        assert main(args) == 0
+        sequential = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def measured(text):
+            # Strip the timing column; everything else must agree.
+            rows = []
+            for line in text.splitlines()[1:]:
+                name, _, rest = line.strip().partition(" avg ")
+                rows.append((name.strip(), rest.split("candidates", 1)[-1]))
+            return rows
+
+        assert measured(parallel) == measured(sequential)
+        assert "DISAGREES" not in parallel
+
+    def test_query_rejects_negative_jobs(self, dataset_file, tmp_path, capsys):
+        query_file = tmp_path / "queries.gfd"
+        main(["queries", str(dataset_file), str(query_file),
+              "--count", "2", "--edges", "3"])
+        code = main(["query", str(dataset_file), str(query_file),
+                     "--method", "naive", "--jobs", "-1"])
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err

@@ -1,0 +1,369 @@
+"""Adaptive scheduling and per-query batching: ordering + determinism.
+
+The scheduler's contract has two halves:
+
+* **longest-first submission** — cells (or batches) are handed to the
+  pool in descending estimated cost, stable on ties;
+* **submission-deterministic merge** — no matter which workers finish
+  first, and no matter what submission order the scheduler chose, the
+  merged results are identical to a sequential run, in the sequential
+  run's order.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.arena import DatasetArena, share_task
+from repro.core.experiments import nodes_sweep
+from repro.core.metrics import QueryRecord, summarize_records, summarize_results
+from repro.core.parallel import ParallelRunner
+from repro.core.presets import CI_PROFILE
+from repro.core.runner import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellTask,
+    run_cell,
+)
+from repro.core.scheduling import (
+    clear_index_cache,
+    estimate_batch_cost,
+    estimate_cost,
+    longest_first,
+    merge_batches,
+    run_batch,
+    split_cell,
+)
+from repro.core.serialization import canonical_cell
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+
+METHOD_CONFIGS = {
+    "naive": None,
+    "ggsx": {"max_path_edges": 2},
+    "ctindex": {"fingerprint_bits": 256, "feature_edges": 3},
+    "gcode": {"path_depth": 2, "top_eigenvalues": 2, "counter_buckets": 16},
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = GraphGenConfig(
+        num_graphs=18, mean_nodes=10, mean_density=0.2, num_labels=4
+    )
+    return generate_dataset(config, seed=23)
+
+
+@pytest.fixture(scope="module")
+def workloads(dataset):
+    return {
+        3: generate_queries(dataset, 5, 3, seed=3),
+        5: generate_queries(dataset, 4, 5, seed=5),
+    }
+
+
+def make_task(dataset, workloads, method="ggsx", key=None, **budgets):
+    return CellTask(
+        key=key or ("d0", method),
+        method=method,
+        dataset=dataset,
+        workloads=workloads,
+        method_config=METHOD_CONFIGS.get(method),
+        **budgets,
+    )
+
+
+# ----------------------------------------------------------------------
+# longest-first ordering
+# ----------------------------------------------------------------------
+
+
+class TestLongestFirst:
+    def test_orders_by_descending_cost(self):
+        assert longest_first([3.0, 1.0, 5.0, 4.0]) == [2, 3, 0, 1]
+
+    def test_stable_on_ties(self):
+        assert longest_first([2.0, 5.0, 5.0, 2.0]) == [1, 2, 0, 3]
+
+    def test_empty_and_single(self):
+        assert longest_first([]) == []
+        assert longest_first([7.0]) == [0]
+
+    def test_cost_grows_with_dataset_and_queries(self, dataset, workloads):
+        small = dataset.subset(range(4))
+        big_task = make_task(dataset, workloads)
+        small_task = make_task(small, workloads)
+        assert estimate_cost(big_task) > estimate_cost(small_task)
+        light = make_task(dataset, {3: workloads[3][:1]})
+        assert estimate_cost(big_task) > estimate_cost(light)
+
+    def test_shared_task_cost_matches_plain(self, dataset, workloads):
+        task = make_task(dataset, workloads)
+        with DatasetArena.create(dataset) as arena:
+            shared = share_task(task, arena.handle)
+            assert estimate_cost(shared) == estimate_cost(task)
+
+    def test_batch_costs_sum_below_cell_cost(self, dataset, workloads):
+        task = make_task(dataset, workloads)
+        batches = split_cell(task, 3)
+        for batch in batches:
+            assert 0 < estimate_batch_cost(batch) < estimate_cost(task)
+
+    def test_runner_respects_submission_order_sequentially(self):
+        """With jobs=1 the order permutation IS the execution order,
+        observable through the progress callback."""
+        executed = []
+        runner = ParallelRunner(jobs=1)
+        runner.map(
+            _identity,
+            ["a", "b", "c", "d"],
+            progress=lambda done, total, item: executed.append(item),
+            order=[2, 0, 3, 1],
+        )
+        assert executed == ["c", "a", "d", "b"]
+
+    def test_map_returns_results_in_item_order_despite_order(self):
+        items = list(range(7))
+        for jobs in (1, 2):
+            runner = ParallelRunner(jobs=jobs)
+            shuffled = list(items)
+            random.Random(5).shuffle(shuffled)
+            assert runner.map(_square, items, order=shuffled) == [
+                i * i for i in items
+            ]
+
+    def test_map_rejects_non_permutation_order(self):
+        with pytest.raises(ValueError, match="permutation"):
+            ParallelRunner(jobs=1).map(_square, [1, 2, 3], order=[0, 0, 1])
+
+
+def _identity(x):
+    return x
+
+
+def _square(x):
+    return x * x
+
+
+# ----------------------------------------------------------------------
+# splitting cells into query batches
+# ----------------------------------------------------------------------
+
+
+class TestSplitCell:
+    def test_split_covers_every_query_contiguously(self, dataset, workloads):
+        task = make_task(dataset, workloads)
+        batches = split_cell(task, 3)
+        assert len(batches) == 3
+        assert all(b.num_batches == 3 and b.sizes == (3, 5) for b in batches)
+        for size, queries in workloads.items():
+            parts = sorted(
+                (p for b in batches for p in b.parts if p.size == size),
+                key=lambda p: p.start,
+            )
+            reassembled = []
+            for part in parts:
+                assert part.start == len(reassembled)
+                reassembled.extend(part.queries)
+            assert reassembled == list(queries)
+
+    def test_split_is_deterministic(self, dataset, workloads):
+        task = make_task(dataset, workloads)
+        first = split_cell(task, 4)
+        second = split_cell(task, 4)
+        assert [b.parts for b in first] == [b.parts for b in second]
+
+    def test_more_batches_than_queries_collapses(self, dataset, workloads):
+        tiny = {3: workloads[3][:2]}
+        batches = split_cell(make_task(dataset, tiny), 8)
+        assert len(batches) == 2
+
+    def test_no_queries_yields_one_build_only_batch(self, dataset):
+        (batch,) = split_cell(make_task(dataset, {}), 4)
+        assert batch.parts == () and batch.num_batches == 1
+
+    def test_dataset_key_defaults_to_fingerprint(self, dataset, workloads):
+        from repro.graphs.dataset import dataset_fingerprint
+
+        task = make_task(dataset, workloads)
+        (first, *_) = split_cell(task, 2)
+        assert first.dataset_key == dataset_fingerprint(dataset)
+
+
+# ----------------------------------------------------------------------
+# batch execution + deterministic merge
+# ----------------------------------------------------------------------
+
+
+class TestBatchMerge:
+    @pytest.mark.parametrize("method", list(METHOD_CONFIGS))
+    def test_merged_cell_matches_sequential(self, dataset, workloads, method):
+        clear_index_cache()
+        task = make_task(dataset, workloads, method=method)
+        sequential = run_cell(task)
+        batches = split_cell(task, 3)
+        outcomes = [run_batch(batch) for batch in batches]
+        merged = merge_batches(batches, outcomes)
+        assert canonical_cell(merged) == canonical_cell(sequential)
+
+    def test_merge_ignores_completion_order(self, dataset, workloads):
+        clear_index_cache()
+        task = make_task(dataset, workloads)
+        batches = split_cell(task, 3)
+        outcomes = [run_batch(batch) for batch in batches]
+        reference = merge_batches(batches, outcomes)
+        for seed in range(4):
+            pairs = list(zip(batches, outcomes))
+            random.Random(seed).shuffle(pairs)
+            shuffled = merge_batches(
+                [p[0] for p in pairs], [p[1] for p in pairs]
+            )
+            assert canonical_cell(shuffled) == canonical_cell(reference)
+
+    def test_build_failure_statuses_merge(self, dataset, workloads):
+        clear_index_cache()
+        task = make_task(
+            dataset, workloads, method="ggsx", build_budget_seconds=0.0
+        )
+        batches = split_cell(task, 2)
+        merged = merge_batches(batches, [run_batch(b) for b in batches])
+        sequential = run_cell(task)
+        assert merged.build_status == STATUS_TIMEOUT == sequential.build_status
+        assert not merged.per_size and not sequential.per_size
+
+    def test_query_timeout_statuses_merge(self, dataset, workloads):
+        clear_index_cache()
+        task = make_task(
+            dataset, workloads, method="ggsx", query_budget_seconds=0.0
+        )
+        batches = split_cell(task, 2)
+        merged = merge_batches(batches, [run_batch(b) for b in batches])
+        assert merged.build_status == STATUS_OK
+        assert merged.per_size
+        assert all(
+            s.status == STATUS_TIMEOUT for s in merged.per_size.values()
+        )
+
+    def test_divergent_build_outcomes_fail_the_whole_cell(
+        self, dataset, workloads
+    ):
+        """A budget sitting right at the build time can succeed in one
+        worker and time out in another; the merge must not emit partial
+        query statistics."""
+        from repro.core.scheduling import BatchOutcome, PartOutcome
+        from repro.core.metrics import QueryRecord
+
+        clear_index_cache()
+        task = make_task(dataset, workloads)
+        batches = split_cell(task, 2)
+        ok_records = tuple(
+            QueryRecord(0.0, 0.0, 0.0, 1, 1, 0.0) for _ in batches[0].parts[0].queries
+        )
+        mixed = [
+            BatchOutcome(
+                key=task.key,
+                batch_index=0,
+                build_status=STATUS_OK,
+                build_seconds=0.1,
+                index_bytes=10,
+                parts=(PartOutcome(3, 0, STATUS_OK, ok_records),),
+            ),
+            BatchOutcome(
+                key=task.key, batch_index=1, build_status=STATUS_TIMEOUT
+            ),
+        ]
+        merged = merge_batches(batches, mixed)
+        assert merged.build_status == STATUS_TIMEOUT
+        assert not merged.per_size  # no partial statistics leak through
+
+    def test_worker_index_cache_builds_once(self, dataset, workloads):
+        """All batches of a cell share one worker-side build."""
+        clear_index_cache()
+        from repro.core import scheduling
+
+        task = make_task(dataset, workloads)
+        batches = split_cell(task, 3)
+        for batch in batches:
+            run_batch(batch)
+        assert len(scheduling._INDEX_CACHE) == 1
+        clear_index_cache()
+        assert len(scheduling._INDEX_CACHE) == 0
+
+    def test_programming_errors_propagate(self, dataset, workloads):
+        clear_index_cache()
+        task = CellTask(
+            key=("d0", "nope"),
+            method="no_such_method",
+            dataset=dataset,
+            workloads=workloads,
+        )
+        (batch, *_) = split_cell(task, 2)
+        with pytest.raises(ValueError, match="unknown method"):
+            run_batch(batch)
+
+    def test_merge_requires_batches(self):
+        with pytest.raises(ValueError, match="at least one batch"):
+            merge_batches([], [])
+
+
+# ----------------------------------------------------------------------
+# record aggregation mirrors the sequential arithmetic
+# ----------------------------------------------------------------------
+
+
+class TestRecordAggregation:
+    def test_summarize_records_empty(self):
+        stats = summarize_records([])
+        assert stats == summarize_results([])
+
+    def test_summarize_records_matches_results(self, dataset, workloads):
+        from repro.core.metrics import record_of
+        from repro.core.runner import make_method
+
+        index = make_method("ggsx", METHOD_CONFIGS["ggsx"])
+        index.build(dataset)
+        results = [index.query(q) for q in workloads[3]]
+        records = [record_of(r) for r in results]
+        by_records = summarize_records(records)
+        by_results = summarize_results(results)
+        assert by_records == by_results
+
+    def test_record_is_scalar_only(self):
+        record = QueryRecord(0.1, 0.06, 0.04, 5, 2, 0.6)
+        assert record.num_candidates == 5 and record.num_answers == 2
+
+
+# ----------------------------------------------------------------------
+# sweep-level: merged order is submission-deterministic
+# ----------------------------------------------------------------------
+
+
+class TestSweepOrdering:
+    def test_batched_sweep_order_matches_sequential(self):
+        from dataclasses import replace
+
+        profile = replace(
+            CI_PROFILE,
+            nodes_values=(8, 12),
+            default_num_graphs=10,
+            default_nodes=10,
+            default_density=0.2,
+            default_labels=3,
+            query_sizes=(3,),
+            queries_per_size=4,
+            # Methods with wildly different speeds, so completion order
+            # differs from submission order almost surely.
+            method_configs={
+                "ggsx": {"max_path_edges": 2},
+                "naive": {},
+                "ctindex": {"fingerprint_bits": 256, "feature_edges": 3},
+            },
+        )
+        sequential = nodes_sweep(profile, seed=3, jobs=1)
+        batched = nodes_sweep(
+            profile, seed=3, jobs=2, shared_mem=True, batch_queries=True
+        )
+        assert list(batched.cells) == list(sequential.cells)

@@ -108,3 +108,21 @@ class ExplodingIndex(NaiveIndex):
 
     def _build(self, dataset, budget):
         raise RuntimeError("injected build failure")
+
+
+class KillerIndex(NaiveIndex):
+    """An index whose build kills its process outright.
+
+    Unlike :class:`ExplodingIndex` (a catchable method failure that
+    becomes a status), this simulates a hard worker crash — segfault,
+    OOM-kill — that the pool surfaces as ``BrokenProcessPool``.  The
+    arena leak tests use it to prove shared-memory segments are
+    unlinked even when workers die mid-task.
+    """
+
+    name = "killer"
+
+    def _build(self, dataset, budget):
+        import os
+
+        os._exit(3)
