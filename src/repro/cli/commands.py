@@ -383,6 +383,18 @@ def _sweep_json_path(base: str, experiment: str, multiple: bool) -> Path:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sharding import (
+        ManifestError,
+        SelectorError,
+        SweepPlan,
+        load_manifest,
+        manifest_for,
+        manifest_path_for,
+        parse_only,
+        parse_shard,
+        save_manifest,
+    )
+
     profile = active_profile()
     runners = {
         "nodes": (nodes_sweep, "2"),
@@ -395,11 +407,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     workers = jobs if jobs is not None else "all cores"
     for method in args.method:
         _require_known_method(method)
+    try:
+        selector = parse_only(args.only)
+        shard = parse_shard(args.shard)
+    except SelectorError as exc:
+        raise CliError(str(exc))
+    if (shard is not None or args.resume) and not args.json:
+        flag = "--shard" if shard is not None else "--resume"
+        raise CliError(
+            f"{flag} requires --json: the shard manifest lives beside it"
+        )
     experiments = list(dict.fromkeys(args.experiment))
     engine = "".join(
         [
             ", shared-mem" if args.shared_mem else "",
             ", batched queries" if args.batch_queries else "",
+            f", shard {shard}" if shard is not None else "",
+            ", selected cells only" if selector is not None else "",
         ]
     )
     # One persistent pool serves every experiment of this invocation:
@@ -409,20 +433,52 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         shared_runner = pool.runner(jobs)
         for experiment in experiments:
             run, figure = runners[experiment]
+            json_path = (
+                _sweep_json_path(args.json, experiment, len(experiments) > 1)
+                if args.json
+                else None
+            )
+            plan = None
+            if selector is not None or shard is not None or args.resume:
+                resume_manifest = None
+                if args.resume:
+                    manifest_path = manifest_path_for(json_path)
+                    if manifest_path.exists():
+                        try:
+                            resume_manifest = load_manifest(manifest_path)
+                        except ManifestError as exc:
+                            raise CliError(str(exc))
+                plan = SweepPlan(
+                    selector=selector,
+                    shard=shard,
+                    resume=resume_manifest,
+                    experiment=experiment,
+                    seed=args.seed,
+                    profile=profile.name,
+                )
+                if resume_manifest is not None:
+                    print(
+                        f"resuming {experiment} from "
+                        f"{len(resume_manifest.cells)} completed cell(s)"
+                    )
             print(
                 f"running {experiment} sweep at scale '{profile.name}' "
                 f"(jobs={workers}{engine})..."
             )
-            sweep = run(
-                profile,
-                methods=args.method or None,
-                seed=args.seed,
-                progress=lambda m: print(f"  {m}", end="\r"),
-                jobs=jobs,
-                shared_mem=args.shared_mem,
-                batch_queries=args.batch_queries,
-                runner=shared_runner,
-            )
+            try:
+                sweep = run(
+                    profile,
+                    methods=args.method or None,
+                    seed=args.seed,
+                    progress=lambda m: print(f"  {m}", end="\r"),
+                    jobs=jobs,
+                    shared_mem=args.shared_mem,
+                    batch_queries=args.batch_queries,
+                    runner=shared_runner,
+                    plan=plan,
+                )
+            except (SelectorError, ManifestError) as exc:
+                raise CliError(str(exc))
             print()
 
             output = []
@@ -451,16 +507,66 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     text, encoding="utf-8"
                 )
                 print(f"wrote {out_dir / f'fig{figure}_{experiment}.txt'}")
-            if args.json:
-                from repro.core.serialization import save_sweep
+            if json_path is not None:
+                from repro.core.serialization import save_sweep, sweep_digest
 
-                json_path = _sweep_json_path(
-                    args.json, experiment, len(experiments) > 1
-                )
                 save_sweep(sweep, json_path)
+                manifest = manifest_for(
+                    sweep,
+                    experiment=experiment,
+                    seed=args.seed,
+                    profile=profile.name,
+                    selector=selector,
+                    shard=shard,
+                )
+                manifest_path = manifest_path_for(json_path)
+                save_manifest(manifest, manifest_path)
                 print(f"wrote raw results to {json_path}")
+                print(
+                    f"wrote shard manifest ({len(manifest.cells)} cells, "
+                    f"digest {sweep_digest(sweep)}) to {manifest_path}"
+                )
     finally:
         pool.close()
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    """Stitch shard manifests back into one sweep result.
+
+    The merged sweep's canonical JSON is byte-identical (same
+    ``sweep_digest``) to an unsharded run of the same grid; overlapping
+    shards must agree cell by cell, and divergence is a named-cell
+    failure, never a silent pick."""
+    from repro.core.serialization import save_sweep, sweep_digest
+    from repro.core.sharding import (
+        ManifestError,
+        MergeError,
+        load_manifest,
+        manifest_path_for,
+        merge_manifests,
+        save_manifest,
+    )
+
+    try:
+        manifests = [load_manifest(path) for path in args.manifest]
+    except ManifestError as exc:
+        raise CliError(str(exc))
+    try:
+        sweep, merged = merge_manifests(
+            manifests, require_complete=not args.allow_partial
+        )
+    except MergeError as exc:
+        raise CliError(str(exc))
+    save_sweep(sweep, args.json)
+    manifest_path = manifest_path_for(args.json)
+    save_manifest(merged, manifest_path)
+    grid = len(merged.grid_keys())
+    print(
+        f"merged {len(manifests)} manifest(s): {len(sweep.cells)}/{grid} "
+        f"cells, sweep digest {sweep_digest(sweep)}"
+    )
+    print(f"wrote merged sweep to {args.json} (manifest {manifest_path})")
     return 0
 
 

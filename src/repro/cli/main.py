@@ -100,7 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         metavar="KEY=VALUE",
-        help="method constructor option (applies to every --method)",
+        help="method constructor option (repeatable; applies to every "
+        "--method that accepts it)",
     )
     query.add_argument(
         "--jobs",
@@ -126,8 +127,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         action="append",
         default=[],
-        help="restrict the sweep to this method (repeatable; default: "
-        "the profile's full roster)",
+        help="restrict every selected sweep to this method (repeatable; "
+        "default: the profile's full roster)",
+    )
+    sweep.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE[,KEY=VALUE...]",
+        help="run only the matching cells (keys: method, x, or the "
+        "sweep's axis name — nodes/density/labels/graphs/dataset; "
+        "repeatable, values of one key OR together, keys AND)",
+    )
+    sweep.add_argument(
+        "--shard",
+        metavar="I/N",
+        help="run only the I-th of N deterministic shards of each "
+        "sweep's cell grid (1-based; requires --json for the manifest)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells recorded in the manifest beside --json and run "
+        "only the missing ones (their measured seconds recalibrate the "
+        "scheduler's cost estimates)",
     )
     sweep.add_argument(
         "--jobs",
@@ -153,16 +176,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--plot", action="store_true", help="ASCII plots too")
     sweep.add_argument(
         "--json",
-        help="also save raw results as JSON (with several experiments, "
-        "the experiment name is appended to the file name)",
+        help="also save raw results as JSON plus a resumable/mergeable "
+        "shard manifest beside it (with several experiments, the "
+        "experiment name is appended to both file names)",
     )
     sweep.add_argument("--seed", type=int, default=0)
     sweep.set_defaults(handler=commands.cmd_sweep)
 
-    report = subparsers.add_parser(
-        "report", help="re-render a sweep saved with 'sweep --json'"
+    merge = subparsers.add_parser(
+        "merge",
+        help="stitch shard manifests from 'sweep --shard' back into one "
+        "sweep result",
     )
-    report.add_argument("results", help="JSON file from 'sweep --json'")
+    merge.add_argument(
+        "manifest",
+        nargs="+",
+        help="shard manifest files (the .manifest.json written beside "
+        "each shard's --json output)",
+    )
+    merge.add_argument(
+        "--json",
+        required=True,
+        help="output file for the merged sweep JSON (a merged manifest "
+        "is written beside it)",
+    )
+    merge.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="merge even when some grid cells are missing (the output "
+        "stays mergeable and resumable)",
+    )
+    merge.set_defaults(handler=commands.cmd_merge)
+
+    report = subparsers.add_parser(
+        "report",
+        help="re-render a sweep saved with 'sweep --json' or 'merge'",
+    )
+    report.add_argument("results", help="JSON file from 'sweep --json' or 'merge'")
     report.add_argument("--plot", action="store_true", help="ASCII plots too")
     report.add_argument(
         "--figure", default="", help="figure number label (e.g. 2)"

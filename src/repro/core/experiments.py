@@ -66,6 +66,12 @@ class SweepResult:
     dataset_stats: dict = field(default_factory=dict)
     #: Query sizes used in the workloads.
     query_sizes: tuple[int, ...] = ()
+    #: (x value, method) -> static :func:`~repro.core.scheduling
+    #: .estimate_cost` units assigned when the cell ran.  Execution
+    #: metadata for shard manifests and the cost-model feedback loop —
+    #: never serialized into the sweep JSON, so it cannot perturb
+    #: canonical byte-identity.
+    cost_units: dict[tuple, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # figure projections: method -> [(x, value-or-None)]
@@ -121,6 +127,7 @@ def nodes_sweep(
     shared_mem: bool = False,
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
+    plan=None,
 ) -> SweepResult:
     """Figure 2: vary the number of nodes per graph."""
     profile = profile or active_profile()
@@ -141,6 +148,7 @@ def nodes_sweep(
         shared_mem=shared_mem,
         batch_queries=batch_queries,
         runner=runner,
+        plan=plan,
     )
 
 
@@ -154,6 +162,7 @@ def density_sweep(
     shared_mem: bool = False,
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
+    plan=None,
 ) -> SweepResult:
     """Figures 3 and 4: vary the mean graph density."""
     profile = profile or active_profile()
@@ -174,6 +183,7 @@ def density_sweep(
         shared_mem=shared_mem,
         batch_queries=batch_queries,
         runner=runner,
+        plan=plan,
     )
 
 
@@ -187,6 +197,7 @@ def labels_sweep(
     shared_mem: bool = False,
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
+    plan=None,
 ) -> SweepResult:
     """Figure 5: vary the number of distinct labels."""
     profile = profile or active_profile()
@@ -207,6 +218,7 @@ def labels_sweep(
         shared_mem=shared_mem,
         batch_queries=batch_queries,
         runner=runner,
+        plan=plan,
     )
 
 
@@ -220,6 +232,7 @@ def graph_count_sweep(
     shared_mem: bool = False,
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
+    plan=None,
 ) -> SweepResult:
     """Figure 6: vary the number of graphs in the dataset."""
     profile = profile or active_profile()
@@ -240,6 +253,7 @@ def graph_count_sweep(
         shared_mem=shared_mem,
         batch_queries=batch_queries,
         runner=runner,
+        plan=plan,
     )
 
 
@@ -255,33 +269,54 @@ def _synthetic_sweep(
     shared_mem: bool = False,
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
+    plan=None,
 ) -> SweepResult:
     method_names = list(methods if methods is not None else profile.method_names())
+    xs = list(values)
+    run_keys: set | None = None
+    if plan is not None:
+        xs, method_names = plan.subgrid(xs, method_names, x_name)
+        run_keys = set(plan.cells_to_run(xs, method_names))
     result = SweepResult(
         x_name=x_name,
-        x_values=list(values),
+        x_values=xs,
         methods=method_names,
         query_sizes=profile.query_sizes,
     )
     def tasks():
-        for x in values:
+        for x in xs:
+            wanted = [
+                m
+                for m in method_names
+                if run_keys is None or (x, m) in run_keys
+            ]
+            if not wanted:
+                # Every cell of this x is outside the shard or already
+                # completed — skip the dataset generation entirely.
+                continue
             dataset = generate_dataset(config_for(x), seed=seed)
             workloads = _make_workloads(dataset, profile, seed)
             result.dataset_stats[x] = dataset_statistics(dataset)
-            for method in method_names:
+            for method in wanted:
                 yield _cell_task((x, method), method, dataset, workloads, profile)
 
+    total = (
+        len(xs) * len(method_names) if run_keys is None else len(run_keys)
+    )
     _dispatch(
         result,
         tasks(),
-        len(values) * len(method_names),
+        total,
         x_name,
         jobs,
         progress,
         shared_mem=shared_mem,
         batch_queries=batch_queries,
         runner=runner,
+        history=None if plan is None else plan.history,
     )
+    if plan is not None:
+        plan.finalize(result)
     return result
 
 
@@ -300,11 +335,18 @@ def real_dataset_experiment(
     shared_mem: bool = False,
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
+    plan=None,
 ) -> SweepResult:
     """Figure 1 and Table 1: all methods over the real-dataset stand-ins."""
     profile = profile or active_profile()
     method_names = list(methods if methods is not None else profile.method_names())
     dataset_names = list(names if names is not None else profile.real_dataset_names)
+    run_keys: set | None = None
+    if plan is not None:
+        dataset_names, method_names = plan.subgrid(
+            dataset_names, method_names, "dataset"
+        )
+        run_keys = set(plan.cells_to_run(dataset_names, method_names))
     result = SweepResult(
         x_name="dataset",
         x_values=dataset_names,
@@ -313,15 +355,26 @@ def real_dataset_experiment(
     )
     def tasks():
         for name in dataset_names:
+            wanted = [
+                m
+                for m in method_names
+                if run_keys is None or (name, m) in run_keys
+            ]
+            if not wanted:
+                continue
             dataset = make_real_dataset(
                 name, scale=profile.real_dataset_scale, seed=seed
             )
             workloads = _make_workloads(dataset, profile, seed)
             result.dataset_stats[name] = dataset_statistics(dataset, name=name)
-            for method in method_names:
+            for method in wanted:
                 yield _cell_task((name, method), method, dataset, workloads, profile)
 
-    total = len(dataset_names) * len(method_names)
+    total = (
+        len(dataset_names) * len(method_names)
+        if run_keys is None
+        else len(run_keys)
+    )
     _dispatch(
         result,
         tasks(),
@@ -332,7 +385,10 @@ def real_dataset_experiment(
         shared_mem=shared_mem,
         batch_queries=batch_queries,
         runner=runner,
+        history=None if plan is None else plan.history,
     )
+    if plan is not None:
+        plan.finalize(result)
     return result
 
 
@@ -358,6 +414,7 @@ def _dispatch(
     shared_mem: bool = False,
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
+    history=None,
 ) -> None:
     """Execute *tasks* and merge deterministically.
 
@@ -382,18 +439,34 @@ def _dispatch(
       (canonicalized) to unbatched ones.
     * parallel submissions are always longest-first
       (:func:`~repro.core.scheduling.longest_first`) to shrink the tail.
+      ``history`` (a :class:`~repro.core.scheduling.CostHistory`, e.g.
+      from a shard manifest) calibrates the static estimates with
+      measured cell seconds when available.
     * ``runner`` — an externally owned (persistent) runner to reuse;
       its pool is left alive for the caller's next sweep.
+
+    Every dispatched task's **static** cost units are recorded in
+    ``result.cost_units`` so shard manifests can persist them next to
+    the measured seconds — the data the next run's ``history`` is
+    built from.
     """
 
     def label(done: int, task) -> str:
         return f"[{done}/{total}] {x_name}={task.key[0]} method={task.method}"
+
+    def priced(task) -> float:
+        units = estimate_cost(task)
+        result.cost_units[task.key] = units
+        return units if history is None else history.calibrate(
+            task.key, task.method, units
+        )
 
     runner = runner if runner is not None else ParallelRunner(jobs=jobs)
     if runner.jobs <= 1 and not shared_mem and not batch_queries:
         for done, task in enumerate(tasks, start=1):
             if progress is not None:
                 progress(label(done, task))
+            result.cost_units[task.key] = estimate_cost(task)
             result.cells[task.key] = run_cell(task)
         return
 
@@ -403,9 +476,9 @@ def _dispatch(
         if shared_mem:
             task_list = _share_tasks(task_list, arenas)
         if batch_queries:
-            _run_batched(result, task_list, runner, x_name, progress)
+            _run_batched(result, task_list, runner, x_name, progress, history)
         else:
-            costs = [estimate_cost(task) for task in task_list]
+            costs = [priced(task) for task in task_list]
             order = longest_first(costs) if runner.jobs > 1 else None
             hook = None
             if progress is not None:
@@ -441,6 +514,7 @@ def _run_batched(
     runner: ParallelRunner,
     x_name: str,
     progress: ProgressHook | None,
+    history=None,
 ) -> None:
     """Split cells into query batches, run longest-first, merge in order."""
     fingerprint_of: dict[int, int] = {}
@@ -454,6 +528,7 @@ def _run_batched(
             if key is None:
                 key = dataset_fingerprint(task.dataset)
                 fingerprint_of[id(task.dataset)] = key
+        result.cost_units[task.key] = estimate_cost(task)
         cell_batches = split_cell(task, runner.jobs, dataset_key=key)
         start = len(batches)
         batches.extend(cell_batches)
@@ -466,7 +541,7 @@ def _run_batched(
             f"[{done}/{total}] {x_name}={batch.key[0]} method={batch.method} "
             f"batch {batch.batch_index + 1}/{batch.num_batches}"
         )
-    costs = [estimate_batch_cost(batch) for batch in batches]
+    costs = [estimate_batch_cost(batch, history) for batch in batches]
     order = longest_first(costs) if runner.jobs > 1 else None
     outcomes = runner.map(run_batch, batches, progress=hook, order=order)
     for task, indices in groups:

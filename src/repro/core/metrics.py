@@ -46,6 +46,16 @@ class WorkloadStats:
     avg_answers: float
     false_positive_ratio: float
 
+    def total_query_seconds(self) -> float:
+        """The workload's total measured query time (mean × count).
+
+        The shard manifests (:mod:`repro.core.sharding`) record each
+        cell's measured seconds as build time plus this total over its
+        per-size workloads — a mode-independent quantity derivable from
+        the cell alone, whichever worker(s) ran it.
+        """
+        return self.avg_query_seconds * self.num_queries
+
 
 def summarize_results(results: Sequence[QueryResult]) -> WorkloadStats:
     """Collapse per-query results into the paper's reported quantities."""

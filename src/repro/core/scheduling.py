@@ -30,7 +30,7 @@ have.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.arena import ArenaHandle, SharedCellTask, cached_dataset
@@ -52,6 +52,8 @@ from repro.utils.budget import Budget, BudgetExceeded, MemoryBudgetExceeded
 __all__ = [
     "BatchOutcome",
     "BatchPart",
+    "CellCost",
+    "CostHistory",
     "QueryBatch",
     "clear_index_cache",
     "estimate_batch_cost",
@@ -89,21 +91,114 @@ def _query_work(workloads: Mapping[int, Sequence[Graph]]) -> float:
     return float(sum(size * len(queries) for size, queries in workloads.items()))
 
 
-def estimate_cost(task: CellTask | SharedCellTask) -> float:
+def estimate_cost(
+    task: CellTask | SharedCellTask, history: "CostHistory | None" = None
+) -> float:
     """Estimated cell cost: dataset size × (1 + query work).
 
-    Deliberately method-blind — the paper's whole point is that method
-    cost profiles differ wildly and unpredictably — but dataset size and
-    query volume dominate within a sweep, which is what tail-shrinking
-    needs: the big-dataset cells start first.
+    The static estimate is deliberately method-blind — the paper's whole
+    point is that method cost profiles differ wildly and unpredictably —
+    but dataset size and query volume dominate within a sweep, which is
+    what tail-shrinking needs: the big-dataset cells start first.
+
+    When *history* (measured cell seconds from earlier runs, e.g. a
+    shard manifest — :mod:`repro.core.sharding`) is given, the static
+    unit count is calibrated into predicted **seconds**: an exact
+    re-run of a recorded cell gets its measured time back, other cells
+    of a recorded method get that method's observed seconds-per-unit
+    rate, and unrecorded methods fall back to the global rate.  This is
+    the cost-model feedback loop that un-blinds the scheduler where
+    evidence exists.
     """
-    return _dataset_weight(task) * (1.0 + _query_work(task.workloads))
+    units = _dataset_weight(task) * (1.0 + _query_work(task.workloads))
+    if history is not None:
+        return history.calibrate(task.key, task.method, units)
+    return units
 
 
-def estimate_batch_cost(batch: "QueryBatch") -> float:
-    """Cost of one batch: its build share plus its slice of the queries."""
+def estimate_batch_cost(
+    batch: "QueryBatch", history: "CostHistory | None" = None
+) -> float:
+    """Cost of one batch: its build share plus its slice of the queries.
+
+    *history* calibrates the batch's unit count exactly as
+    :func:`estimate_cost` does for whole cells; a recorded cell's
+    measured rate prices each of its batches proportionally to the
+    batch's share of the cell's work.
+    """
     work = float(sum(part.size * len(part.queries) for part in batch.parts))
-    return _weight_of(batch.dataset) * (1.0 + work)
+    units = _weight_of(batch.dataset) * (1.0 + work)
+    if history is not None:
+        return history.calibrate(batch.key, batch.method, units)
+    return units
+
+
+@dataclass(frozen=True, slots=True)
+class CellCost:
+    """One completed cell's measured cost, as recorded in a manifest."""
+
+    #: Wall-clock seconds the cell's build + queries actually took.
+    seconds: float
+    #: The static :func:`estimate_cost` units computed when it ran.
+    units: float
+
+
+class CostHistory:
+    """Measured cell seconds from previous runs, as a cost calibrator.
+
+    Built from ``(key, method, seconds, units)`` records — one per
+    completed cell, typically read out of a shard manifest
+    (:func:`repro.core.sharding.cost_history`).  Three estimators, most
+    specific first:
+
+    1. **exact** — the same ``key`` was measured before: scale its
+       observed seconds-per-unit rate by the requested unit count (for
+       a whole cell that returns the measured seconds verbatim; for a
+       query batch, the batch's proportional share);
+    2. **per-method rate** — the mean seconds-per-unit over the
+       method's recorded cells, correcting the static model's
+       method-blindness;
+    3. **global rate** — the mean over all recorded cells, so cells of
+       never-measured methods stay comparable (in seconds) with
+       calibrated ones.
+
+    With no usable records at all, :meth:`calibrate` returns the static
+    units unchanged — every estimate stays in one currency either way,
+    which is all :func:`longest_first` needs.
+    """
+
+    def __init__(
+        self, records: "Iterable[tuple[tuple, str, float, float]]" = ()
+    ) -> None:
+        self._costs: dict[tuple, CellCost] = {}
+        rates_by_method: dict[str, list[float]] = {}
+        for key, method, seconds, units in records:
+            self._costs[key] = CellCost(seconds=seconds, units=units)
+            if units > 0.0 and seconds >= 0.0:
+                rates_by_method.setdefault(method, []).append(seconds / units)
+        self._method_rates = {
+            method: sum(rates) / len(rates)
+            for method, rates in rates_by_method.items()
+        }
+        all_rates = [rate for rates in rates_by_method.values() for rate in rates]
+        self._global_rate = sum(all_rates) / len(all_rates) if all_rates else None
+
+    def __len__(self) -> int:
+        return len(self._costs)
+
+    def rate_for(self, key: tuple, method: str) -> float | None:
+        """Seconds-per-unit estimate for one cell, or ``None`` if the
+        history holds nothing usable."""
+        exact = self._costs.get(key)
+        if exact is not None and exact.units > 0.0:
+            return exact.seconds / exact.units
+        return self._method_rates.get(method, self._global_rate)
+
+    def calibrate(self, key: tuple, method: str, units: float) -> float:
+        """Predicted seconds for *units* of work on this cell (static
+        units unchanged when the history has no usable records)."""
+        rate = self.rate_for(key, method)
+        return units if rate is None else units * rate
 
 
 def longest_first(costs: Sequence[float]) -> list[int]:

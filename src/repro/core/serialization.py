@@ -27,7 +27,12 @@ __all__ = [
     "canonical_cell",
     "canonical_sweep",
     "canonical_json",
+    "cell_to_dict",
+    "cell_from_dict",
+    "stats_to_dict",
+    "stats_from_dict",
     "sweep_digest",
+    "x_key",
 ]
 
 _SCHEMA = "repro-sweep-v1"
@@ -51,13 +56,13 @@ def sweep_to_json(sweep: SweepResult) -> str:
         "methods": sweep.methods,
         "query_sizes": list(sweep.query_sizes),
         "dataset_stats": {
-            _key(x): _stats_to_dict(stats) for x, stats in sweep.dataset_stats.items()
+            x_key(x): stats_to_dict(stats) for x, stats in sweep.dataset_stats.items()
         },
         "cells": [
             {
                 "x": x,
                 "method": method,
-                "cell": _cell_to_dict(cell),
+                "cell": cell_to_dict(cell),
             }
             for (x, method), cell in sweep.cells.items()
         ],
@@ -75,14 +80,14 @@ def sweep_from_json(text: str) -> SweepResult:
         methods=document["methods"],
         query_sizes=tuple(document["query_sizes"]),
     )
-    x_by_key = {_key(x): x for x in sweep.x_values}
+    x_by_key = {x_key(x): x for x in sweep.x_values}
     for key, stats in document["dataset_stats"].items():
-        sweep.dataset_stats[x_by_key.get(key, key)] = _stats_from_dict(stats)
+        sweep.dataset_stats[x_by_key.get(key, key)] = stats_from_dict(stats)
     for entry in document["cells"]:
         x = entry["x"]
         # JSON round-trips ints/floats/strings faithfully; tuples of
         # x_values were already plain scalars.
-        sweep.cells[(x, entry["method"])] = _cell_from_dict(entry["cell"])
+        sweep.cells[(x, entry["method"])] = cell_from_dict(entry["cell"])
     return sweep
 
 
@@ -170,11 +175,13 @@ def sweep_digest(sweep: SweepResult) -> str:
 # ----------------------------------------------------------------------
 
 
-def _key(x: object) -> str:
+def x_key(x: object) -> str:
+    """The JSON-object key used for an x value (``repr``; stable across
+    int/float/str x axes).  Shard manifests use the same keying."""
     return repr(x)
 
 
-def _stats_to_dict(stats: DatasetStatistics) -> dict:
+def stats_to_dict(stats: DatasetStatistics) -> dict:
     return {
         "name": stats.name,
         "num_graphs": stats.num_graphs,
@@ -189,7 +196,7 @@ def _stats_to_dict(stats: DatasetStatistics) -> dict:
     }
 
 
-def _stats_from_dict(data: dict) -> DatasetStatistics:
+def stats_from_dict(data: dict) -> DatasetStatistics:
     return DatasetStatistics(**data)
 
 
@@ -205,7 +212,7 @@ def _workload_to_dict(stats: WorkloadStats) -> dict:
     }
 
 
-def _cell_to_dict(cell: MethodCell) -> dict:
+def cell_to_dict(cell: MethodCell) -> dict:
     return {
         "method": cell.method,
         "build_status": cell.build_status,
@@ -224,7 +231,7 @@ def _cell_to_dict(cell: MethodCell) -> dict:
     }
 
 
-def _cell_from_dict(data: dict) -> MethodCell:
+def cell_from_dict(data: dict) -> MethodCell:
     cell = MethodCell(
         method=data["method"],
         build_status=data["build_status"],

@@ -18,6 +18,21 @@ CT-Index occupies the "complex features, exhaustive enumeration,
 fixed-size encoding" corner: smallest index by far, weakest filtering
 (hash collisions), yet competitive query times thanks to the cheap
 filter and tweaked matcher (§5.2.3's "paradox").
+
+Reproduces: CT-Index (Klein, Kriege & Mutzel, ICDE 2011) — reference
+[13] of the benchmarked paper.
+
+Feature class: trees and cycles — all subtrees and simple cycles up to
+``feature_edges`` edges, canonicalized and hashed into a fixed-width
+fingerprint.
+
+Known deviations: feature size defaults to 4 edges (the benchmarked
+paper's §4.1 setting, after [9]'s ablation) instead of the original
+authors' 6/8; the hash family is our ``hash_positions`` rather than
+the original implementation's, so individual collision patterns — not
+the collision *rate regime* — differ; the fail-fast matcher reproduces
+the original's vertex-ordering heuristics on top of our VF2, not its
+exact code.
 """
 
 from __future__ import annotations

@@ -27,6 +27,19 @@ gCode represents "encoded exhaustive paths": slow in absolute terms —
 signature construction and matching dominate, making it the slowest
 method in most of the paper's plots — but with better scaling in
 density/graph count than the frequent-mining methods (§6).
+
+Reproduces: gCode (Zou, Chen, Yu & Lu, EDBT 2008) — reference [28] of
+the benchmarked paper.
+
+Feature class: paths — exhaustive paths of depth ``path_depth`` around
+every vertex, encoded into spectral vertex signatures (label counters
+plus top-``m`` eigenvalues of the level-n path tree).
+
+Known deviations: graph codes are kept in a list sorted by graph
+order with binary-search skipping, standing in for the original's
+balanced search tree (same pruning, different lookup constants);
+stage-2 filtering solves the signature-dominance assignment as an
+exact bipartite matching in pure Python.
 """
 
 from __future__ import annotations

@@ -13,6 +13,19 @@ GGSX represents the "simple features, exhaustive enumeration, no
 locations" corner of the design space; the paper finds it (with
 Grapes) the consistently fastest method, and the only one to index
 100,000-graph datasets (§5.2.4).
+
+Reproduces: GraphGrepSX (Bonnici et al., PRIB 2010) — reference [2]
+of the benchmarked paper.
+
+Feature class: paths — exhaustively enumerated simple label paths of
+up to ``max_path_edges`` edges, with per-graph occurrence counts.
+
+Known deviations: the index is a trie over canonical path labels
+rather than the original's suffix tree — the exhaustive enumeration
+emits every sub-path as a feature, so the two structures store the
+same node set and filter identically (see
+:mod:`repro.indexes.pathtrie`); verification is stock first-match VF2
+in pure Python.
 """
 
 from __future__ import annotations

@@ -22,6 +22,20 @@ non-maximal terms never change the intersection.
 gIndex represents the frequent-mining / graph-features corner: strong
 filtering on small sparse datasets, but indexing cost explodes as
 graphs grow (§5.2.1) or labels shrink (§5.2.3).
+
+Reproduces: gIndex (Yan, Yu & Han, SIGMOD 2004) — reference [21] of
+the benchmarked paper.
+
+Feature class: subgraphs — frequent, discriminative subgraph fragments
+of up to ``max_fragment_edges`` edges, mined with gSpan.
+
+Known deviations: a flat frequent-fragment lookup set stands in for
+the original's prefix tree (same apriori pruning, different constant
+factors); the mining support is a single ``support_ratio`` rather than
+the original's size-increasing support function; candidate
+intersection uses all matched discriminative fragments, which equals
+the paper's maximal-fragments-per-expansion-path intersection (see
+above) without tracking maximality.
 """
 
 from __future__ import annotations

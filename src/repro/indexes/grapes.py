@@ -26,6 +26,19 @@ every vertex in an embedding image starts at least one matched feature
 traversal, so a (connected) query's image lies entirely inside one
 marked component.  Disconnected queries fall back to whole-graph
 verification.
+
+Reproduces: Grapes (Giugno et al., PLoS One 2013) — reference [9] of
+the benchmarked paper.
+
+Feature class: paths — exhaustively enumerated simple label paths of
+up to ``max_path_edges`` edges, with per-graph location information.
+
+Known deviations: construction parallelism uses a Python thread pool,
+so on CPython the disjoint-trie structure is preserved but CPU-bound
+speedup is platform-dependent (the original is native multi-core);
+disconnected queries skip component-wise verification and test the
+whole graph; the trie is pure Python rather than the original's C++
+structures.
 """
 
 from __future__ import annotations

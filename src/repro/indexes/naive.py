@@ -5,6 +5,16 @@ the dataset is a candidate, and verification does all the work.  It
 serves two roles in the reproduction: a correctness oracle for the
 other indexes (its answer set is ground truth) and the datum against
 which filtering power is visible.
+
+Reproduces: the index-free baseline the benchmarked paper compares
+every method against (its introduction's "naive method").
+
+Feature class: none — no features are extracted; the candidate set is
+always the entire dataset.
+
+Known deviations: none by construction; subgraph-isomorphism testing
+is our stock VF2, the same verifier the indexed methods use, so
+baseline comparisons isolate filtering power exactly.
 """
 
 from __future__ import annotations

@@ -12,6 +12,19 @@ the per-node payload.
 
 The trie maps each canonical path label (a tuple of vertex labels) to
 per-graph occurrence data; lookups walk label by label.
+
+Reproduces: the shared index structure of GraphGrepSX [2] and Grapes
+[9] (see :mod:`repro.indexes.ggsx` and :mod:`repro.indexes.grapes`
+for the methods built on it).
+
+Feature class: paths — canonical label paths, stored once per distinct
+label sequence with per-graph counts and (optionally) start-vertex
+locations.
+
+Known deviations: one trie serves both methods, whereas the originals
+ship a suffix tree (GGSX) and a location-annotated trie (Grapes); as
+documented above the node sets coincide under exhaustive sub-path
+enumeration, so only the per-node payload differs.
 """
 
 from __future__ import annotations

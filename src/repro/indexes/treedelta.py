@@ -23,6 +23,20 @@ filters the current query, and one clearing ``delta_add_threshold``
 the pruning fraction 1 − |D|/|C_T| required for permanent adoption) is
 cached in the index for all subsequent queries — the "+Δ" that grows
 the index toward graph-feature power where queries prove it pays.
+
+Reproduces: Tree+Δ (Zhao, Yu & Yu, VLDB 2007) — reference [27] of the
+benchmarked paper.
+
+Feature class: trees (mined frequent subtrees), extended on demand
+with cyclic *graph* features discovered at query time.
+
+Known deviations: Δ candidates are limited to the query's simple
+cycles and their one-edge extensions rather than the original's full
+reclaimed-feature enumeration; the §4.1 "support ratio to add new
+features" (0.8) is interpreted as the pruning fraction required for
+permanent adoption (``delta_add_threshold``), as documented above;
+tree mining reuses our gSpan restricted to acyclic growth instead of
+a dedicated tree miner.
 """
 
 from __future__ import annotations

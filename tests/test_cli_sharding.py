@@ -1,0 +1,218 @@
+"""CLI shard/merge/resume end-to-end: the acceptance contract.
+
+``repro sweep --shard i/n`` for n ∈ {1, 2, 4} followed by
+``repro merge`` must produce canonical JSON byte-identical (same
+``sweep_digest``) to a sequential unsharded run, across the four-method
+equivalence roster (naive, ggsx, ctindex, gcode — trie, fingerprint,
+and spectral designs plus the exhaustive baseline), and ``--resume`` on
+a half-completed manifest must re-run only the missing cells.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+import repro.cli.commands as commands
+from repro.cli import main
+from repro.core.presets import CI_PROFILE
+from repro.core.serialization import canonical_json, load_sweep, sweep_digest
+from repro.core.sharding import load_manifest, manifest_path_for, save_manifest
+
+
+@pytest.fixture()
+def tiny_profile(monkeypatch):
+    profile = replace(
+        CI_PROFILE,
+        graph_count_values=(6, 10),
+        default_num_graphs=8,
+        default_nodes=10,
+        default_density=0.2,
+        default_labels=3,
+        query_sizes=(3,),
+        queries_per_size=2,
+        build_budget_seconds=20.0,
+        query_budget_seconds=20.0,
+        method_configs={
+            "naive": {},
+            "ggsx": {"max_path_edges": 2},
+            "ctindex": {"fingerprint_bits": 256, "feature_edges": 3},
+            "gcode": {"path_depth": 2, "top_eigenvalues": 2, "counter_buckets": 16},
+        },
+    )
+    monkeypatch.setattr(commands, "active_profile", lambda: profile)
+    return profile
+
+
+@pytest.fixture()
+def unsharded(tiny_profile, tmp_path, capsys):
+    path = tmp_path / "full.json"
+    assert main(["sweep", "graphs", "--json", str(path)]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestShardMergeRoundTrip:
+    @pytest.mark.parametrize("count", [1, 2, 4])
+    def test_sharded_run_merges_byte_identically(
+        self, count, unsharded, tmp_path, capsys
+    ):
+        manifest_paths = []
+        for index in range(1, count + 1):
+            shard_json = tmp_path / f"shard{index}of{count}.json"
+            code = main(
+                ["sweep", "graphs", "--shard", f"{index}/{count}",
+                 "--json", str(shard_json)]
+            )
+            assert code == 0
+            manifest_paths.append(str(manifest_path_for(shard_json)))
+        merged_json = tmp_path / f"merged{count}.json"
+        assert main(["merge", *manifest_paths, "--json", str(merged_json)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep digest" in out
+        full = load_sweep(unsharded)
+        merged = load_sweep(merged_json)
+        assert canonical_json(merged) == canonical_json(full)
+        assert sweep_digest(merged) == sweep_digest(full)
+
+    def test_merged_output_renders_via_report(self, unsharded, tmp_path, capsys):
+        shard_paths = []
+        for index in (1, 2):
+            shard_json = tmp_path / f"r{index}.json"
+            assert main(
+                ["sweep", "graphs", "--shard", f"{index}/2", "--json",
+                 str(shard_json)]
+            ) == 0
+            shard_paths.append(str(manifest_path_for(shard_json)))
+        merged_json = tmp_path / "merged.json"
+        assert main(["merge", *shard_paths, "--json", str(merged_json)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(merged_json), "--figure", "6"]) == 0
+        assert "Figure 6(c)" in capsys.readouterr().out
+
+
+class TestResume:
+    def test_resume_runs_only_missing_cells(
+        self, unsharded, tmp_path, capsys, monkeypatch
+    ):
+        json_path = tmp_path / "resumable.json"
+        assert main(["sweep", "graphs", "--json", str(json_path)]) == 0
+        manifest_path = manifest_path_for(json_path)
+        manifest = load_manifest(manifest_path)
+        total = len(manifest.cells)
+        manifest.cells = manifest.cells[: total // 2]
+        save_manifest(manifest, manifest_path)
+
+        executed = []
+        import repro.core.experiments as experiments
+        import repro.core.runner as runner_module
+
+        real_run_cell = runner_module.run_cell
+
+        def counting_run_cell(task):
+            executed.append(task.key)
+            return real_run_cell(task)
+
+        monkeypatch.setattr(experiments, "run_cell", counting_run_cell)
+        capsys.readouterr()
+        assert main(
+            ["sweep", "graphs", "--json", str(json_path), "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"resuming graphs from {total // 2} completed cell(s)" in out
+        assert len(executed) == total - total // 2
+        assert sweep_digest(load_sweep(json_path)) == sweep_digest(
+            load_sweep(unsharded)
+        )
+        # The rewritten manifest is whole again: resuming once more
+        # executes nothing.
+        executed.clear()
+        assert main(
+            ["sweep", "graphs", "--json", str(json_path), "--resume"]
+        ) == 0
+        assert executed == []
+
+    def test_resume_without_prior_manifest_starts_fresh(
+        self, tiny_profile, tmp_path, capsys
+    ):
+        json_path = tmp_path / "fresh.json"
+        assert main(
+            ["sweep", "graphs", "--json", str(json_path), "--resume"]
+        ) == 0
+        assert manifest_path_for(json_path).exists()
+
+
+class TestCliErrors:
+    def test_shard_requires_json(self, tiny_profile, capsys):
+        assert main(["sweep", "graphs", "--shard", "1/2"]) == 2
+        assert "--shard requires --json" in capsys.readouterr().err
+
+    def test_resume_requires_json(self, tiny_profile, capsys):
+        assert main(["sweep", "graphs", "--resume"]) == 2
+        assert "--resume requires --json" in capsys.readouterr().err
+
+    def test_unknown_selector_key_is_a_cli_error(self, tiny_profile, capsys):
+        assert main(["sweep", "graphs", "--only", "metod=ggsx"]) == 2
+        assert "unknown selector key" in capsys.readouterr().err
+
+    def test_bad_shard_spec_is_a_cli_error(self, tiny_profile, capsys):
+        assert main(["sweep", "graphs", "--shard", "5/2"]) == 2
+        assert "--shard" in capsys.readouterr().err
+
+    def test_merge_divergence_is_a_named_cell_error(
+        self, unsharded, tmp_path, capsys
+    ):
+        import copy
+        from dataclasses import replace as dc_replace
+
+        from repro.core.runner import SizeStats
+        from repro.core.sharding import cell_digest
+
+        manifest = load_manifest(manifest_path_for(unsharded))
+        tampered = copy.deepcopy(manifest)
+        entry = tampered.cells[0]
+        entry.cell.per_size[3] = SizeStats(
+            status="ok",
+            stats=dc_replace(entry.cell.per_size[3].stats, avg_candidates=77.0),
+        )
+        tampered.cells[0] = dc_replace(entry, digest=cell_digest(entry.cell))
+        tampered_path = tmp_path / "tampered.manifest.json"
+        save_manifest(tampered, tampered_path)
+        code = main(
+            ["merge", str(manifest_path_for(unsharded)), str(tampered_path),
+             "--json", str(tmp_path / "out.json")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "diverge on cell" in err
+        assert f"method={entry.method}" in err
+
+    def test_merge_missing_cells_error_and_allow_partial(
+        self, unsharded, tmp_path, capsys
+    ):
+        shard_json = tmp_path / "half.json"
+        assert main(
+            ["sweep", "graphs", "--shard", "1/2", "--json", str(shard_json)]
+        ) == 0
+        capsys.readouterr()
+        out_json = tmp_path / "partial.json"
+        code = main(
+            ["merge", str(manifest_path_for(shard_json)), "--json", str(out_json)]
+        )
+        assert code == 2
+        assert "missing" in capsys.readouterr().err
+        assert main(
+            ["merge", str(manifest_path_for(shard_json)), "--json",
+             str(out_json), "--allow-partial"]
+        ) == 0
+        assert out_json.exists()
+
+    def test_only_selects_subgrid_via_cli(self, tiny_profile, tmp_path, capsys):
+        json_path = tmp_path / "only.json"
+        assert main(
+            ["sweep", "graphs", "--only", "method=ggsx,graphs=6", "--json",
+             str(json_path)]
+        ) == 0
+        sweep = load_sweep(json_path)
+        assert sweep.methods == ["ggsx"]
+        assert sweep.x_values == [6]
+        assert set(sweep.cells) == {(6, "ggsx")}
