@@ -22,11 +22,13 @@ from repro.core.report import render_sweep, render_table1
 from repro.generators.graphgen import GraphGenConfig, generate_dataset
 from repro.generators.queries import generate_queries
 from repro.generators.realsets import make_real_dataset
+from repro.graphs.dataset import dataset_fingerprint
 from repro.graphs.graph import GraphError
 from repro.graphs.io import read_dataset, write_dataset
 from repro.graphs.statistics import dataset_statistics
 from repro.indexes import ALL_INDEX_CLASSES
 from repro.indexes.persistence import IndexFileError, load_index, save_index
+from repro.indexes.store import materialize_artifact, shared_store
 from repro.core.runner import make_method
 from repro.utils.budget import Budget, BudgetExceeded
 
@@ -112,6 +114,62 @@ def _resolve_payload_dataset(dataset):
     return dataset
 
 
+def _payload_digest(dataset) -> int:
+    """Dataset content digest of a worker payload (free for arenas)."""
+    if isinstance(dataset, ArenaHandle):
+        return dataset.fingerprint
+    return dataset_fingerprint(dataset)
+
+
+def _built_via_store(
+    method: str,
+    options: dict,
+    dataset,
+    store_dir: str | None,
+    materialize: bool = True,
+):
+    """Build one method, through the artifact store when configured.
+
+    Returns ``(index, row, digest)`` — the queryable index, a printable
+    build row (``None`` when the caller must build), and the dataset
+    digest already computed for the lookup (to hand back to
+    :func:`_store_built_index`, the O(dataset) fingerprint is paid
+    once).  A store hit skips the build entirely and reports the
+    artifact's provenance (the original measured build seconds);
+    callers that only print the row (``repro build`` without ``--save``)
+    pass ``materialize=False`` to skip the O(payload) import too, and
+    get ``index=None`` on a hit.
+    """
+    index = make_method(method, options)
+    store = shared_store(store_dir) if store_dir else None
+    digest = _payload_digest(dataset) if store is not None else None
+    if store is not None:
+        artifact = store.get(method, index.index_params(), digest)
+        if artifact is not None:
+            provenance = artifact.provenance
+            row = {
+                "method": method,
+                "status": "ok",
+                "seconds": provenance.build_seconds,
+                "size_bytes": provenance.size_bytes,
+                "details": dict(provenance.details),
+                "reused": True,
+            }
+            if not materialize:
+                return None, row, digest
+            resolved = _resolve_payload_dataset(dataset)
+            return materialize_artifact(artifact, resolved), row, digest
+    return index, None, digest  # caller builds (budgets are caller-specific)
+
+
+def _store_built_index(index, store_dir: str | None, digest: int | None) -> None:
+    """Write a freshly built index through to the artifact store."""
+    if store_dir and digest is not None:
+        from repro.indexes.store import artifact_from_index
+
+        shared_store(store_dir).put(artifact_from_index(index, digest))
+
+
 def _build_worker(payload: tuple) -> dict:
     """Build one method over the (possibly arena-shared) dataset.
 
@@ -119,16 +177,21 @@ def _build_worker(payload: tuple) -> dict:
     back as a status, programming errors propagate like any other
     pool task.
     """
-    dataset, method, options, budget_seconds = payload
-    dataset = _resolve_payload_dataset(dataset)
-    index = make_method(method, options)
+    dataset, method, options, budget_seconds, store_dir = payload
+    index, row, digest = _built_via_store(
+        method, options, dataset, store_dir, materialize=False
+    )
+    if row is not None:
+        return row
+    resolved = _resolve_payload_dataset(dataset)
     budget = (
         Budget(budget_seconds, phase=f"{method} build") if budget_seconds else None
     )
     try:
-        report = index.build(dataset, budget=budget)
+        report = index.build(resolved, budget=budget)
     except BudgetExceeded:
         return {"method": method, "status": "timeout"}
+    _store_built_index(index, store_dir, digest)
     return {
         "method": method,
         "status": "ok",
@@ -142,10 +205,11 @@ def _query_worker(payload: tuple) -> dict:
     """Build one method and run the workload through it (top-level for
     pool pickling).  Answer sets come back as sorted id tuples so the
     parent can check cross-method agreement without shipping sets."""
-    dataset, queries, method, options, budget_seconds = payload
-    dataset = _resolve_payload_dataset(dataset)
-    index = make_method(method, options)
-    index.build(dataset)
+    dataset, queries, method, options, budget_seconds, store_dir = payload
+    index, row, digest = _built_via_store(method, options, dataset, store_dir)
+    if row is None:
+        index.build(_resolve_payload_dataset(dataset))
+        _store_built_index(index, store_dir, digest)
     return _run_query_rows(index, queries, budget_seconds)
 
 
@@ -230,21 +294,30 @@ def cmd_build(args: argparse.Namespace) -> int:
         # build: options unfiltered (a typo'd key should fail loudly),
         # index kept in-process for --save.
         method = methods[0]
-        index = make_method(method, options)
-        budget = Budget(args.budget, phase=f"{method} build") if args.budget else None
-        try:
-            report = index.build(dataset, budget=budget)
-        except BudgetExceeded:
-            raise CliError(
-                f"{method} exceeded the {args.budget:.0f}s build budget "
-                "(the paper's 'failed to index')"
+        # The index instance is only needed when persisting it.
+        index, row, digest = _built_via_store(
+            method, options, dataset, args.index_store,
+            materialize=bool(args.save),
+        )
+        if row is None:
+            budget = (
+                Budget(args.budget, phase=f"{method} build") if args.budget else None
             )
-        _print_build_row(method, len(dataset), {
-            "status": "ok",
-            "seconds": report.seconds,
-            "size_bytes": report.size_bytes,
-            "details": dict(report.details),
-        })
+            try:
+                report = index.build(dataset, budget=budget)
+            except BudgetExceeded:
+                raise CliError(
+                    f"{method} exceeded the {args.budget:.0f}s build budget "
+                    "(the paper's 'failed to index')"
+                )
+            _store_built_index(index, args.index_store, digest)
+            row = {
+                "status": "ok",
+                "seconds": report.seconds,
+                "size_bytes": report.size_bytes,
+                "details": dict(report.details),
+            }
+        _print_build_row(method, len(dataset), row)
         if args.save:
             save_index(index, args.save)
             print(f"saved index to {args.save}")
@@ -264,7 +337,13 @@ def cmd_build(args: argparse.Namespace) -> int:
     payload_dataset, arena = _shareable(dataset, jobs)
     try:
         tasks = [
-            (payload_dataset, method, _supported_options(method, options), args.budget)
+            (
+                payload_dataset,
+                method,
+                _supported_options(method, options),
+                args.budget,
+                args.index_store,
+            )
             for method in methods
         ]
         rows = persistent_pool().runner(jobs).map(_build_worker, tasks)
@@ -290,9 +369,11 @@ def _print_build_row(method: str, num_graphs: int, row: dict) -> None:
     if row["status"] == "timeout":
         print(f"{method} TIMED OUT (build budget)")
         return
+    verb = "reused" if row.get("reused") else "built"
+    suffix = " [from index store]" if row.get("reused") else ""
     print(
-        f"built {method} over {num_graphs} graphs in "
-        f"{row['seconds']:.3f}s ({row['size_bytes'] / 1024:.1f} KiB)"
+        f"{verb} {method} over {num_graphs} graphs in "
+        f"{row['seconds']:.3f}s ({row['size_bytes'] / 1024:.1f} KiB){suffix}"
     )
     for key, value in row["details"].items():
         print(f"  {key}: {value}")
@@ -329,8 +410,13 @@ def cmd_query(args: argparse.Namespace) -> int:
         # One pipeline (or sequential mode): a pool and an arena would
         # only add overhead.
         for method in methods:
-            index = make_method(method, _supported_options(method, options))
-            index.build(dataset)
+            method_options = _supported_options(method, options)
+            index, row, digest = _built_via_store(
+                method, method_options, dataset, args.index_store
+            )
+            if row is None:
+                index.build(dataset)
+                _store_built_index(index, args.index_store, digest)
             rows.append(_run_query_rows(index, queries, args.budget))
     else:
         # Batch the per-method build+query pipelines across the pool,
@@ -345,6 +431,7 @@ def cmd_query(args: argparse.Namespace) -> int:
                     method,
                     _supported_options(method, options),
                     args.budget,
+                    args.index_store,
                 )
                 for method in methods
             ]
@@ -424,6 +511,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             ", batched queries" if args.batch_queries else "",
             f", shard {shard}" if shard is not None else "",
             ", selected cells only" if selector is not None else "",
+            f", index store {args.index_store}" if args.index_store else "",
+            ", no index reuse" if args.no_index_reuse else "",
         ]
     )
     # One persistent pool serves every experiment of this invocation:
@@ -476,10 +565,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     batch_queries=args.batch_queries,
                     runner=shared_runner,
                     plan=plan,
+                    index_store_dir=args.index_store,
+                    reuse_indexes=not args.no_index_reuse,
                 )
             except (SelectorError, ManifestError) as exc:
                 raise CliError(str(exc))
             print()
+            if args.index_store:
+                resumed = sweep.resumed_cells()
+                restored = (
+                    f", {resumed} restored from manifest" if resumed else ""
+                )
+                print(
+                    f"index store: {sweep.fresh_builds()} cell(s) built "
+                    f"fresh, {sweep.reused_builds()} reused from "
+                    f"{args.index_store}{restored}"
+                )
 
             output = []
             if experiment == "real":
@@ -567,6 +668,71 @@ def cmd_merge(args: argparse.Namespace) -> int:
         f"cells, sweep digest {sweep_digest(sweep)}"
     )
     print(f"wrote merged sweep to {args.json} (manifest {manifest_path})")
+    return 0
+
+
+def _require_store(args: argparse.Namespace):
+    """The on-disk store a ``repro index`` subcommand operates on."""
+    if not args.index_store:
+        raise CliError("repro index requires --index-store DIR")
+    return shared_store(args.index_store)
+
+
+def cmd_index_ls(args: argparse.Namespace) -> int:
+    """List the artifacts of an on-disk index store."""
+    store = _require_store(args)
+    entries = store.entries()
+    if not entries:
+        print(f"no artifacts in {args.index_store}")
+        return 0
+    print(f"{len(entries)} artifact(s) in {args.index_store}:")
+    total = 0
+    for path, header in entries:
+        size = path.stat().st_size
+        total += size
+        if header is None:
+            print(f"  {path.stem:56s} UNREADABLE (corrupt or stale; run gc)")
+            continue
+        params = ", ".join(f"{k}={v}" for k, v in header.index_params)
+        print(
+            f"  {path.stem:56s} {header.method:11s} "
+            f"{size / 1024:9.1f} KiB  built in "
+            f"{header.provenance.build_seconds:.3f}s  "
+            f"[{params or 'defaults'}]"
+        )
+    print(f"total {total / 1024:.1f} KiB")
+    return 0
+
+
+def cmd_index_rm(args: argparse.Namespace) -> int:
+    """Remove artifacts from an on-disk index store by address."""
+    store = _require_store(args)
+    missing = []
+    for address in args.address:
+        if store.remove(address):
+            print(f"removed {address}")
+        else:
+            missing.append(address)
+    if missing:
+        raise CliError(
+            f"no such artifact(s): {', '.join(missing)} "
+            f"(see 'repro index ls')"
+        )
+    return 0
+
+
+def cmd_index_gc(args: argparse.Namespace) -> int:
+    """Collect garbage: drop corrupt/stale artifacts, enforce a size cap."""
+    store = _require_store(args)
+    if args.max_bytes is not None and args.max_bytes < 0:
+        raise CliError(f"--max-bytes must be >= 0, got {args.max_bytes}")
+    report = store.gc(max_bytes=args.max_bytes)
+    print(
+        f"gc {args.index_store}: removed {report['removed_corrupt']} "
+        f"unreadable, evicted {report['removed_evicted']} over budget; "
+        f"kept {report['kept']} artifact(s), "
+        f"{report['kept_bytes'] / 1024:.1f} KiB"
+    )
     return 0
 
 

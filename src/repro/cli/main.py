@@ -80,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes to spread multiple --method builds over "
         "(default 1 = sequential; 0 = all cores)",
     )
+    build.add_argument(
+        "--index-store",
+        metavar="DIR",
+        help="content-addressed index artifact store: reuse a matching "
+        "prebuilt index instead of building, and store fresh builds "
+        "for later commands",
+    )
     build.set_defaults(handler=commands.cmd_build)
 
     query = subparsers.add_parser(
@@ -110,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes to spread the per-method build+query "
         "pipelines over (default 1 = sequential; 0 = all cores)",
+    )
+    query.add_argument(
+        "--index-store",
+        metavar="DIR",
+        help="content-addressed index artifact store: reuse matching "
+        "prebuilt indexes instead of building, and store fresh builds "
+        "for later commands",
     )
     query.set_defaults(handler=commands.cmd_query)
 
@@ -172,6 +186,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="split each cell's query workload into per-worker batches "
         "(deterministic merge)",
     )
+    sweep.add_argument(
+        "--index-store",
+        metavar="DIR",
+        help="content-addressed index artifact store shared by cells, "
+        "workers, and invocations: a cell whose (method, params, "
+        "dataset) artifact exists skips its build and reports the "
+        "original build's provenance; fresh builds are stored",
+    )
+    sweep.add_argument(
+        "--no-index-reuse",
+        action="store_true",
+        help="force paper-faithful rebuilds (fresh measured build "
+        "timings) even when --index-store holds a matching artifact; "
+        "fresh builds are still written to the store",
+    )
     sweep.add_argument("--out", help="directory for rendered outputs")
     sweep.add_argument("--plot", action="store_true", help="ASCII plots too")
     sweep.add_argument(
@@ -207,6 +236,59 @@ def build_parser() -> argparse.ArgumentParser:
         "stays mergeable and resumable)",
     )
     merge.set_defaults(handler=commands.cmd_merge)
+
+    index = subparsers.add_parser(
+        "index",
+        help="inspect and manage a content-addressed index artifact "
+        "store (ls, rm, gc)",
+    )
+    # --index-store and --max-bytes are declared on this parser (so the
+    # docs audit and `repro index --help` see them) AND on the
+    # subcommands below with SUPPRESS defaults, so both argument orders
+    # parse: `repro index --index-store DIR ls` and
+    # `repro index ls --index-store DIR`.
+    index.add_argument(
+        "--index-store",
+        metavar="DIR",
+        help="the artifact store directory to operate on (required)",
+    )
+    index.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        help="gc only: evict oldest artifacts until the store fits N "
+        "bytes",
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_ls = index_sub.add_parser(
+        "ls", help="list the store's artifacts with provenance"
+    )
+    index_ls.add_argument(
+        "--index-store", metavar="DIR", default=argparse.SUPPRESS
+    )
+    index_ls.set_defaults(handler=commands.cmd_index_ls)
+    index_rm = index_sub.add_parser(
+        "rm", help="remove artifacts by content address"
+    )
+    index_rm.add_argument(
+        "address", nargs="+", help="artifact address(es) from 'repro index ls'"
+    )
+    index_rm.add_argument(
+        "--index-store", metavar="DIR", default=argparse.SUPPRESS
+    )
+    index_rm.set_defaults(handler=commands.cmd_index_rm)
+    index_gc = index_sub.add_parser(
+        "gc",
+        help="drop corrupt/stale artifacts and optionally enforce a "
+        "size cap",
+    )
+    index_gc.add_argument(
+        "--index-store", metavar="DIR", default=argparse.SUPPRESS
+    )
+    index_gc.add_argument(
+        "--max-bytes", type=int, metavar="N", default=argparse.SUPPRESS
+    )
+    index_gc.set_defaults(handler=commands.cmd_index_gc)
 
     report = subparsers.add_parser(
         "report",

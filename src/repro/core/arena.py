@@ -37,9 +37,13 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
-from repro.graphs.dataset import GraphDataset, PackedDatasetReader, pack_dataset
+from repro.graphs.dataset import (
+    GraphDataset,
+    PackedDatasetReader,
+    dataset_fingerprint,
+    pack_dataset,
+)
 from repro.graphs.graph import Graph
-from repro.utils.hashing import stable_digest
 
 __all__ = [
     "ArenaHandle",
@@ -60,13 +64,17 @@ class ArenaHandle:
 
     This — not the dataset — is what crosses the process boundary:
     a few dozen bytes instead of a re-pickled graph collection.  The
-    ``fingerprint`` (64-bit content hash of the packed payload) keys the
-    worker-side caches; the size fields feed the adaptive scheduler's
+    ``fingerprint`` (the canonical 64-bit dataset content digest) keys
+    the worker-side caches; the size fields feed the adaptive scheduler's
     cost model without touching the segment.
     """
 
     shm_name: str
     num_bytes: int
+    #: Canonical content digest of the dataset
+    #: (:func:`repro.graphs.dataset.dataset_fingerprint`) — the same
+    #: value every other layer (index store, manifests, persistence)
+    #: uses for dataset identity.
     fingerprint: int
     num_graphs: int
     total_vertices: int
@@ -97,7 +105,7 @@ class DatasetArena:
         handle = ArenaHandle(
             shm_name=shm.name,
             num_bytes=len(payload),
-            fingerprint=stable_digest(payload),
+            fingerprint=dataset_fingerprint(dataset),
             num_graphs=len(dataset),
             total_vertices=dataset.total_vertices(),
             total_edges=dataset.total_edges(),
@@ -251,6 +259,10 @@ class SharedCellTask:
     build_budget_seconds: float | None = None
     query_budget_seconds: float | None = None
     build_memory_bytes: int | None = None
+    #: Index artifact store directory (``None`` disables the store).
+    index_store_dir: str | None = None
+    #: ``False`` forces paper-faithful rebuilds despite the store.
+    reuse_indexes: bool = True
 
 
 def share_task(task, handle: ArenaHandle) -> SharedCellTask:
@@ -264,11 +276,18 @@ def share_task(task, handle: ArenaHandle) -> SharedCellTask:
         build_budget_seconds=task.build_budget_seconds,
         query_budget_seconds=task.query_budget_seconds,
         build_memory_bytes=task.build_memory_bytes,
+        index_store_dir=getattr(task, "index_store_dir", None),
+        reuse_indexes=getattr(task, "reuse_indexes", True),
     )
 
 
 def run_shared_cell(task: SharedCellTask):
-    """Worker entry point: resolve the arena, then run the cell as usual."""
+    """Worker entry point: resolve the arena, then run the cell as usual.
+
+    The handle's content fingerprint doubles as the store's dataset
+    digest — it *is* :func:`repro.graphs.dataset.dataset_fingerprint`,
+    computed once by the arena's creator.
+    """
     from repro.core.runner import evaluate_method
 
     return evaluate_method(
@@ -279,4 +298,7 @@ def run_shared_cell(task: SharedCellTask):
         build_budget_seconds=task.build_budget_seconds,
         query_budget_seconds=task.query_budget_seconds,
         build_memory_bytes=task.build_memory_bytes,
+        index_store_dir=task.index_store_dir,
+        reuse_indexes=task.reuse_indexes,
+        dataset_digest=task.handle.fingerprint,
     )

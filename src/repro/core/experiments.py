@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
-from repro.core.arena import DatasetArena, SharedCellTask, share_task
+from repro.core.arena import ArenaHandle, DatasetArena, SharedCellTask, share_task
 from repro.core.parallel import ParallelRunner
 from repro.core.presets import ScaleProfile, active_profile
 from repro.core.runner import CellTask, MethodCell, run_cell
@@ -72,6 +72,27 @@ class SweepResult:
     #: never serialized into the sweep JSON, so it cannot perturb
     #: canonical byte-identity.
     cost_units: dict[tuple, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # index-store provenance (execution metadata, like cost_units)
+    # ------------------------------------------------------------------
+
+    def reused_builds(self) -> int:
+        """Cells whose index build was served by the artifact store."""
+        return sum(
+            1 for cell in self.cells.values() if cell.provenance.get("reused")
+        )
+
+    def resumed_cells(self) -> int:
+        """Cells restored whole from a ``--resume`` manifest — they ran
+        nothing this invocation, so they are neither fresh nor reused."""
+        return sum(
+            1 for cell in self.cells.values() if cell.provenance.get("resumed")
+        )
+
+    def fresh_builds(self) -> int:
+        """Cells that built (or failed to build) an index themselves."""
+        return len(self.cells) - self.reused_builds() - self.resumed_cells()
 
     # ------------------------------------------------------------------
     # figure projections: method -> [(x, value-or-None)]
@@ -128,6 +149,8 @@ def nodes_sweep(
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
     plan=None,
+    index_store_dir: str | None = None,
+    reuse_indexes: bool = True,
 ) -> SweepResult:
     """Figure 2: vary the number of nodes per graph."""
     profile = profile or active_profile()
@@ -149,6 +172,8 @@ def nodes_sweep(
         batch_queries=batch_queries,
         runner=runner,
         plan=plan,
+        index_store_dir=index_store_dir,
+        reuse_indexes=reuse_indexes,
     )
 
 
@@ -163,6 +188,8 @@ def density_sweep(
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
     plan=None,
+    index_store_dir: str | None = None,
+    reuse_indexes: bool = True,
 ) -> SweepResult:
     """Figures 3 and 4: vary the mean graph density."""
     profile = profile or active_profile()
@@ -184,6 +211,8 @@ def density_sweep(
         batch_queries=batch_queries,
         runner=runner,
         plan=plan,
+        index_store_dir=index_store_dir,
+        reuse_indexes=reuse_indexes,
     )
 
 
@@ -198,6 +227,8 @@ def labels_sweep(
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
     plan=None,
+    index_store_dir: str | None = None,
+    reuse_indexes: bool = True,
 ) -> SweepResult:
     """Figure 5: vary the number of distinct labels."""
     profile = profile or active_profile()
@@ -219,6 +250,8 @@ def labels_sweep(
         batch_queries=batch_queries,
         runner=runner,
         plan=plan,
+        index_store_dir=index_store_dir,
+        reuse_indexes=reuse_indexes,
     )
 
 
@@ -233,6 +266,8 @@ def graph_count_sweep(
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
     plan=None,
+    index_store_dir: str | None = None,
+    reuse_indexes: bool = True,
 ) -> SweepResult:
     """Figure 6: vary the number of graphs in the dataset."""
     profile = profile or active_profile()
@@ -254,6 +289,8 @@ def graph_count_sweep(
         batch_queries=batch_queries,
         runner=runner,
         plan=plan,
+        index_store_dir=index_store_dir,
+        reuse_indexes=reuse_indexes,
     )
 
 
@@ -270,6 +307,8 @@ def _synthetic_sweep(
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
     plan=None,
+    index_store_dir: str | None = None,
+    reuse_indexes: bool = True,
 ) -> SweepResult:
     method_names = list(methods if methods is not None else profile.method_names())
     xs = list(values)
@@ -297,8 +336,16 @@ def _synthetic_sweep(
             dataset = generate_dataset(config_for(x), seed=seed)
             workloads = _make_workloads(dataset, profile, seed)
             result.dataset_stats[x] = dataset_statistics(dataset)
+            digest = (
+                dataset_fingerprint(dataset)
+                if index_store_dir is not None
+                else None
+            )
             for method in wanted:
-                yield _cell_task((x, method), method, dataset, workloads, profile)
+                yield _cell_task(
+                    (x, method), method, dataset, workloads, profile,
+                    index_store_dir, reuse_indexes, digest,
+                )
 
     total = (
         len(xs) * len(method_names) if run_keys is None else len(run_keys)
@@ -336,6 +383,8 @@ def real_dataset_experiment(
     batch_queries: bool = False,
     runner: ParallelRunner | None = None,
     plan=None,
+    index_store_dir: str | None = None,
+    reuse_indexes: bool = True,
 ) -> SweepResult:
     """Figure 1 and Table 1: all methods over the real-dataset stand-ins."""
     profile = profile or active_profile()
@@ -367,8 +416,16 @@ def real_dataset_experiment(
             )
             workloads = _make_workloads(dataset, profile, seed)
             result.dataset_stats[name] = dataset_statistics(dataset, name=name)
+            digest = (
+                dataset_fingerprint(dataset)
+                if index_store_dir is not None
+                else None
+            )
             for method in wanted:
-                yield _cell_task((name, method), method, dataset, workloads, profile)
+                yield _cell_task(
+                    (name, method), method, dataset, workloads, profile,
+                    index_store_dir, reuse_indexes, digest,
+                )
 
     total = (
         len(dataset_names) * len(method_names)
@@ -392,7 +449,16 @@ def real_dataset_experiment(
     return result
 
 
-def _cell_task(key, method, dataset, workloads, profile: ScaleProfile) -> CellTask:
+def _cell_task(
+    key,
+    method,
+    dataset,
+    workloads,
+    profile: ScaleProfile,
+    index_store_dir: str | None = None,
+    reuse_indexes: bool = True,
+    dataset_digest: int | None = None,
+) -> CellTask:
     return CellTask(
         key=key,
         method=method,
@@ -401,6 +467,9 @@ def _cell_task(key, method, dataset, workloads, profile: ScaleProfile) -> CellTa
         method_config=profile.method_configs.get(method),
         build_budget_seconds=profile.build_budget_seconds,
         query_budget_seconds=profile.query_budget_seconds,
+        index_store_dir=index_store_dir,
+        reuse_indexes=reuse_indexes,
+        dataset_digest=dataset_digest,
     )
 
 
@@ -431,8 +500,12 @@ def _dispatch(
 
     * ``shared_mem`` — each x value's dataset is packed once into a
       :class:`~repro.core.arena.DatasetArena`; tasks ship arena handles
-      instead of pickled datasets.  Segments are unlinked in the
-      ``finally`` below, even when a worker crashes mid-sweep.
+      instead of pickled datasets.  Each segment is **evicted as soon
+      as every task referencing it has completed** (per-arena
+      refcounts decremented from the completion hook), so a multi-GB
+      sweep holds at most the segments of in-flight x values; the
+      ``finally`` below still unlinks whatever remains, even when a
+      worker crashes mid-sweep.
     * ``batch_queries`` — cells split into per-query batches
       (:func:`~repro.core.scheduling.split_cell`) so one slow cell's
       workload spreads across workers; merged cells are byte-identical
@@ -476,18 +549,64 @@ def _dispatch(
         if shared_mem:
             task_list = _share_tasks(task_list, arenas)
         if batch_queries:
-            _run_batched(result, task_list, runner, x_name, progress, history)
+            _run_batched(
+                result, task_list, runner, x_name, progress, history, arenas
+            )
         else:
+            evict = _arena_evictor(task_list, arenas)
             costs = [priced(task) for task in task_list]
             order = longest_first(costs) if runner.jobs > 1 else None
-            hook = None
-            if progress is not None:
-                hook = lambda done, _total, task: progress(label(done, task))
+
+            def hook(done, _total, task):
+                evict(task)
+                if progress is not None:
+                    progress(label(done, task))
+
             for outcome in runner.run(task_list, progress=hook, order=order):
                 result.cells[outcome.key] = outcome.cell
     finally:
         for arena in arenas:
             arena.close()
+
+
+def _arena_evictor(tasks: list, arenas: list[DatasetArena]):
+    """A completion hook releasing each shared-memory segment once the
+    last task referencing it has finished (ROADMAP: arena eviction for
+    multi-GB invocations).
+
+    Safe because workers materialize a segment's dataset when a task
+    *starts* and cache it process-locally — by the time the final
+    referencing task has completed, no future task attaches the
+    segment.  Closing is idempotent, so the dispatch-end ``finally``
+    remains the crash backstop.
+    """
+    arena_by_name = {arena.handle.shm_name: arena for arena in arenas}
+    refs: dict[str, int] = {}
+    for task in tasks:
+        name = _task_arena_name(task)
+        if name is not None:
+            refs[name] = refs.get(name, 0) + 1
+
+    def evict(task) -> None:
+        name = _task_arena_name(task)
+        if name is None:
+            return
+        refs[name] -= 1
+        if refs[name] == 0:
+            arena = arena_by_name.get(name)
+            if arena is not None:
+                arena.close()
+
+    return evict
+
+
+def _task_arena_name(task) -> str | None:
+    handle = getattr(task, "handle", None)  # SharedCellTask
+    if handle is None:
+        dataset = getattr(task, "dataset", None)  # QueryBatch over an arena
+        if isinstance(dataset, ArenaHandle):
+            handle = dataset
+    return None if handle is None else handle.shm_name
 
 
 def _share_tasks(
@@ -515,8 +634,12 @@ def _run_batched(
     x_name: str,
     progress: ProgressHook | None,
     history=None,
+    arenas: "list[DatasetArena] | None" = None,
 ) -> None:
-    """Split cells into query batches, run longest-first, merge in order."""
+    """Split cells into query batches, run longest-first, merge in order.
+
+    *arenas* enables per-batch arena eviction: a dataset's segment is
+    released once the last batch referencing it completes."""
     fingerprint_of: dict[int, int] = {}
     batches: list[QueryBatch] = []
     groups: list[tuple] = []  # (task, range of batch indices)
@@ -526,7 +649,9 @@ def _run_batched(
         else:
             key = fingerprint_of.get(id(task.dataset))
             if key is None:
-                key = dataset_fingerprint(task.dataset)
+                key = getattr(task, "dataset_digest", None)
+                if key is None:
+                    key = dataset_fingerprint(task.dataset)
                 fingerprint_of[id(task.dataset)] = key
         result.cost_units[task.key] = estimate_cost(task)
         cell_batches = split_cell(task, runner.jobs, dataset_key=key)
@@ -535,12 +660,16 @@ def _run_batched(
         groups.append((task, range(start, start + len(cell_batches))))
 
     total = len(batches)
-    hook = None
-    if progress is not None:
-        hook = lambda done, _total, batch: progress(
-            f"[{done}/{total}] {x_name}={batch.key[0]} method={batch.method} "
-            f"batch {batch.batch_index + 1}/{batch.num_batches}"
-        )
+    evict = _arena_evictor(batches, arenas if arenas is not None else [])
+
+    def hook(done, _total, batch):
+        evict(batch)
+        if progress is not None:
+            progress(
+                f"[{done}/{total}] {x_name}={batch.key[0]} method={batch.method} "
+                f"batch {batch.batch_index + 1}/{batch.num_batches}"
+            )
+
     costs = [estimate_batch_cost(batch, history) for batch in batches]
     order = longest_first(costs) if runner.jobs > 1 else None
     outcomes = runner.map(run_batch, batches, progress=hook, order=order)

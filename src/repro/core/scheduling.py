@@ -13,8 +13,9 @@ in two independent ways:
   invisible in the output.
 * **Per-query batching** — one cell's query workload splits into
   :class:`QueryBatch` subtasks (:func:`split_cell`), each carrying a
-  contiguous slice of every query size.  Workers build (or fetch from
-  the per-worker cache) the cell's index and answer just their slice;
+  contiguous slice of every query size.  Workers build the cell's index
+  (or fetch it from the process's content-addressed
+  :class:`~repro.indexes.store.IndexStore`) and answer just their slice;
   :func:`merge_batches` reassembles the per-query records **in original
   query order** and aggregates them with arithmetic mirrored from the
   sequential path — the merged cell canonicalizes byte-identically to
@@ -231,16 +232,18 @@ class QueryBatch:
     """One worker-sized share of a cell's query workload.
 
     Every batch of a cell carries enough to (re)build the cell's index
-    — workers deduplicate actual builds through a cache keyed by
-    ``(dataset_key, method, config, budgets)`` so a cell's index is
-    built at most once per worker, and at most ``min(jobs, batches)``
-    times per cell overall.
+    — workers deduplicate actual builds through the process's
+    :class:`~repro.indexes.store.IndexStore` (content-addressed by
+    ``(method, index_params, dataset_key)``), so a cell's index is
+    built at most once per worker, at most ``min(jobs, batches)`` times
+    per cell overall, and — with a store directory — at most once per
+    *store*, across cells, sweeps, and invocations.
     """
 
     key: tuple
     method: str
     dataset: GraphDataset | ArenaHandle
-    #: Content fingerprint of the dataset — the index-cache key part.
+    #: Content digest of the dataset — the store's address component.
     dataset_key: int
     batch_index: int
     num_batches: int
@@ -252,6 +255,10 @@ class QueryBatch:
     build_budget_seconds: float | None = None
     query_budget_seconds: float | None = None
     build_memory_bytes: int | None = None
+    #: On-disk tier of the index artifact store (``None`` = memory-only).
+    index_store_dir: str | None = None
+    #: ``False`` keeps reuse cell-local (paper-faithful build timings).
+    reuse_indexes: bool = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -277,6 +284,9 @@ class BatchOutcome:
     build_details: dict = field(default_factory=dict)
     build_error: str = ""
     parts: tuple[PartOutcome, ...] = ()
+    #: Build provenance (artifact address, reused flag) — execution
+    #: metadata forwarded onto the merged cell, never canonicalized.
+    provenance: dict = field(default_factory=dict)
 
 
 def split_cell(
@@ -323,46 +333,105 @@ def split_cell(
             build_budget_seconds=task.build_budget_seconds,
             query_budget_seconds=task.query_budget_seconds,
             build_memory_bytes=task.build_memory_bytes,
+            index_store_dir=getattr(task, "index_store_dir", None),
+            reuse_indexes=getattr(task, "reuse_indexes", True),
         )
         for i in range(count)
     ]
 
 
 # ----------------------------------------------------------------------
-# worker side: cached builds + batch execution
+# worker side: store-backed builds + batch execution
 # ----------------------------------------------------------------------
 
-#: Per-process built-index cache.  Failed builds are cached too, so every
-#: batch of a cell reports the same deterministic failure status.
-_INDEX_CACHE: dict[tuple, tuple] = {}
+#: Per-process build memo — the direct successor of PR 2's
+#: ``_INDEX_CACHE``, with the same budget-inclusive keying: failures are
+#: cached so every batch of a cell reports the same deterministic
+#: status, and successful builds are shared across batches (and, when
+#: ``reuse_indexes`` is on, across cells) *of the same budgets*.  The
+#: :class:`~repro.indexes.store.IndexStore` sits in front of it only
+#: when an explicit store directory is configured — store artifacts are
+#: budget-free by documented contract, and that trade must be opted
+#: into, never implied.
+_BUILD_MEMO: dict[tuple, tuple] = {}
 
 
 def clear_index_cache() -> None:
-    """Drop this process's built-index cache (tests and memory pressure)."""
-    _INDEX_CACHE.clear()
+    """Drop this process's built-index state (tests, memory pressure):
+    the build memo plus every shared store's memory tier."""
+    from repro.indexes.store import clear_stores
+
+    _BUILD_MEMO.clear()
+    clear_stores()
 
 
-def _config_key(config: Mapping[str, object] | None) -> tuple:
-    return tuple(sorted((config or {}).items(), key=lambda kv: kv[0]))
+def _batch_dataset(batch: QueryBatch) -> GraphDataset:
+    if isinstance(batch.dataset, ArenaHandle):
+        return cached_dataset(batch.dataset)
+    return batch.dataset
 
 
 def _built_index_for(batch: QueryBatch) -> tuple:
-    """``("ok", index, report)`` or ``(failure_status, error_message)``."""
-    cache_key = (
-        batch.dataset_key,
+    """``("ok", index, report, provenance)`` or ``(status, error)``.
+
+    Resolution order: the explicit artifact store (memory LRU, then
+    disk) when one is configured and reuse is on — a hit materializes a
+    fresh index and reports the *original* build's provenance; then the
+    budget-keyed process memo; then a fresh build, written through to
+    the store.
+
+    Without ``--index-store`` the memo alone serves reuse, keyed by
+    budgets exactly as PR 2's cache was — a lenient-budget build must
+    never mask the timeout a strict-budget cell would have reported, so
+    crossing budget boundaries is reserved for the explicit store (a
+    documented trade of its own).
+    """
+    from repro.indexes.store import artifact_from_index, materialize_artifact, shared_store
+
+    store = (
+        shared_store(batch.index_store_dir)
+        if batch.index_store_dir is not None
+        else None
+    )
+    probe = make_method(batch.method, batch.method_config)
+    params = probe.index_params()
+    memo_key = (
         batch.method,
-        _config_key(batch.method_config),
+        tuple(sorted(params.items())),
+        batch.dataset_key,
         batch.build_budget_seconds,
         batch.build_memory_bytes,
+        None if batch.reuse_indexes else batch.key,
     )
-    entry = _INDEX_CACHE.get(cache_key)
+    # Memo first: within one process the live built index (budget-keyed,
+    # so never budget-crossing) beats re-materializing from the store,
+    # and the building run's batches all report consistent provenance.
+    entry = _BUILD_MEMO.get(memo_key)
     if entry is not None:
         return entry
-    if isinstance(batch.dataset, ArenaHandle):
-        dataset = cached_dataset(batch.dataset)
-    else:
-        dataset = batch.dataset
-    index = make_method(batch.method, batch.method_config)
+    if store is not None and batch.reuse_indexes:
+        artifact = store.get(batch.method, params, batch.dataset_key)
+        if artifact is not None:
+            index = materialize_artifact(artifact, _batch_dataset(batch))
+            provenance = artifact.provenance
+            report = index.build_report
+            entry = (
+                STATUS_OK,
+                index,
+                report,
+                {
+                    "reused": True,
+                    "artifact": artifact.address,
+                    "built_at": provenance.created_at,
+                    "library_version": provenance.library_version,
+                },
+            )
+            # Memoize the hit like a fresh build: the cell's remaining
+            # batches must not repeat the payload import per batch.
+            _BUILD_MEMO[memo_key] = entry
+            return entry
+    dataset = _batch_dataset(batch)
+    index = probe
     budget = (
         Budget(
             batch.build_budget_seconds,
@@ -382,8 +451,20 @@ def _built_index_for(batch: QueryBatch) -> tuple:
     except (MemoryError, RecursionError, ValueError, RuntimeError) as exc:
         entry = (STATUS_ERROR, f"{type(exc).__name__}: {exc}")
     else:
-        entry = (STATUS_OK, index, report)
-    _INDEX_CACHE[cache_key] = entry
+        provenance = {}
+        if store is not None:
+            try:
+                address = store.put(
+                    artifact_from_index(index, batch.dataset_key)
+                )
+            except NotImplementedError:
+                # An index without the payload-split contract (a test
+                # double) still runs; it just cannot be stored/reused.
+                pass
+            else:
+                provenance = {"reused": False, "artifact": address}
+        entry = (STATUS_OK, index, report, provenance)
+    _BUILD_MEMO[memo_key] = entry
     return entry
 
 
@@ -402,7 +483,7 @@ def run_batch(batch: QueryBatch) -> BatchOutcome:
             build_status=entry[0],
             build_error=entry[1],
         )
-    _, index, report = entry
+    _, index, report, provenance = entry
     parts: list[PartOutcome] = []
     for part in batch.parts:
         budget = (
@@ -439,6 +520,7 @@ def run_batch(batch: QueryBatch) -> BatchOutcome:
         index_bytes=report.size_bytes,
         build_details=dict(report.details),
         parts=tuple(parts),
+        provenance=dict(provenance),
     )
 
 
@@ -479,6 +561,18 @@ def merge_batches(
             build_status=failed_build.build_status,
             build_error=failed_build.build_error,
         )
+    # Provenance: a cell is "reused" only if NO batch built it fresh.
+    # With jobs > 1 the build race can leave batch 0 as a store hit
+    # while a sibling batch did the actual build — the fresh batch's
+    # provenance must win or a cold run would masquerade as warm.
+    fresh = next(
+        (
+            o.provenance
+            for _, o in pairs
+            if o.provenance.get("reused") is False
+        ),
+        None,
+    )
     cell = MethodCell(
         method=lead_batch.method,
         build_status=lead.build_status,
@@ -486,6 +580,7 @@ def merge_batches(
         index_bytes=lead.index_bytes,
         build_details=dict(lead.build_details),
         build_error=lead.build_error,
+        provenance=dict(lead.provenance if fresh is None else fresh),
     )
     parts_by_size: dict[int, list[PartOutcome]] = {}
     for _, outcome in pairs:

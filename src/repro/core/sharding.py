@@ -19,7 +19,9 @@ changing a single result byte:
   grid; shard ``1/1`` is the whole grid.
 * :class:`ShardManifest` — the canonical-JSON record of one (partial)
   run: the subgrid, every completed cell with its timing-free digest,
-  its measured seconds, and its static cost units.  Manifests are the
+  its measured seconds, its static cost units, and the content address
+  of its index build in the artifact store
+  (:mod:`repro.indexes.store`), when one was used.  Manifests are the
   unit of resume (skip completed cells), of merge (stitch shards), and
   of the cost-model feedback loop (:func:`cost_history` feeds measured
   seconds back into :func:`repro.core.scheduling.estimate_cost`).
@@ -311,6 +313,11 @@ class ManifestCell:
     #: scheduler assigned when the cell ran (0.0 when unrecorded).
     cost_units: float
     cell: MethodCell
+    #: Content address of the cell's index build in the artifact store
+    #: (:func:`repro.indexes.store.artifact_address`; "" when the cell
+    #: ran without a store or its build failed).  Deterministic — a
+    #: cold and a warm run of the same cell record the same address.
+    artifact: str = ""
 
     @property
     def key(self) -> tuple:
@@ -379,6 +386,7 @@ def manifest_for(
             seconds=cell_seconds(cell),
             cost_units=float(sweep.cost_units.get((x, method), 0.0)),
             cell=cell,
+            artifact=str(cell.provenance.get("artifact", "")),
         )
         for (x, method), cell in sweep.cells.items()
     ]
@@ -400,7 +408,8 @@ def manifest_for(
 def manifest_to_json(manifest: ShardManifest) -> str:
     """Canonical JSON of a manifest: fixed field order, grid-ordered
     cells, stable x keying — diffable across machines like the sweep
-    JSON itself (only the measured ``seconds`` vary run to run)."""
+    JSON itself (only the measured ``seconds`` and the execution-mode
+    ``artifact`` provenance vary run to run)."""
     order = {key: i for i, key in enumerate(manifest.grid_keys())}
     cells = sorted(manifest.cells, key=lambda entry: order.get(entry.key, -1))
     document = {
@@ -423,6 +432,7 @@ def manifest_to_json(manifest: ShardManifest) -> str:
                 "digest": entry.digest,
                 "seconds": entry.seconds,
                 "cost_units": entry.cost_units,
+                "artifact": entry.artifact,
                 "cell": cell_to_dict(entry.cell),
             }
             for entry in cells
@@ -474,6 +484,12 @@ def _manifest_from_document(document: dict) -> ShardManifest:
         shard=None if shard is None else (shard["index"], shard["count"]),
     )
     for entry in document.get("cells", []):
+        cell = cell_from_dict(entry["cell"])
+        artifact = str(entry.get("artifact", ""))
+        if artifact:
+            # Provenance is execution metadata (excluded from digests);
+            # restoring it keeps merged manifests' artifact column full.
+            cell.provenance["artifact"] = artifact
         manifest.cells.append(
             ManifestCell(
                 x=entry["x"],
@@ -481,7 +497,8 @@ def _manifest_from_document(document: dict) -> ShardManifest:
                 digest=entry["digest"],
                 seconds=entry["seconds"],
                 cost_units=entry.get("cost_units", 0.0),
-                cell=cell_from_dict(entry["cell"]),
+                cell=cell,
+                artifact=artifact,
             )
         )
     x_by_key = {x_key(x): x for x in manifest.x_values}
@@ -703,7 +720,12 @@ class SweepPlan:
         """Fold resumed cells/stats back in; restore grid ordering."""
         if self.resume is not None:
             for entry in self.resume.cells:
-                result.cells.setdefault(entry.key, entry.cell)
+                if entry.key not in result.cells:
+                    # Execution metadata: this invocation neither built
+                    # nor store-reused the cell — it was restored whole,
+                    # and build summaries must say so.
+                    entry.cell.provenance["resumed"] = True
+                    result.cells[entry.key] = entry.cell
                 if entry.cost_units:
                     result.cost_units.setdefault(entry.key, entry.cost_units)
             for x, stats in self.resume.dataset_stats.items():

@@ -21,7 +21,6 @@ from array import array
 from collections.abc import Hashable, Iterable, Iterator
 
 from repro.graphs.graph import Graph
-from repro.utils.hashing import stable_digest
 
 __all__ = [
     "GraphDataset",
@@ -140,8 +139,8 @@ def pack_dataset(dataset: GraphDataset) -> bytes:
 
     Labels may be any picklable hashable: they are deduplicated into a
     table (pickled once) and vertices store table indices.  The packing
-    is deterministic for a given dataset object, making
-    :func:`dataset_fingerprint` a usable cache key.
+    is deterministic for a given dataset *object*; content identity
+    across representations is :func:`dataset_fingerprint`'s job.
     """
     vstarts = array("q", [0])
     astarts = array("q", [0])
@@ -183,8 +182,35 @@ def unpack_dataset(buffer) -> GraphDataset:
 
 
 def dataset_fingerprint(dataset: GraphDataset) -> int:
-    """64-bit content hash of the packed form — the arena cache key."""
-    return stable_digest(pack_dataset(dataset))
+    """A representation-independent 64-bit content digest.
+
+    The one notion of dataset identity the whole system shares: it keys
+    shared-memory arena segments and worker caches
+    (:mod:`repro.core.arena`), addresses index artifacts
+    (:mod:`repro.indexes.store`), and is recorded in persisted index
+    files and shard manifests.
+
+    **Canonical on purpose**: the hash covers labels and *sorted* edge
+    lists, so two datasets with equal graphs digest alike even when
+    their adjacency sets iterate in different orders — as happens
+    across pickle round trips, ``.gfd`` file round trips, and
+    shared-memory reconstruction.  (The packed byte form preserves
+    iteration order for reconstruction fidelity and is therefore *not*
+    a usable content identity; hashing it would give one dataset a
+    different address in every process that re-serialized it.)
+    """
+    import hashlib
+
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(repr(len(dataset)).encode("utf-8"))
+    for graph in dataset:
+        labels = tuple(graph.label(v) for v in graph.vertices())
+        edges: list[tuple[int, int]] = []
+        for v in graph.vertices():
+            edges.extend((v, w) for w in graph.neighbors(v) if w >= v)
+        edges.sort()
+        hasher.update(repr((graph.order, labels, edges)).encode("utf-8"))
+    return int.from_bytes(hasher.digest(), "little")
 
 
 class PackedDatasetReader:

@@ -15,6 +15,14 @@ Subclasses implement ``_build`` and ``_filter`` and may override
 ``_verify_one`` (Grapes verifies per connected component, CT-Index uses
 its tweaked matcher ordering).  The contract tests assert the defining
 invariant: the candidate set always contains the true answer set.
+
+Beyond the query pipeline, every index implements the **artifact
+contract** consumed by :mod:`repro.indexes.store`: ``index_params()``
+names the constructor parameters that shape the built structure, and
+``_export_payload`` / ``_import_payload`` split the index *structure*
+(trie, fingerprints, id lists, ...) from the instance, so a built index
+can be serialized and content-addressed without pickling the whole
+object — or the dataset it was built over.
 """
 
 from __future__ import annotations
@@ -191,6 +199,82 @@ class GraphIndex(ABC):
         )
 
     # ------------------------------------------------------------------
+    # artifact contract: parameters + payload split
+    # ------------------------------------------------------------------
+
+    def index_params(self) -> dict:
+        """The constructor parameters that shape this index's structure.
+
+        Together with the method name and a dataset content digest,
+        these parameters form the content address of a built index in
+        :class:`repro.indexes.store.IndexStore`: two instances with
+        equal ``index_params()`` build byte-equivalent structures over
+        equal datasets.  Keys are sorted so the mapping has one
+        canonical form.
+        """
+        return dict(sorted(self._index_params().items()))
+
+    def _index_params(self) -> dict:
+        """Method-specific parameter mapping (plain JSON-able scalars).
+
+        The default introspects ``__init__`` and echoes the same-named
+        attributes — correct for any subclass that stores its knobs
+        under their parameter names.  Every shipped method overrides
+        this explicitly anyway, so the contract is visible per module.
+        """
+        import inspect
+
+        params = {}
+        for name in inspect.signature(type(self).__init__).parameters:
+            if name != "self" and hasattr(self, name):
+                params[name] = getattr(self, name)
+        return params
+
+    def export_payload(self) -> object:
+        """The built index structure as a picklable object graph.
+
+        This is what an :class:`~repro.indexes.store.IndexArtifact`
+        serializes — the trie / fingerprints / id lists, **not** the
+        index instance and **not** the dataset.  Requires a completed
+        build.
+        """
+        if self._build_report is None:
+            raise RuntimeError(f"{self.name}: no completed build to export")
+        return self._export_payload()
+
+    def _export_payload(self) -> object:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact "
+            "contract (_export_payload)"
+        )
+
+    def _import_payload(self, payload: object) -> None:
+        """Restore the structure produced by :meth:`_export_payload`.
+
+        Implementations must defensively copy any state that queries
+        mutate (Tree+Δ's adopted features), because one in-memory
+        payload may be materialized into several index instances.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact "
+            "contract (_import_payload)"
+        )
+
+    def adopt_payload(
+        self, payload: object, dataset: GraphDataset, report: BuildReport
+    ) -> None:
+        """Attach an exported *payload* built over *dataset*.
+
+        The inverse of :meth:`export_payload`: after this call the
+        index answers queries exactly as the instance that built the
+        payload did right after its build.  *report* carries the
+        original build's provenance (its measured seconds and size).
+        """
+        self._import_payload(payload)
+        self._dataset = dataset
+        self._build_report = report
+
+    # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
 
@@ -206,5 +290,8 @@ class GraphIndex(ABC):
             raise RuntimeError(f"{self.name}: index has not been built")
 
     def __repr__(self) -> str:
-        state = "built" if self._dataset is not None else "empty"
+        # Build state comes from _build_report, not _dataset: a failed
+        # budgeted build assigns _dataset before raising and leaves the
+        # index unusable, which must not read as "built".
+        state = "built" if self._build_report is not None else "empty"
         return f"{type(self).__name__}({state})"

@@ -146,3 +146,21 @@ class CTIndex(GraphIndex):
         # The index proper is the fingerprint array; the position cache
         # is a build-time memoization, not part of the stored index.
         return self._fingerprints
+
+    # -- artifact contract ---------------------------------------------
+
+    def _index_params(self) -> dict:
+        return {
+            "fingerprint_bits": self.fingerprint_bits,
+            "feature_edges": self.feature_edges,
+            "bits_per_feature": self.bits_per_feature,
+        }
+
+    def _export_payload(self) -> object:
+        return self._fingerprints
+
+    def _import_payload(self, payload: object) -> None:
+        self._fingerprints = payload  # type: ignore[assignment]
+        # The position cache repopulates lazily as queries hash their
+        # own features; it is a memoization, not index content.
+        self._position_cache = {}

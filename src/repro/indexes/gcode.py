@@ -283,6 +283,23 @@ class GCodeIndex(GraphIndex):
     def _size_payload(self) -> object:
         return (self._codes, self._orders)
 
+    # -- artifact contract ---------------------------------------------
+
+    def _index_params(self) -> dict:
+        return {
+            "path_depth": self.path_depth,
+            "top_eigenvalues": self.top_eigenvalues,
+            "counter_buckets": self.counter_buckets,
+        }
+
+    def _export_payload(self) -> object:
+        return (self._codes, self._orders)
+
+    def _import_payload(self, payload: object) -> None:
+        codes, orders = payload  # type: ignore[misc]
+        self._codes = codes
+        self._orders = orders
+
 
 def _counts_dominate(query_counts: tuple[int, ...], data_counts: tuple[int, ...]) -> bool:
     return all(q <= g for q, g in zip(query_counts, data_counts))

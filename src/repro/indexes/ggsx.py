@@ -94,3 +94,15 @@ class GraphGrepSXIndex(GraphIndex):
 
     def _size_payload(self) -> object:
         return self._trie
+
+    # -- artifact contract ---------------------------------------------
+
+    def _index_params(self) -> dict:
+        return {"max_path_edges": self.max_path_edges}
+
+    def _export_payload(self) -> object:
+        return self._trie
+
+    def _import_payload(self, payload: object) -> None:
+        assert isinstance(payload, PathTrie)
+        self._trie = payload

@@ -139,3 +139,20 @@ class GIndex(GraphIndex):
 
     def _size_payload(self) -> object:
         return (self._id_lists, self._frequent)
+
+    # -- artifact contract ---------------------------------------------
+
+    def _index_params(self) -> dict:
+        return {
+            "max_fragment_edges": self.max_fragment_edges,
+            "support_ratio": self.support_ratio,
+            "discriminative_ratio": self.discriminative_ratio,
+        }
+
+    def _export_payload(self) -> object:
+        return (self._id_lists, self._frequent)
+
+    def _import_payload(self, payload: object) -> None:
+        id_lists, frequent = payload  # type: ignore[misc]
+        self._id_lists = id_lists
+        self._frequent = frequent

@@ -260,6 +260,24 @@ class GrapesIndex(GraphIndex):
     def _size_payload(self) -> object:
         return self._trie
 
+    # -- artifact contract ---------------------------------------------
+
+    def _index_params(self) -> dict:
+        # ``workers`` shapes build parallelism, not the merged trie's
+        # content, but it is a constructor knob the profile fixes —
+        # keeping it in the address keeps reuse conservative.
+        return {"max_path_edges": self.max_path_edges, "workers": self.workers}
+
+    def _export_payload(self) -> object:
+        return self._trie
+
+    def _import_payload(self, payload: object) -> None:
+        assert isinstance(payload, PathTrie)
+        self._trie = payload
+        # Per-query projection state never travels with the payload.
+        self._components_cache = {}
+        self._components_query = None
+
 
 def _labels_dominate(graph: Graph, component: set[int], query_labels: dict) -> bool:
     """Cheap per-component prune: the component must offer enough

@@ -41,3 +41,14 @@ class NaiveIndex(GraphIndex):
 
     def _size_payload(self) -> object:
         return ()
+
+    # -- artifact contract ---------------------------------------------
+
+    def _index_params(self) -> dict:
+        return {}
+
+    def _export_payload(self) -> object:
+        return None  # no structure: the candidate set is the dataset
+
+    def _import_payload(self, payload: object) -> None:
+        pass

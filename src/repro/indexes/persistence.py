@@ -1,62 +1,56 @@
-"""Saving and loading built indexes.
+"""Saving and loading built indexes — a compat shim over the store.
 
 §6 notes that these indexes are meant to reside in main memory, but a
-practical deployment builds once and reuses across processes.  Indexes
-(and the datasets they were built over) are plain Python object graphs,
-so persistence is pickle-based, wrapped with a header that records the
-method name, library version, and dataset fingerprint so a stale or
-mismatched index fails loudly instead of answering queries wrongly.
+practical deployment builds once and reuses across processes.  The
+machinery lives in :mod:`repro.indexes.store`: indexes serialize as
+content-addressed **artifacts** (header + structure payload, per the
+:class:`~repro.indexes.base.GraphIndex` artifact contract).  This
+module keeps the original single-file ``save_index`` / ``load_index``
+API as a thin wrapper: the file is one store artifact with the packed
+dataset appended, so a saved index remains standalone — loading it
+reconstructs both the dataset and the index structure.
 
-Security note: pickle executes code on load.  Only load index files
+Dataset identity is the one content digest the whole system shares:
+:func:`repro.graphs.dataset.dataset_fingerprint` (a BLAKE2b digest of
+the flat-array packed form), the same value that keys the shared-memory
+arena caches, the index store, and shard-manifest artifact records.
+The old weak histogram hash is gone.
+
+Security note: artifact payloads are pickles.  Only load index files
 you produced yourself — the same trust model as the original systems'
 binary index files.
 """
 
 from __future__ import annotations
 
-import pickle
-from dataclasses import dataclass
 from pathlib import Path
 
-from repro.graphs.dataset import GraphDataset
+from repro.graphs.dataset import (
+    GraphDataset,
+    dataset_fingerprint,
+    pack_dataset,
+    unpack_dataset,
+)
 from repro.indexes.base import GraphIndex
-from repro.utils.hashing import stable_hash
+from repro.indexes.store import (
+    IndexStoreError,
+    artifact_from_index,
+    materialize_artifact,
+    read_artifact,
+    write_artifact,
+)
 
 __all__ = ["save_index", "load_index", "dataset_fingerprint", "IndexFileError"]
 
-_MAGIC = "repro-index-v1"
-
-
-class IndexFileError(RuntimeError):
-    """Raised when an index file is malformed or inconsistent."""
-
-
-@dataclass(frozen=True, slots=True)
-class _Header:
-    magic: str
-    method: str
-    dataset_fingerprint: int
-    num_graphs: int
-
-
-def dataset_fingerprint(dataset: GraphDataset) -> int:
-    """A cheap, stable content fingerprint of a dataset.
-
-    Hashes graph counts, orders, sizes and label histograms — enough to
-    catch the realistic failure mode (loading an index built over a
-    different dataset) without hashing every edge.
-    """
-    parts = [len(dataset)]
-    for graph in dataset:
-        histogram = tuple(
-            sorted(graph.label_histogram().items(), key=lambda kv: repr(kv[0]))
-        )
-        parts.append((graph.order, graph.size, histogram))
-    return stable_hash(tuple(parts))
+#: The historical error type; store failures re-raise as this.
+IndexFileError = IndexStoreError
 
 
 def save_index(index: GraphIndex, path: str | Path) -> None:
     """Persist a built index (including its dataset) to *path*.
+
+    The file is a standalone store artifact: header with provenance,
+    the index structure payload, and the packed dataset.
 
     Raises
     ------
@@ -64,15 +58,8 @@ def save_index(index: GraphIndex, path: str | Path) -> None:
         If the index has not been built.
     """
     dataset = index.dataset  # raises RuntimeError when unbuilt
-    header = _Header(
-        magic=_MAGIC,
-        method=index.name,
-        dataset_fingerprint=dataset_fingerprint(dataset),
-        num_graphs=len(dataset),
-    )
-    with open(path, "wb") as handle:
-        pickle.dump(header, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    artifact = artifact_from_index(index, dataset_fingerprint(dataset))
+    write_artifact(path, artifact, dataset_blob=pack_dataset(dataset))
 
 
 def load_index(
@@ -83,25 +70,23 @@ def load_index(
     Parameters
     ----------
     expect_dataset:
-        When given, the stored dataset fingerprint must match this
+        When given, the stored dataset content digest must match this
         dataset's; a mismatch raises :class:`IndexFileError` (querying
         an index built over different data silently returns wrong ids).
+        The returned index is attached to *expect_dataset* when given,
+        otherwise to the dataset packed into the file.
     """
-    with open(path, "rb") as handle:
-        try:
-            header = pickle.load(handle)
-        except (pickle.UnpicklingError, EOFError) as exc:
-            raise IndexFileError(f"{path}: not an index file") from exc
-        if not isinstance(header, _Header) or header.magic != _MAGIC:
-            raise IndexFileError(f"{path}: not a {_MAGIC} file")
-        index = pickle.load(handle)
-    if not isinstance(index, GraphIndex):
-        raise IndexFileError(f"{path}: payload is not a GraphIndex")
+    expect_digest = (
+        dataset_fingerprint(expect_dataset) if expect_dataset is not None else None
+    )
+    artifact, dataset_blob = read_artifact(path, expect_digest=expect_digest)
     if expect_dataset is not None:
-        fingerprint = dataset_fingerprint(expect_dataset)
-        if fingerprint != header.dataset_fingerprint:
-            raise IndexFileError(
-                f"{path}: index was built over a different dataset "
-                f"(method {header.method!r}, {header.num_graphs} graphs)"
-            )
-    return index
+        dataset = expect_dataset
+    elif dataset_blob is not None:
+        dataset = unpack_dataset(dataset_blob)
+    else:
+        raise IndexFileError(
+            f"{path}: artifact carries no dataset; pass expect_dataset "
+            "(store-tier artifacts are dataset-free by design)"
+        )
+    return materialize_artifact(artifact, dataset)

@@ -237,6 +237,29 @@ class TreeDeltaIndex(GraphIndex):
     def _size_payload(self) -> object:
         return (self._tree_ids, self._frequent_trees, self._delta_ids)
 
+    # -- artifact contract ---------------------------------------------
+
+    def _index_params(self) -> dict:
+        return {
+            "max_feature_edges": self.max_feature_edges,
+            "support_ratio": self.support_ratio,
+            "delta_min_discriminative": self.delta_min_discriminative,
+            "delta_add_threshold": self.delta_add_threshold,
+        }
+
+    def _export_payload(self) -> object:
+        # Snapshot the Δ table: queries after export must not mutate
+        # the exported payload.
+        return (self._tree_ids, self._frequent_trees, dict(self._delta_ids))
+
+    def _import_payload(self, payload: object) -> None:
+        tree_ids, frequent_trees, delta_ids = payload  # type: ignore[misc]
+        self._tree_ids = tree_ids
+        self._frequent_trees = frequent_trees
+        # Copy: Δ adoption mutates this dict at query time, and one
+        # in-memory payload may back several materialized instances.
+        self._delta_ids = dict(delta_ids)
+
 
 def _edge_subgraph(graph: Graph, edges: list[tuple[int, int]]) -> Graph:
     """The subgraph formed by exactly *edges* (vertices re-densified)."""

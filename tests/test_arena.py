@@ -115,6 +115,24 @@ class TestPackRoundTrip:
         other = dataset.subset(range(len(dataset) - 1))
         assert dataset_fingerprint(other) != dataset_fingerprint(dataset)
 
+    def test_fingerprint_canonical_across_representations(self, dataset):
+        """The content digest must survive every way a dataset travels:
+        pickling to a worker, the shared-memory packed form, and a
+        ``.gfd`` file round trip.  Adjacency-*set* iteration order is
+        not stable across pickling, so a digest of the packed bytes
+        would give one dataset a different index-store address in every
+        re-serializing process — the regression this test pins."""
+        reference = dataset_fingerprint(dataset)
+        assert dataset_fingerprint(pickle.loads(pickle.dumps(dataset))) == reference
+        assert dataset_fingerprint(unpack_dataset(pack_dataset(dataset))) == reference
+
+    def test_arena_handle_fingerprint_is_the_dataset_fingerprint(self, dataset):
+        arena = DatasetArena.create(dataset)
+        try:
+            assert arena.handle.fingerprint == dataset_fingerprint(dataset)
+        finally:
+            arena.close()
+
     def test_empty_dataset_and_empty_graph(self):
         empty = GraphDataset(name="empty")
         assert len(unpack_dataset(pack_dataset(empty))) == 0
@@ -275,6 +293,42 @@ class TestLeaks:
         for handle in recorded_arenas:
             assert not _segment_exists(handle.shm_name), handle
         assert live_arenas() == ()
+
+    def test_segments_evicted_as_cells_complete(self):
+        """ROADMAP arena eviction: a dataset's segment is released once
+        the last cell referencing it completes, not at dispatch end.
+
+        With jobs=1 the engine path executes in submission order, so by
+        the first completion of the second x value the first x value's
+        arena must already be gone — the live count can never reach the
+        number of x values again after the first arena retires."""
+        observed: list[int] = []
+        nodes_sweep(
+            _tiny_profile(),
+            seed=3,
+            jobs=1,
+            shared_mem=True,
+            progress=lambda _msg: observed.append(len(live_arenas())),
+        )
+        # 4 methods x 2 x-values: both arenas exist up front, the first
+        # retires after its 4th cell, the second after its last.
+        assert observed[0] == 2
+        assert observed[3:] == [1, 1, 1, 1, 0]
+
+    def test_segments_evicted_in_batched_mode(self):
+        observed: list[int] = []
+        nodes_sweep(
+            _tiny_profile(),
+            seed=3,
+            jobs=1,
+            shared_mem=True,
+            batch_queries=True,
+            progress=lambda _msg: observed.append(len(live_arenas())),
+        )
+        assert observed[0] == 2
+        assert observed[-1] == 0
+        retired = observed.index(1)  # first arena released mid-dispatch...
+        assert all(count <= 1 for count in observed[retired:])  # ...for good
 
     def test_segments_unlinked_after_pool_shutdown(self, dataset, workloads):
         arena = DatasetArena.create(dataset)

@@ -156,6 +156,22 @@ class TestContract:
         with pytest.raises(BudgetExceeded):
             index.build(dataset, budget=budget)
 
+    def test_repr_reflects_build_state(self, name, dataset):
+        """``repr`` reports completed builds, not merely an assigned
+        dataset: a failed budgeted build leaves the index unusable and
+        must still read as empty."""
+        index = INDEX_FACTORIES[name]()
+        assert "empty" in repr(index)
+        if name != "naive":
+            failed = INDEX_FACTORIES[name]()
+            budget = Budget(0.0)
+            time.sleep(0.002)
+            with pytest.raises(BudgetExceeded):
+                failed.build(dataset, budget=budget)
+            assert "empty" in repr(failed)  # _dataset is set, build is not
+        index.build(dataset)
+        assert "built" in repr(index)
+
     def test_rebuild_overwrites_cleanly(self, name, dataset, queries, truth):
         index = INDEX_FACTORIES[name]()
         index.build(dataset)

@@ -280,17 +280,82 @@ class TestBatchMerge:
         assert not merged.per_size  # no partial statistics leak through
 
     def test_worker_index_cache_builds_once(self, dataset, workloads):
-        """All batches of a cell share one worker-side build."""
+        """All batches of a cell share one worker-side build (via the
+        budget-keyed build memo, as in PR 2)."""
         clear_index_cache()
         from repro.core import scheduling
 
         task = make_task(dataset, workloads)
         batches = split_cell(task, 3)
-        for batch in batches:
-            run_batch(batch)
-        assert len(scheduling._INDEX_CACHE) == 1
+        outcomes = [run_batch(batch) for batch in batches]
+        assert len(scheduling._BUILD_MEMO) == 1
+        # Without an explicit --index-store the artifact store stays
+        # out of the path entirely: no provenance, no budget crossing.
+        assert all(o.provenance == {} for o in outcomes)
         clear_index_cache()
-        assert len(scheduling._INDEX_CACHE) == 0
+        assert len(scheduling._BUILD_MEMO) == 0
+
+    def test_store_dir_builds_once_and_serves_cold_process(
+        self, dataset, workloads, tmp_path
+    ):
+        """With a store directory, one build is written through; a cold
+        process (cleared memo + memory tier) reuses it with provenance."""
+        clear_index_cache()
+        from repro.indexes.store import shared_store
+
+        from dataclasses import replace
+
+        task = replace(
+            make_task(dataset, workloads), index_store_dir=str(tmp_path)
+        )
+        batches = split_cell(task, 3)
+        outcomes = [run_batch(batch) for batch in batches]
+        assert shared_store(str(tmp_path)).stats.puts == 1
+        # The building run reports fresh provenance on every batch (the
+        # memo serves later batches the same entry).
+        assert all(o.provenance["reused"] is False for o in outcomes)
+        clear_index_cache()  # "new invocation": only the disk tier left
+        warm = [run_batch(batch) for batch in batches]
+        assert all(o.provenance["reused"] is True for o in warm)
+        assert {o.provenance["artifact"] for o in warm} == {
+            outcomes[0].provenance["artifact"]
+        }
+        from repro.core.serialization import canonical_cell
+
+        assert canonical_cell(merge_batches(batches, warm)) == canonical_cell(
+            merge_batches(batches, outcomes)
+        )
+        clear_index_cache()
+
+    def test_merge_prefers_fresh_build_provenance(self, dataset, workloads):
+        """With jobs > 1 the build race can leave batch 0 as a store
+        hit while a sibling actually built: the merged cell must report
+        fresh, or a cold run would masquerade as warm."""
+        from repro.core.scheduling import BatchOutcome
+
+        clear_index_cache()
+        task = make_task(dataset, workloads)
+        batches = split_cell(task, 2)
+        outcomes = [
+            BatchOutcome(
+                key=task.key,
+                batch_index=0,
+                build_status=STATUS_OK,
+                build_seconds=0.5,
+                index_bytes=10,
+                provenance={"reused": True, "artifact": "a"},
+            ),
+            BatchOutcome(
+                key=task.key,
+                batch_index=1,
+                build_status=STATUS_OK,
+                build_seconds=0.5,
+                index_bytes=10,
+                provenance={"reused": False, "artifact": "a"},
+            ),
+        ]
+        merged = merge_batches(batches, outcomes)
+        assert merged.provenance["reused"] is False
 
     def test_programming_errors_propagate(self, dataset, workloads):
         clear_index_cache()
