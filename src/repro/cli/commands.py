@@ -470,6 +470,7 @@ def _sweep_json_path(base: str, experiment: str, multiple: bool) -> Path:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.scheduling import CostHistory
     from repro.core.sharding import (
         ManifestError,
         SelectorError,
@@ -477,6 +478,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         load_manifest,
         manifest_for,
         manifest_path_for,
+        manifest_records,
+        parse_cells,
         parse_only,
         parse_shard,
         save_manifest,
@@ -497,10 +500,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         selector = parse_only(args.only)
         shard = parse_shard(args.shard)
+        assignment = parse_cells(args.cells)
     except SelectorError as exc:
         raise CliError(str(exc))
-    if (shard is not None or args.resume) and not args.json:
-        flag = "--shard" if shard is not None else "--resume"
+    if shard is not None and assignment is not None:
+        raise CliError(
+            "--shard and --cells are mutually exclusive: a stride shard "
+            "and an explicit cell assignment both pick which cells run"
+        )
+    if (shard is not None or assignment is not None or args.resume) and not args.json:
+        flag = (
+            "--shard"
+            if shard is not None
+            else "--cells"
+            if assignment is not None
+            else "--resume"
+        )
         raise CliError(
             f"{flag} requires --json: the shard manifest lives beside it"
         )
@@ -510,6 +525,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             ", shared-mem" if args.shared_mem else "",
             ", batched queries" if args.batch_queries else "",
             f", shard {shard}" if shard is not None else "",
+            f", {len(assignment.entries)} assigned cell(s)"
+            if assignment is not None
+            else "",
             ", selected cells only" if selector is not None else "",
             f", index store {args.index_store}" if args.index_store else "",
             ", no index reuse" if args.no_index_reuse else "",
@@ -528,7 +546,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 else None
             )
             plan = None
-            if selector is not None or shard is not None or args.resume:
+            needs_plan = (
+                selector is not None
+                or shard is not None
+                or assignment is not None
+                or args.resume
+                or args.history
+            )
+            if needs_plan:
                 resume_manifest = None
                 if args.resume:
                     manifest_path = manifest_path_for(json_path)
@@ -537,13 +562,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                             resume_manifest = load_manifest(manifest_path)
                         except ManifestError as exc:
                             raise CliError(str(exc))
+                # The scheduler's calibration evidence, most recent
+                # last (later records win on exact cells): the shared
+                # --history file first, then this run's own resume
+                # manifest.
+                records: list = []
+                if args.history:
+                    from repro.core.driver import load_history_records
+
+                    records.extend(
+                        load_history_records(
+                            args.history, experiment, profile.name
+                        )
+                    )
+                if resume_manifest is not None:
+                    records.extend(manifest_records(resume_manifest))
                 plan = SweepPlan(
                     selector=selector,
                     shard=shard,
+                    assignment=assignment,
                     resume=resume_manifest,
                     experiment=experiment,
                     seed=args.seed,
                     profile=profile.name,
+                    history=CostHistory(records) if records else None,
                 )
                 if resume_manifest is not None:
                     print(
@@ -619,6 +661,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     profile=profile.name,
                     selector=selector,
                     shard=shard,
+                    assignment=assignment,
                 )
                 manifest_path = manifest_path_for(json_path)
                 save_manifest(manifest, manifest_path)
@@ -627,9 +670,327 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     f"wrote shard manifest ({len(manifest.cells)} cells, "
                     f"digest {sweep_digest(sweep)}) to {manifest_path}"
                 )
+                if args.history:
+                    from repro.core.driver import append_history
+
+                    # Only the cells this invocation executed: resumed
+                    # cells were logged by the run that measured them.
+                    executed = {
+                        key
+                        for key, cell in sweep.cells.items()
+                        if not cell.provenance.get("resumed")
+                    }
+                    appended = append_history(
+                        args.history, manifest, experiment, keys=executed
+                    )
+                    if appended:
+                        print(
+                            f"appended {appended} cell timing(s) to "
+                            f"{args.history}"
+                        )
     finally:
         pool.close()
     return 0
+
+
+def cmd_launch(args: argparse.Namespace) -> int:
+    """Plan, launch, merge, and verify a sharded sweep (the driver).
+
+    The orchestration layer over PR 3/4's primitives: cells are
+    partitioned across shards by estimated cost (greedy LPT, calibrated
+    by ``--history`` evidence when available), shards run concurrently
+    through a pluggable executor as ``repro sweep --cells ...``
+    invocations, their manifests are auto-merged, and the merged digest
+    is asserted — balanced assignment must never change a result byte.
+    A driver run manifest makes the whole launch resumable."""
+    from repro.core.driver import (
+        DriverError,
+        DriverRun,
+        ShardCommand,
+        append_history,
+        assign_shards,
+        driver_path_for,
+        experiment_grid,
+        load_driver_run,
+        load_history,
+        make_executor,
+        plan_seconds,
+        save_driver_run,
+        shard_json_path,
+    )
+    from repro.core.serialization import save_sweep, sweep_digest
+    from repro.core.sharding import (
+        CellAssignment,
+        ManifestError,
+        MergeError,
+        SelectorError,
+        load_manifest,
+        manifest_path_for,
+        merge_manifests,
+        parse_only,
+        save_manifest,
+    )
+
+    profile = active_profile()
+    for method in args.method:
+        _require_known_method(method)
+    if args.shards < 1:
+        raise CliError(f"--shards must be >= 1, got {args.shards}")
+    if args.jobs < 0:
+        raise CliError(f"--jobs must be >= 0, got {args.jobs}")
+    try:
+        selector = parse_only(args.only)
+        x_name, x_values, methods = experiment_grid(
+            args.experiment, profile, args.method or None, selector
+        )
+    except (SelectorError, DriverError) as exc:
+        raise CliError(str(exc))
+    grid = [(x, method) for x in x_values for method in methods]
+    json_path = Path(args.json)
+    if json_path.parent and not json_path.parent.exists():
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+    driver_path = driver_path_for(json_path)
+
+    selector_dict = selector.as_dict() if selector is not None else {}
+    previous = None
+    if args.resume and driver_path.exists():
+        try:
+            previous = load_driver_run(driver_path)
+        except DriverError as exc:
+            raise CliError(str(exc))
+        requested = DriverRun(
+            experiment=args.experiment,
+            profile=profile.name,
+            seed=args.seed,
+            x_name=x_name,
+            x_values=x_values,
+            methods=methods,
+            selector=selector_dict,
+            shards=args.shards,
+            strategy=args.assign,
+            jobs=args.jobs,
+        )
+        if previous.identity() != requested.identity():
+            raise CliError(
+                f"--resume driver run manifest {driver_path} does not "
+                "match this launch (experiment, profile, seed, grid, "
+                "selector, or --shards differ); point --json somewhere "
+                "else or drop --resume"
+            )
+        # The recorded plan wins on resume — assignment *and* the
+        # estimates it was balanced from: fresher history must not
+        # shuffle cells between half-finished shards, so it is not even
+        # loaded here (--history still appends afterwards).
+        assignment = [
+            [tuple(key) for key in cells] for cells in previous.assignment
+        ]
+        estimated = list(previous.estimated_seconds)
+        if len(estimated) != len(assignment):  # hand-edited manifest
+            estimated = [float(len(cells)) for cells in assignment]
+    else:
+        history = None
+        if args.history:
+            history = load_history(args.history, args.experiment, profile.name)
+            if history is not None:
+                print(
+                    f"cost history: {len(history)} recorded cell(s) from "
+                    f"{args.history} calibrate the shard assignment"
+                )
+        costs_by_key = {
+            key: plan_seconds(args.experiment, profile, key, history)
+            for key in grid
+        }
+        assignment = assign_shards(
+            grid, [costs_by_key[key] for key in grid], args.shards, args.assign
+        )
+        estimated = [
+            sum(costs_by_key[key] for key in cells) for cells in assignment
+        ]
+
+    run = DriverRun(
+        experiment=args.experiment,
+        profile=profile.name,
+        seed=args.seed,
+        x_name=x_name,
+        x_values=x_values,
+        methods=methods,
+        selector=selector_dict,
+        shards=args.shards,
+        strategy=args.assign,
+        jobs=args.jobs,
+        assignment=assignment,
+        estimated_seconds=estimated,
+        merged_digest=previous.merged_digest if previous is not None else "",
+    )
+    # Persist the plan before anything runs: a crashed launch resumes
+    # against exactly this assignment.
+    save_driver_run(run, driver_path)
+
+    live = [
+        (index, cells)
+        for index, cells in enumerate(assignment, start=1)
+        if cells
+    ]
+    loads = [estimated[index - 1] for index, _ in live]
+    print(
+        f"planned {len(grid)} cell(s) across {len(live)} shard(s) "
+        f"({args.assign} assignment; est. shard load "
+        f"{min(loads):.4g}..{max(loads):.4g})"
+    )
+    commands_to_run: list[ShardCommand] = []
+    missing_by_shard: dict[int, list[tuple]] = {}
+    executed_cells = 0
+    complete_cells = 0
+    skipped_shards = 0
+    for index, cells in live:
+        shard_json = shard_json_path(json_path, index, args.shards)
+        shard_manifest = manifest_path_for(shard_json)
+        done: set = set()
+        if args.resume and shard_manifest.exists():
+            try:
+                done = load_manifest(shard_manifest).completed_keys() & set(
+                    cells
+                )
+            except ManifestError:
+                # Unreadable manifest: relaunch the shard with --resume
+                # and let the sweep's own loader fail loudly.
+                done = set()
+        missing = [key for key in cells if key not in done]
+        if args.resume and not missing:
+            skipped_shards += 1
+            complete_cells += len(cells)
+            print(
+                f"shard {index}/{args.shards}: complete "
+                f"({len(cells)} cell(s)), skipping launch"
+            )
+            continue
+        executed_cells += len(missing)
+        complete_cells += len(cells) - len(missing)
+        missing_by_shard[index] = missing
+        cli = [
+            "sweep",
+            args.experiment,
+            "--json",
+            str(shard_json),
+            "--seed",
+            str(args.seed),
+            "--jobs",
+            str(args.jobs),
+            "--cells",
+            CellAssignment.of(cells).spec(),
+        ]
+        for method in args.method:
+            cli += ["--method", method]
+        for only in args.only:
+            cli += ["--only", only]
+        if args.shared_mem:
+            cli.append("--shared-mem")
+        if args.batch_queries:
+            cli.append("--batch-queries")
+        if args.index_store:
+            cli += ["--index-store", args.index_store]
+        if args.no_index_reuse:
+            cli.append("--no-index-reuse")
+        if args.resume and shard_manifest.exists():
+            cli.append("--resume")
+        commands_to_run.append(
+            ShardCommand(
+                shard_index=index,
+                cli_args=tuple(cli),
+                log_path=shard_json.with_suffix(".log"),
+            )
+        )
+
+    try:
+        executor = make_executor(args.executor)
+    except DriverError as exc:
+        raise CliError(str(exc))
+    if commands_to_run:
+        print(
+            f"launching {len(commands_to_run)} shard(s) via the "
+            f"{executor.name} executor "
+            f"({executed_cells} cell(s) to run, jobs={args.jobs} each)..."
+        )
+        try:
+            codes = executor.run(commands_to_run)
+        except DriverError as exc:
+            raise CliError(str(exc))
+        failed = [
+            (command, code)
+            for command, code in zip(commands_to_run, codes)
+            if code != 0
+        ]
+        if failed:
+            for command, code in failed:
+                print(
+                    f"shard {command.shard_index}/{args.shards} failed "
+                    f"(exit {code}); last log lines from {command.log_path}:"
+                )
+                print(_log_tail(command.log_path))
+            raise CliError(
+                f"{len(failed)} shard(s) failed; completed shards kept "
+                "their manifests — fix the cause and rerun with --resume"
+            )
+
+    manifests = []
+    try:
+        for index, cells in live:
+            manifests.append(
+                load_manifest(
+                    manifest_path_for(
+                        shard_json_path(json_path, index, args.shards)
+                    )
+                )
+            )
+        sweep, merged = merge_manifests(manifests)
+    except (ManifestError, MergeError) as exc:
+        raise CliError(str(exc))
+    digest = sweep_digest(sweep)
+    if run.merged_digest and run.merged_digest != digest:
+        # Check before writing anything: a failed determinism check
+        # must not replace the previously verified merged output with
+        # the very bytes it is declaring untrustworthy.
+        raise CliError(
+            f"merged sweep digest {digest} does not match the digest "
+            f"{run.merged_digest} this launch recorded earlier — the "
+            "shards did not recompute the same bytes; the previous "
+            f"merged output at {json_path} is untouched"
+        )
+    save_sweep(sweep, json_path)
+    merged_manifest_path = manifest_path_for(json_path)
+    save_manifest(merged, merged_manifest_path)
+    run.merged_digest = digest
+    save_driver_run(run, driver_path)
+    if args.history and executed_cells:
+        ran = {
+            key
+            for command in commands_to_run
+            for key in missing_by_shard.get(command.shard_index, [])
+        }
+        appended = append_history(
+            args.history, merged, args.experiment, keys=ran
+        )
+        print(f"appended {appended} cell timing(s) to {args.history}")
+    print(
+        f"driver: {executed_cells} cell(s) executed, "
+        f"{complete_cells} already complete "
+        f"({skipped_shards} shard(s) skipped); merged digest {digest}"
+    )
+    print(
+        f"wrote merged sweep to {json_path} "
+        f"(manifest {merged_manifest_path}, driver run {driver_path})"
+    )
+    return 0
+
+
+def _log_tail(path: Path, lines: int = 10) -> str:
+    """The last *lines* of a shard log, indented for the error report."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return "  (log unreadable)"
+    tail = text.splitlines()[-lines:]
+    return "\n".join(f"  {line}" for line in tail) if tail else "  (log empty)"
 
 
 def cmd_merge(args: argparse.Namespace) -> int:
@@ -737,18 +1098,72 @@ def cmd_index_gc(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from repro.core.serialization import load_sweep
+    import json
+
+    from repro.core.serialization import sweep_from_json
+    from repro.core.sharding import (
+        MANIFEST_SCHEMA,
+        ManifestError,
+        MergeError,
+        load_manifest,
+        manifest_from_json,
+        manifest_path_for,
+        merge_manifests,
+    )
 
     try:
-        sweep = load_sweep(args.results)
+        text = Path(args.results).read_text(encoding="utf-8")
     except FileNotFoundError:
         raise CliError(f"results file not found: {args.results}")
-    except ValueError as exc:
-        raise CliError(f"{args.results}: {exc}")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CliError(f"{args.results}: not valid JSON: {exc}")
+    schema = document.get("schema") if isinstance(document, dict) else None
+    manifest = None
+    if schema == MANIFEST_SCHEMA:
+        # A shard manifest renders directly as a partial grid — the
+        # natural way to peek at a crashed or in-flight shard.
+        try:
+            manifest = manifest_from_json(text)
+            sweep, _ = merge_manifests([manifest], require_complete=False)
+        except (ManifestError, MergeError) as exc:
+            raise CliError(f"{args.results}: {exc}")
+    else:
+        try:
+            sweep = sweep_from_json(text)
+        except ValueError as exc:
+            raise CliError(f"{args.results}: {exc}")
+        # A sweep saved beside a manifest (every --json sweep, every
+        # merge, every launch) knows its full grid; use it to tell
+        # "pending" (no shard produced the cell yet) from "—" (ran,
+        # but no data point).
+        manifest_path = manifest_path_for(args.results)
+        if manifest_path.exists():
+            try:
+                manifest = load_manifest(manifest_path)
+            except ManifestError:
+                manifest = None
+            if manifest is not None and (
+                manifest.x_name != sweep.x_name
+                or manifest.x_values != sweep.x_values
+                or manifest.methods != sweep.methods
+            ):
+                manifest = None  # describes some other run
+    pending: set | None = None
+    if manifest is not None:
+        done = manifest.completed_keys()
+        pending = {key for key in manifest.grid_keys() if key not in done}
     figure = args.figure or "?"
+    if pending:
+        print(
+            f"partial sweep: {len(pending)} of "
+            f"{len(manifest.grid_keys())} cell(s) pending (no shard has "
+            "produced them yet)"
+        )
     if sweep.dataset_stats and sweep.x_name == "dataset":
         print(render_table1(sweep.dataset_stats))
-    print(render_sweep(sweep, figure))
+    print(render_sweep(sweep, figure, pending=pending))
     if args.plot:
         print(
             ascii_plot(

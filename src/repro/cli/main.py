@@ -160,11 +160,30 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep's cell grid (1-based; requires --json for the manifest)",
     )
     sweep.add_argument(
+        "--cells",
+        action="append",
+        default=[],
+        metavar="X:METHOD[,X:METHOD...]",
+        help="run only these exact grid cells (the driver's cost-"
+        "balanced shard assignments; repeatable; requires --json; "
+        "mutually exclusive with --shard; the manifest still records "
+        "the full grid so driver shards merge like stride shards)",
+    )
+    sweep.add_argument(
         "--resume",
         action="store_true",
         help="skip cells recorded in the manifest beside --json and run "
         "only the missing ones (their measured seconds recalibrate the "
         "scheduler's cost estimates)",
+    )
+    sweep.add_argument(
+        "--history",
+        metavar="FILE",
+        help="cross-invocation cost history (JSONL): load measured "
+        "per-cell seconds from FILE to calibrate the scheduler without "
+        "--resume, and append the cells this run executes afterwards "
+        "(appending needs --json, since the timings come from the "
+        "manifest; without it the flag only calibrates)",
     )
     sweep.add_argument(
         "--jobs",
@@ -211,6 +230,118 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--seed", type=int, default=0)
     sweep.set_defaults(handler=commands.cmd_sweep)
+
+    launch = subparsers.add_parser(
+        "launch",
+        help="orchestrate a sharded sweep: cost-balanced shard "
+        "assignment, concurrent shard execution, automatic merge with "
+        "a digest check, all resumable via a driver run manifest",
+    )
+    launch.add_argument(
+        "experiment",
+        choices=["nodes", "density", "labels", "graphs", "real"],
+        help="which parameter sweep to orchestrate",
+    )
+    launch.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="number of shards to partition the cell grid into "
+        "(default 2; shards left empty by the partition are skipped)",
+    )
+    launch.add_argument(
+        "--assign",
+        choices=["balanced", "stride"],
+        default="balanced",
+        help="shard assignment strategy: greedy longest-processing-time "
+        "over estimated per-cell seconds (calibrated by --history "
+        "when given), or the cost-blind stride partition --shard uses; "
+        "both merge to byte-identical sweeps",
+    )
+    launch.add_argument(
+        "--executor",
+        choices=["local", "inprocess", "ssh", "k8s"],
+        default="local",
+        help="how shards run: concurrent local subprocesses (default), "
+        "sequential in-process calls (debugging), or the documented "
+        "ssh/k8s stubs",
+    )
+    launch.add_argument(
+        "--method",
+        action="append",
+        default=[],
+        help="restrict the sweep to this method (repeatable; default: "
+        "the profile's full roster)",
+    )
+    launch.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE[,KEY=VALUE...]",
+        help="orchestrate only the matching cells (same selector "
+        "language as 'repro sweep --only'; passed through to every "
+        "shard)",
+    )
+    launch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per shard sweep (default 1 = sequential; "
+        "0 = all cores)",
+    )
+    launch.add_argument(
+        "--history",
+        metavar="FILE",
+        help="cross-invocation cost history (JSONL): calibrate the "
+        "cost-balanced assignment with measured per-cell seconds from "
+        "FILE, and append the merged run's executed cells afterwards",
+    )
+    launch.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a previous launch: reuse its recorded shard "
+        "assignment, skip shards whose manifests are complete, pass "
+        "--resume to incomplete ones, and verify the merged digest "
+        "matches the recorded one",
+    )
+    launch.add_argument(
+        "--shared-mem",
+        action="store_true",
+        help="pass --shared-mem through to every shard sweep",
+    )
+    launch.add_argument(
+        "--batch-queries",
+        action="store_true",
+        help="pass --batch-queries through to every shard sweep",
+    )
+    launch.add_argument(
+        "--index-store",
+        metavar="DIR",
+        help="content-addressed index artifact store shared by every "
+        "shard (passed through to the shard sweeps; 'repro merge' "
+        "cross-checks the recorded artifact addresses)",
+    )
+    launch.add_argument(
+        "--no-index-reuse",
+        action="store_true",
+        help="pass --no-index-reuse through to every shard sweep",
+    )
+    launch.add_argument(
+        "--json",
+        required=True,
+        help="merged sweep output file; shard JSONs, shard manifests, "
+        "per-shard logs, and the resumable .driver.json run manifest "
+        "are written beside it",
+    )
+    launch.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed passed to every shard sweep",
+    )
+    launch.set_defaults(handler=commands.cmd_launch)
 
     merge = subparsers.add_parser(
         "merge",
@@ -292,9 +423,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser(
         "report",
-        help="re-render a sweep saved with 'sweep --json' or 'merge'",
+        help="re-render a sweep saved with 'sweep --json' or 'merge' "
+        "(partial sharded runs render with explicit 'pending' cells)",
     )
-    report.add_argument("results", help="JSON file from 'sweep --json' or 'merge'")
+    report.add_argument(
+        "results",
+        help="JSON file from 'sweep --json', 'launch', or 'merge' — or "
+        "a shard .manifest.json, rendered as a partial grid with "
+        "'pending' markers for cells no shard has produced yet",
+    )
     report.add_argument("--plot", action="store_true", help="ASCII plots too")
     report.add_argument(
         "--figure", default="", help="figure number label (e.g. 2)"

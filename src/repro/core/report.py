@@ -6,6 +6,12 @@ method — the exact series a plot would draw.  Missing data points
 (budget overruns, crashes) render as ``—``, mirroring the truncated
 curves in the paper's figures.
 
+A sharded run adds a second kind of absence: a cell a crashed or still
+in-flight shard simply *has not produced yet*.  Conflating the two
+would misread "not run" as "failed to index", so manifest-aware
+callers (``repro report``) pass the set of unfinished grid keys as
+``pending`` and those cells render as ``pending`` instead of ``—``.
+
 The *shape checks* express §6's qualitative conclusions as predicates
 over series — e.g. "(Grapes, GGSX) < CT-Index < (Tree+Δ, gIndex) <
 gCode for query time" — returning the fraction of sweep points where
@@ -30,6 +36,7 @@ __all__ = [
 ]
 
 _MISSING = "—"
+_PENDING = "pending"
 
 
 def render_series_table(
@@ -37,8 +44,14 @@ def render_series_table(
     series: Mapping[str, list],
     x_name: str,
     value_format: str = "{:.4g}",
+    pending: "set | None" = None,
 ) -> str:
-    """One sub-figure as an ASCII table: rows = x values, cols = methods."""
+    """One sub-figure as an ASCII table: rows = x values, cols = methods.
+
+    *pending* names ``(x, method)`` grid keys no shard has produced yet
+    (from an incomplete shard manifest); those cells render as
+    ``pending``, distinct from ``—`` (ran, but no data point).
+    """
     methods = list(series)
     if not methods:
         return f"{title}\n(no data)\n"
@@ -49,35 +62,48 @@ def render_series_table(
         row = [_format_x(x)]
         for method in methods:
             value = series[method][i][1]
-            row.append(_MISSING if value is None else value_format.format(value))
+            if value is not None:
+                row.append(value_format.format(value))
+            elif pending and (x, method) in pending:
+                row.append(_PENDING)
+            else:
+                row.append(_MISSING)
         rows.append(row)
     return f"{title}\n" + _render_rows(rows) + "\n"
 
 
-def render_sweep(sweep: SweepResult, figure: str) -> str:
+def render_sweep(
+    sweep: SweepResult, figure: str, pending: "set | None" = None
+) -> str:
     """All four sub-figures of one sweep (a=index time, b=index size,
-    c=query time, d=false positive ratio)."""
+    c=query time, d=false positive ratio).  *pending* marks cells an
+    incomplete sharded run has not produced (see
+    :func:`render_series_table`)."""
     parts = [
         render_series_table(
             f"Figure {figure}(a): indexing time (s) vs {sweep.x_name}",
             sweep.indexing_time(),
             sweep.x_name,
+            pending=pending,
         ),
         render_series_table(
             f"Figure {figure}(b): index size (MB) vs {sweep.x_name}",
             sweep.index_size_mb(),
             sweep.x_name,
+            pending=pending,
         ),
         render_series_table(
             f"Figure {figure}(c): query processing time (s) vs {sweep.x_name}",
             sweep.query_time(),
             sweep.x_name,
+            pending=pending,
         ),
         render_series_table(
             f"Figure {figure}(d): avg false positive ratio vs {sweep.x_name}",
             sweep.fp_ratio(),
             sweep.x_name,
             value_format="{:.3f}",
+            pending=pending,
         ),
     ]
     return "\n".join(parts)

@@ -187,6 +187,32 @@ class CostHistory:
     def __len__(self) -> int:
         return len(self._costs)
 
+    def recorded(self, key: tuple) -> CellCost | None:
+        """The measured cost of *key*, if this history holds one."""
+        return self._costs.get(key)
+
+    def predict_seconds(
+        self, key: tuple, method: str, units: float
+    ) -> float | None:
+        """Best-evidence predicted seconds for one cell, or ``None``.
+
+        Unlike :meth:`calibrate` — which scales a *rate* by the caller's
+        unit count and therefore needs those units to match the recorded
+        ones for an exact hit — this answers the planner's question
+        directly: a recorded key returns its measured seconds verbatim
+        (whatever units the caller guessed), an unrecorded key of a
+        recorded method returns ``units`` priced at the method's rate,
+        and a history with nothing usable returns ``None`` so the
+        caller can fall back to its static estimate.  The sweep
+        orchestration driver (:mod:`repro.core.driver`) plans shard
+        assignments with this before any dataset exists.
+        """
+        exact = self._costs.get(key)
+        if exact is not None:
+            return exact.seconds
+        rate = self._method_rates.get(method, self._global_rate)
+        return None if rate is None else units * rate
+
     def rate_for(self, key: tuple, method: str) -> float | None:
         """Seconds-per-unit estimate for one cell, or ``None`` if the
         history holds nothing usable."""

@@ -17,6 +17,10 @@ changing a single result byte:
   subgrid's cells (stride ``n`` over grid order, so every shard gets a
   mix of x values and methods).  Shards are disjoint and cover the
   grid; shard ``1/1`` is the whole grid.
+* :class:`CellAssignment` — the ``--cells`` language: an *arbitrary*
+  explicit cell set, the shape cost-balanced driver shards
+  (:mod:`repro.core.driver`) need and neither stride shards nor
+  rectangular selectors can express.
 * :class:`ShardManifest` — the canonical-JSON record of one (partial)
   run: the subgrid, every completed cell with its timing-free digest,
   its measured seconds, its static cost units, and the content address
@@ -63,6 +67,8 @@ from repro.core.serialization import (
 from repro.utils.hashing import stable_digest
 
 __all__ = [
+    "MANIFEST_SCHEMA",
+    "CellAssignment",
     "CellSelector",
     "ManifestCell",
     "ManifestError",
@@ -78,14 +84,17 @@ __all__ = [
     "manifest_for",
     "manifest_path_for",
     "manifest_from_json",
+    "manifest_records",
     "manifest_to_json",
     "merge_manifests",
+    "parse_cells",
     "parse_only",
     "parse_shard",
     "save_manifest",
 ]
 
-_MANIFEST_SCHEMA = "repro-shard-manifest-v1"
+MANIFEST_SCHEMA = "repro-shard-manifest-v1"
+_MANIFEST_SCHEMA = MANIFEST_SCHEMA
 
 #: Figure x-axis label -> the selector key that addresses it.
 _AXIS_KEYS = {
@@ -267,6 +276,100 @@ def parse_shard(text: str | None) -> ShardSpec | None:
 
 
 # ----------------------------------------------------------------------
+# explicit cell assignments (cost-balanced driver shards)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellAssignment:
+    """An explicit list of grid cells one invocation must run.
+
+    :class:`ShardSpec` can only express stride partitions, and
+    :class:`CellSelector` only rectangular subgrids — but cost-balanced
+    shard assignment (:mod:`repro.core.driver`) hands each shard an
+    *arbitrary* cell set.  ``--cells`` carries that set: ``X:METHOD``
+    entries matched against ``str(x)`` and the method roster, exactly
+    like selector values.  The assignment restricts which cells
+    *execute*; the manifest still records the full (selector-narrowed)
+    grid, so driver shards merge like stride shards do.
+    """
+
+    #: ``(str(x), method)`` entries, in the order given (deduplicated).
+    entries: tuple[tuple[str, str], ...]
+
+    @classmethod
+    def parse(cls, specs: Sequence[str]) -> "CellAssignment":
+        """Parse one or more ``--cells`` arguments (comma-separated
+        ``X:METHOD`` entries each)."""
+        entries: list[tuple[str, str]] = []
+        for spec in specs:
+            for item in spec.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                x, separator, method = item.rpartition(":")
+                x, method = x.strip(), method.strip()
+                if not separator or not x or not method:
+                    raise SelectorError(
+                        f"--cells expects X:METHOD entries, got {item!r}"
+                    )
+                if (x, method) not in entries:
+                    entries.append((x, method))
+        if not entries:
+            raise SelectorError("--cells selects nothing (no entries given)")
+        return cls(entries=tuple(entries))
+
+    @classmethod
+    def of(cls, keys: Sequence[tuple]) -> "CellAssignment":
+        """An assignment covering exactly *keys* (driver side)."""
+        return cls(entries=tuple((str(x), method) for x, method in keys))
+
+    def spec(self) -> str:
+        """The ``--cells`` argument reproducing this assignment."""
+        return ",".join(f"{x}:{method}" for x, method in self.entries)
+
+    def resolve(
+        self, x_values: Sequence, methods: Sequence[str], x_name: str = "x"
+    ) -> list[tuple]:
+        """The grid keys this assignment names, in grid order.
+
+        Every entry must match a cell of the (already selector-narrowed)
+        grid — an entry matching nothing is rejected loudly, because a
+        silently dropped cell would surface much later as a mysterious
+        merge-completeness failure.
+        """
+        x_by_str = {str(x): x for x in x_values}
+        wanted: set[tuple] = set()
+        for x_str, method in self.entries:
+            if x_str not in x_by_str:
+                axis = ", ".join(str(x) for x in x_values)
+                raise SelectorError(
+                    f"--cells entry {x_str}:{method} matches no x value of "
+                    f"this sweep (axis {x_name!r}: {axis})"
+                )
+            if method not in methods:
+                roster = ", ".join(methods)
+                raise SelectorError(
+                    f"--cells entry {x_str}:{method} names a method not in "
+                    f"this sweep's roster ({roster})"
+                )
+            wanted.add((x_by_str[x_str], method))
+        return [
+            (x, method)
+            for x in x_values
+            for method in methods
+            if (x, method) in wanted
+        ]
+
+
+def parse_cells(specs: Sequence[str] | None) -> CellAssignment | None:
+    """``--cells`` arguments -> assignment (``None`` when no flags given)."""
+    if not specs:
+        return None
+    return CellAssignment.parse(specs)
+
+
+# ----------------------------------------------------------------------
 # per-cell derived quantities
 # ----------------------------------------------------------------------
 
@@ -344,6 +447,12 @@ class ShardManifest:
     selector: dict[str, list[str]] = field(default_factory=dict)
     #: ``(index, count)`` or ``None`` for an unsharded run.
     shard: tuple[int, int] | None = None
+    #: Resolved grid keys of an explicit ``--cells`` assignment, or
+    #: ``None`` when the whole (sharded) grid ran.  Part of the resume
+    #: identity — a driver shard must resume with the same cell set —
+    #: but *not* of the merge identity: shards with different
+    #: assignments stitch together by design.
+    assignment: list[tuple] | None = None
     cells: list[ManifestCell] = field(default_factory=list)
     #: x value -> DatasetStatistics for every x with at least one cell.
     dataset_stats: dict = field(default_factory=dict)
@@ -376,6 +485,7 @@ def manifest_for(
     profile: str,
     selector: CellSelector | None = None,
     shard: ShardSpec | None = None,
+    assignment: CellAssignment | None = None,
 ) -> ShardManifest:
     """Build the manifest of a just-finished (partial) *sweep*."""
     cells = [
@@ -400,6 +510,9 @@ def manifest_for(
         profile=profile,
         selector=selector.as_dict() if selector is not None else {},
         shard=(shard.index, shard.count) if shard is not None else None,
+        assignment=None
+        if assignment is None
+        else assignment.resolve(sweep.x_values, sweep.methods, sweep.x_name),
         cells=cells,
         dataset_stats=dict(sweep.dataset_stats),
     )
@@ -425,6 +538,9 @@ def manifest_to_json(manifest: ShardManifest) -> str:
         "shard": None
         if manifest.shard is None
         else {"index": manifest.shard[0], "count": manifest.shard[1]},
+        "assignment": None
+        if manifest.assignment is None
+        else [[x, method] for x, method in manifest.assignment],
         "cells": [
             {
                 "x": entry.x,
@@ -472,6 +588,7 @@ def manifest_from_json(text: str) -> ShardManifest:
 
 def _manifest_from_document(document: dict) -> ShardManifest:
     shard = document.get("shard")
+    assignment = document.get("assignment")
     manifest = ShardManifest(
         experiment=document["experiment"],
         x_name=document["x_name"],
@@ -482,6 +599,9 @@ def _manifest_from_document(document: dict) -> ShardManifest:
         profile=document.get("profile", ""),
         selector={k: list(v) for k, v in document.get("selector", {}).items()},
         shard=None if shard is None else (shard["index"], shard["count"]),
+        assignment=None
+        if assignment is None
+        else [(entry[0], entry[1]) for entry in assignment],
     )
     for entry in document.get("cells", []):
         cell = cell_from_dict(entry["cell"])
@@ -529,14 +649,23 @@ def manifest_path_for(json_path: str | Path) -> Path:
     return path.with_name(f"{path.stem}.manifest.json")
 
 
+def manifest_records(manifest: ShardManifest) -> list[tuple]:
+    """The manifest's cells as raw ``(key, method, seconds, units)``
+    cost records — the currency :class:`CostHistory` is built from.
+    Exposed separately from :func:`cost_history` so callers can splice
+    several evidence sources (a ``--history`` file, a resume manifest)
+    into one calibrator; later records win on exact keys."""
+    return [
+        (entry.key, entry.method, entry.seconds, entry.cost_units)
+        for entry in manifest.cells
+    ]
+
+
 def cost_history(manifest: ShardManifest) -> CostHistory:
     """The manifest's measured cell seconds as a scheduling calibrator
     — the feedback loop that replaces the static dataset×queries
     estimate wherever history exists."""
-    return CostHistory(
-        (entry.key, entry.method, entry.seconds, entry.cost_units)
-        for entry in manifest.cells
-    )
+    return CostHistory(manifest_records(manifest))
 
 
 # ----------------------------------------------------------------------
@@ -590,6 +719,25 @@ def merge_manifests(
                     f"method={entry.method}): digest {existing.digest} != "
                     f"{entry.digest}"
                 )
+            elif (
+                existing.artifact
+                and entry.artifact
+                and existing.artifact != entry.artifact
+            ):
+                # The artifact address is a pure function of (method,
+                # index params, dataset content), so two shards of one
+                # run disagreeing on it means they built their indexes
+                # from different inputs — even though the cells' result
+                # digests happen to agree.
+                raise MergeError(
+                    f"shards diverge on cell ({reference.x_name}={entry.x}, "
+                    f"method={entry.method})'s index artifact address: "
+                    f"{existing.artifact} != {entry.artifact}"
+                )
+            elif entry.artifact and not existing.artifact:
+                # Agreeing duplicates: prefer the entry that knows its
+                # artifact address, keeping the merged column full.
+                chosen[entry.key] = entry
     grid = reference.grid_keys()
     missing = [key for key in grid if key not in chosen]
     if missing and require_complete:
@@ -624,6 +772,11 @@ def merge_manifests(
     for key in grid:
         entry = chosen.get(key)
         if entry is not None:
+            if entry.artifact:
+                # The merged manifest re-derives its artifact column
+                # from cell provenance; keep the two in sync even for
+                # entries built in-memory rather than loaded from JSON.
+                entry.cell.provenance["artifact"] = entry.artifact
             sweep.cells[key] = entry.cell
             sweep.cost_units[key] = entry.cost_units
     merged = manifest_for(
@@ -674,6 +827,9 @@ class SweepPlan:
 
     selector: CellSelector | None = None
     shard: ShardSpec | None = None
+    #: Explicit driver-style cell assignment (``--cells``): only these
+    #: grid cells execute, while the manifest keeps the full grid.
+    assignment: CellAssignment | None = None
     #: Manifest of a previous invocation of the *same* run to resume.
     resume: ShardManifest | None = None
     #: CLI identity, validated against ``resume`` (and recorded in the
@@ -700,6 +856,10 @@ class SweepPlan:
         xs, ms = list(x_values), list(methods)
         if self.selector is not None:
             xs, ms = self.selector.narrow(xs, ms, x_name)
+        if self.assignment is not None:
+            # Validate eagerly (and with the axis name) so a bad --cells
+            # entry fails before any dataset is generated.
+            self.assignment.resolve(xs, ms, x_name)
         if self.resume is not None:
             self._check_resume(xs, ms, x_name)
         return xs, ms
@@ -711,6 +871,9 @@ class SweepPlan:
         keys = [(x, m) for x in x_values for m in methods]
         if self.shard is not None:
             keys = self.shard.take(keys)
+        if self.assignment is not None:
+            assigned = set(self.assignment.resolve(x_values, methods))
+            keys = [key for key in keys if key in assigned]
         if self.resume is not None:
             done = self.resume.completed_keys()
             keys = [key for key in keys if key not in done]
@@ -758,6 +921,9 @@ class SweepPlan:
             self.profile,
             self.selector.as_dict() if self.selector is not None else {},
             (self.shard.index, self.shard.count) if self.shard is not None else None,
+            None
+            if self.assignment is None
+            else tuple(self.assignment.resolve(x_values, methods, x_name)),
         )
         found = (
             manifest.experiment,
@@ -768,9 +934,12 @@ class SweepPlan:
             manifest.profile,
             manifest.selector,
             manifest.shard,
+            None
+            if manifest.assignment is None
+            else tuple(tuple(key) for key in manifest.assignment),
         )
         names = ("experiment", "x_name", "x_values", "methods", "seed",
-                 "profile", "selector", "shard")
+                 "profile", "selector", "shard", "cells")
         for name, want, got in zip(names, expected, found):
             if want != got:
                 raise ManifestError(

@@ -421,6 +421,47 @@ class TestMerge:
         with pytest.raises(MergeError, match="no manifests"):
             merge_manifests([])
 
+    def test_artifact_address_divergence_rejected(self, full_manifest):
+        """ROADMAP index-store follow-on: two shards claiming the same
+        cell with the same result digest but different index-artifact
+        addresses built from different inputs — refused by name."""
+        import copy
+
+        other = copy.deepcopy(full_manifest)
+        full_manifest.cells[0] = replace(
+            full_manifest.cells[0], artifact="ggsx-aaaa-1111"
+        )
+        other.cells[0] = replace(other.cells[0], artifact="ggsx-bbbb-2222")
+        with pytest.raises(MergeError, match="artifact address") as excinfo:
+            merge_manifests([full_manifest, other])
+        message = str(excinfo.value)
+        assert "ggsx-aaaa-1111" in message and "ggsx-bbbb-2222" in message
+        assert f"method={full_manifest.cells[0].method}" in message
+
+    def test_empty_artifact_does_not_conflict(self, full_manifest):
+        """A shard that ran without a store agrees with one that ran
+        with one; the merged entry keeps the known address."""
+        import copy
+
+        with_store = copy.deepcopy(full_manifest)
+        with_store.cells[0] = replace(
+            with_store.cells[0], artifact="ggsx-aaaa-1111"
+        )
+        _, merged = merge_manifests([full_manifest, with_store])
+        key = with_store.cells[0].key
+        by_key = {entry.key: entry for entry in merged.cells}
+        assert by_key[key].artifact == "ggsx-aaaa-1111"
+
+    def test_matching_artifacts_merge_cleanly(self, full_manifest):
+        import copy
+
+        a = copy.deepcopy(full_manifest)
+        b = copy.deepcopy(full_manifest)
+        a.cells[0] = replace(a.cells[0], artifact="ggsx-aaaa-1111")
+        b.cells[0] = replace(b.cells[0], artifact="ggsx-aaaa-1111")
+        merged, _ = merge_manifests([a, b])
+        assert len(merged.cells) == len(full_manifest.cells)
+
 
 # ----------------------------------------------------------------------
 # plans: subgrid, shard skip, resume
@@ -513,3 +554,71 @@ class TestSweepPlan:
         assert plan.history is not None and len(plan.history) == len(
             manifest.cells
         )
+
+    def test_assignment_runs_exactly_the_named_cells(self, full_sweep):
+        from repro.core.sharding import CellAssignment
+
+        plan = SweepPlan(
+            assignment=CellAssignment.parse(["6:ggsx,10:naive"]),
+            experiment="graphs",
+            seed=0,
+        )
+        sweep = graph_count_sweep(TINY, seed=0, plan=plan)
+        # The grid stays whole (merge identity), only the named cells ran.
+        assert sweep.x_values == [6, 10]
+        assert sweep.methods == ["naive", "ggsx"]
+        assert set(sweep.cells) == {(6, "ggsx"), (10, "naive")}
+        for key, cell in sweep.cells.items():
+            assert cell_digest(cell) == cell_digest(full_sweep.cells[key])
+
+    def test_assignment_manifest_round_trips(self, full_sweep, tmp_path):
+        from repro.core.sharding import CellAssignment
+
+        assignment = CellAssignment.parse(["10:naive", "6:ggsx"])
+        manifest = manifest_for(
+            full_sweep, "graphs", 0, "tiny", assignment=assignment
+        )
+        assert manifest.assignment == [(6, "ggsx"), (10, "naive")]
+        path = tmp_path / "a.manifest.json"
+        save_manifest(manifest, path)
+        again = load_manifest(path)
+        assert again.assignment == manifest.assignment
+        # Assignment is resume identity, not merge identity.
+        assert again.grid_identity() == manifest_for(
+            full_sweep, "graphs", 0, "tiny"
+        ).grid_identity()
+
+    def test_resume_rejects_mismatched_assignment(self, full_sweep):
+        from repro.core.sharding import CellAssignment
+
+        manifest = manifest_for(
+            full_sweep, "graphs", 0, "tiny",
+            assignment=CellAssignment.parse(["6:ggsx"]),
+        )
+        plan = SweepPlan(
+            assignment=CellAssignment.parse(["10:naive"]),
+            resume=manifest,
+            experiment="graphs",
+            seed=0,
+            profile="tiny",
+        )
+        with pytest.raises(ManifestError, match="cells"):
+            graph_count_sweep(TINY, seed=0, plan=plan)
+
+    def test_assignments_from_different_shards_merge(self, full_sweep):
+        from repro.core.sharding import CellAssignment
+
+        halves = (["6:naive,10:ggsx"], ["6:ggsx,10:naive"])
+        manifests = []
+        for spec in halves:
+            assignment = CellAssignment.parse(spec)
+            plan = SweepPlan(assignment=assignment, experiment="graphs", seed=0)
+            sweep = graph_count_sweep(TINY, seed=0, plan=plan)
+            manifests.append(
+                manifest_for(
+                    sweep, "graphs", 0, "tiny", assignment=assignment
+                )
+            )
+        merged, _ = merge_manifests(manifests)
+        assert canonical_json(merged) == canonical_json(full_sweep)
+        assert sweep_digest(merged) == sweep_digest(full_sweep)
