@@ -160,7 +160,7 @@ def _extend_minimally(
         # Backward candidates: rightmost vertex -> rightmost-path ancestor.
         for j_index in emb.rpath[:-1]:
             target = emb.vmap[j_index]
-            if target in graph.neighbors(rm_vertex):
+            if graph.has_edge(rm_vertex, target):
                 edge = frozenset((rm_vertex, target))
                 if edge not in emb.used:
                     key = (0, j_index)

@@ -22,6 +22,7 @@ from repro.core.report import render_sweep, render_table1
 from repro.generators.graphgen import GraphGenConfig, generate_dataset
 from repro.generators.queries import generate_queries
 from repro.generators.realsets import make_real_dataset
+from repro.graphs.csr import as_core_dataset
 from repro.graphs.dataset import dataset_fingerprint
 from repro.graphs.graph import GraphError
 from repro.graphs.io import read_dataset, write_dataset
@@ -93,6 +94,23 @@ def _resolve_jobs(jobs: int) -> int | None:
     return jobs if jobs > 0 else None
 
 
+def _apply_graph_core(args: argparse.Namespace) -> None:
+    """Export ``--graph-core`` to the process (and its future workers).
+
+    The toggle travels as :data:`repro.graphs.csr.GRAPH_CORE_ENV` —
+    like ``REPRO_SCALE``, worker processes inherit it at spawn, so one
+    flag governs the whole invocation.  No flag leaves the environment
+    (and thus the default) alone.
+    """
+    core = getattr(args, "graph_core", None)
+    if core is not None:
+        import os
+
+        from repro.graphs.csr import GRAPH_CORE_ENV
+
+        os.environ[GRAPH_CORE_ENV] = core
+
+
 def _shareable(dataset, jobs: int | None):
     """The dataset itself, or an arena handle when a pool will run.
 
@@ -108,10 +126,10 @@ def _shareable(dataset, jobs: int | None):
 
 
 def _resolve_payload_dataset(dataset):
-    """Worker side of :func:`_shareable`."""
+    """Worker side of :func:`_shareable` (yields the active graph core)."""
     if isinstance(dataset, ArenaHandle):
         return cached_dataset(dataset)
-    return dataset
+    return as_core_dataset(dataset)
 
 
 def _payload_digest(dataset) -> int:
@@ -280,6 +298,7 @@ def cmd_queries(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
+    _apply_graph_core(args)
     dataset = _load_dataset(args.dataset)
     methods = list(args.method)
     for method in methods:
@@ -304,7 +323,7 @@ def cmd_build(args: argparse.Namespace) -> int:
                 Budget(args.budget, phase=f"{method} build") if args.budget else None
             )
             try:
-                report = index.build(dataset, budget=budget)
+                report = index.build(_resolve_payload_dataset(dataset), budget=budget)
             except BudgetExceeded:
                 raise CliError(
                     f"{method} exceeded the {args.budget:.0f}s build budget "
@@ -380,6 +399,7 @@ def _print_build_row(method: str, num_graphs: int, row: dict) -> None:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    _apply_graph_core(args)
     dataset = _load_dataset(args.dataset)
     workload = _load_dataset(args.queries)
     queries = list(workload)
@@ -415,7 +435,7 @@ def cmd_query(args: argparse.Namespace) -> int:
                 method, method_options, dataset, args.index_store
             )
             if row is None:
-                index.build(dataset)
+                index.build(_resolve_payload_dataset(dataset))
                 _store_built_index(index, args.index_store, digest)
             rows.append(_run_query_rows(index, queries, args.budget))
     else:
@@ -470,6 +490,7 @@ def _sweep_json_path(base: str, experiment: str, multiple: bool) -> Path:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    _apply_graph_core(args)
     from repro.core.scheduling import CostHistory
     from repro.core.sharding import (
         ManifestError,
@@ -703,6 +724,7 @@ def cmd_launch(args: argparse.Namespace) -> int:
     invocations, their manifests are auto-merged, and the merged digest
     is asserted — balanced assignment must never change a result byte.
     A driver run manifest makes the whole launch resumable."""
+    _apply_graph_core(args)
     from repro.core.driver import (
         DriverError,
         DriverRun,
@@ -891,6 +913,8 @@ def cmd_launch(args: argparse.Namespace) -> int:
             cli += ["--index-store", args.index_store]
         if args.no_index_reuse:
             cli.append("--no-index-reuse")
+        if args.graph_core:
+            cli += ["--graph-core", args.graph_core]
         if args.resume and shard_manifest.exists():
             cli.append("--resume")
         commands_to_run.append(

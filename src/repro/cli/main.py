@@ -87,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
         "prebuilt index instead of building, and store fresh builds "
         "for later commands",
     )
+    build.add_argument(
+        "--graph-core",
+        choices=["csr", "dict"],
+        help="in-memory graph representation for the hot path: immutable "
+        "flat-array CSR (default) or the legacy dict-of-sets core; "
+        "both produce byte-identical results",
+    )
     build.set_defaults(handler=commands.cmd_build)
 
     query = subparsers.add_parser(
@@ -124,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed index artifact store: reuse matching "
         "prebuilt indexes instead of building, and store fresh builds "
         "for later commands",
+    )
+    query.add_argument(
+        "--graph-core",
+        choices=["csr", "dict"],
+        help="in-memory graph representation for the hot path: immutable "
+        "flat-array CSR (default) or the legacy dict-of-sets core; "
+        "both produce byte-identical results",
     )
     query.set_defaults(handler=commands.cmd_query)
 
@@ -219,6 +233,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="force paper-faithful rebuilds (fresh measured build "
         "timings) even when --index-store holds a matching artifact; "
         "fresh builds are still written to the store",
+    )
+    sweep.add_argument(
+        "--graph-core",
+        choices=["csr", "dict"],
+        help="in-memory graph representation for the hot path: immutable "
+        "flat-array CSR (default) or the legacy dict-of-sets core; "
+        "sweeps are byte-identical across cores",
     )
     sweep.add_argument("--out", help="directory for rendered outputs")
     sweep.add_argument("--plot", action="store_true", help="ASCII plots too")
@@ -327,6 +348,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-index-reuse",
         action="store_true",
         help="pass --no-index-reuse through to every shard sweep",
+    )
+    launch.add_argument(
+        "--graph-core",
+        choices=["csr", "dict"],
+        help="pass --graph-core through to every shard sweep",
     )
     launch.add_argument(
         "--json",

@@ -37,6 +37,7 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
+from repro.graphs.csr import CSRDataset, active_graph_core
 from repro.graphs.dataset import (
     GraphDataset,
     PackedDatasetReader,
@@ -49,6 +50,7 @@ __all__ = [
     "ArenaHandle",
     "DatasetArena",
     "SharedCellTask",
+    "attach_csr_dataset",
     "attach_dataset",
     "cached_dataset",
     "clear_worker_caches",
@@ -213,21 +215,49 @@ def attach_dataset(handle: ArenaHandle) -> GraphDataset:
     return dataset
 
 
-#: Per-process dataset cache: content fingerprint -> materialized dataset.
-_DATASET_CACHE: dict[int, GraphDataset] = {}
+def attach_csr_dataset(handle: ArenaHandle) -> CSRDataset:
+    """Materialize a CSR view of the dataset behind *handle*.
+
+    Same ownership rules as :func:`attach_dataset`, but the packed flat
+    arrays become CSR ``indptr``/``indices`` directly — no intermediate
+    dict :class:`~repro.graphs.graph.Graph` is ever rebuilt.
+    """
+    shared_tracker = _tracker_shared()
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    if not shared_tracker:
+        _untrack(shm)
+    try:
+        dataset = CSRDataset.from_packed(shm.buf)
+    finally:
+        shm.close()
+    return dataset
 
 
-def cached_dataset(handle: ArenaHandle) -> GraphDataset:
+#: Per-process dataset cache: (content fingerprint, graph core) ->
+#: materialized dataset.  The core is part of the key so a dict-core
+#: sweep following a CSR-core one in the same worker cannot be served
+#: the wrong representation.
+_DATASET_CACHE: dict[tuple[int, str], GraphDataset | CSRDataset] = {}
+
+
+def cached_dataset(handle: ArenaHandle) -> GraphDataset | CSRDataset:
     """Worker-side attach with caching by content fingerprint.
 
     The first task touching a dataset in a given worker pays the attach
     + materialization; every later task in that worker (the persistent
     pool keeps workers alive across sweeps) reuses the same object.
+    Under the CSR core the attach skips the ``from_adjacency`` rebuild
+    and maps the packed arrays straight into :class:`CSRDataset`.
     """
-    dataset = _DATASET_CACHE.get(handle.fingerprint)
+    core = active_graph_core()
+    key = (handle.fingerprint, core)
+    dataset = _DATASET_CACHE.get(key)
     if dataset is None:
-        dataset = attach_dataset(handle)
-        _DATASET_CACHE[handle.fingerprint] = dataset
+        if core == "csr":
+            dataset = attach_csr_dataset(handle)
+        else:
+            dataset = attach_dataset(handle)
+        _DATASET_CACHE[key] = dataset
     return dataset
 
 

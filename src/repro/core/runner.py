@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
+from repro.graphs.csr import as_core_dataset
 from repro.graphs.dataset import GraphDataset
 from repro.graphs.graph import Graph
 from repro.indexes import ALL_INDEX_CLASSES
@@ -199,6 +200,9 @@ def evaluate_method(
 
     Never raises for method failures; statuses record them.
     """
+    # Under the CSR core (the default), the hot loops below see the
+    # immutable flat-array dataset; the dict core passes through.
+    dataset = as_core_dataset(dataset)
     index = make_method(method_name, method_config)
     cell = MethodCell(method=method_name, build_status=STATUS_OK)
 

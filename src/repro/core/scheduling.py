@@ -35,6 +35,7 @@ from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.arena import ArenaHandle, SharedCellTask, cached_dataset
+from repro.graphs.csr import active_graph_core, as_core_dataset
 from repro.core.metrics import QueryRecord, record_of, summarize_records
 from repro.core.runner import (
     STATUS_ERROR,
@@ -394,7 +395,7 @@ def clear_index_cache() -> None:
 def _batch_dataset(batch: QueryBatch) -> GraphDataset:
     if isinstance(batch.dataset, ArenaHandle):
         return cached_dataset(batch.dataset)
-    return batch.dataset
+    return as_core_dataset(batch.dataset)
 
 
 def _built_index_for(batch: QueryBatch) -> tuple:
@@ -425,6 +426,10 @@ def _built_index_for(batch: QueryBatch) -> tuple:
         batch.method,
         tuple(sorted(params.items())),
         batch.dataset_key,
+        # Indexes hold a reference to the dataset they were built over
+        # (verify walks it), so a dict-core build must never be served
+        # to a CSR-core batch in the same process, or vice versa.
+        active_graph_core(),
         batch.build_budget_seconds,
         batch.build_memory_bytes,
         None if batch.reuse_indexes else batch.key,

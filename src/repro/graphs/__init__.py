@@ -12,9 +12,13 @@ the paper benchmarked).  The package provides:
 * :mod:`~repro.graphs.statistics` — the dataset characteristics of
   Table 1 (density Eq. 1, average degree Eq. 2, label statistics);
 * :mod:`~repro.graphs.io` — a line-oriented text format compatible in
-  spirit with the ``.gfd`` files used by Grapes/GGSX.
+  spirit with the ``.gfd`` files used by Grapes/GGSX;
+* :mod:`~repro.graphs.csr` — the immutable flat-array (CSR) graph core
+  the hot paths run on by default, with :class:`Graph` kept as the
+  mutable builder.
 """
 
+from repro.graphs.csr import CSRDataset, CSRGraph, active_graph_core, as_core_dataset
 from repro.graphs.dataset import GraphDataset
 from repro.graphs.graph import Graph, GraphError
 from repro.graphs.statistics import DatasetStatistics, GraphStatistics, dataset_statistics, graph_statistics
@@ -23,8 +27,12 @@ __all__ = [
     "Graph",
     "GraphError",
     "GraphDataset",
+    "CSRGraph",
+    "CSRDataset",
     "GraphStatistics",
     "DatasetStatistics",
+    "active_graph_core",
+    "as_core_dataset",
     "graph_statistics",
     "dataset_statistics",
 ]

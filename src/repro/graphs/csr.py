@@ -1,0 +1,577 @@
+"""Immutable CSR graph core — the hot-path representation.
+
+PR 2 introduced the flat-array packing (labels plus int64 adjacency
+with prefix offsets) as the shared-memory *wire format*; this module
+promotes it to the primary in-memory structure.  A :class:`CSRGraph`
+stores vertices as contiguous numpy int64 arrays:
+
+* ``indptr`` — per-vertex prefix offsets into ``indices`` (``n+1``
+  entries);
+* ``indices`` — concatenated neighbor runs, each run **sorted
+  ascending** so adjacency tests binary-search a contiguous slice;
+* ``label_ids`` — per-vertex indices into a deduplicated label table
+  (shared across a whole :class:`CSRDataset`).
+
+The dict-of-sets :class:`~repro.graphs.graph.Graph` remains the
+*builder*: mutation (``add_edge``), validation, generators, and query
+graphs all stay on it.  Data graphs flowing into the matcher and the
+index builders are converted once per dataset — or attached directly
+from a packed shared-memory segment via :meth:`CSRDataset.from_packed`,
+skipping the per-vertex ``from_adjacency`` rebuild entirely.
+
+Determinism: every generic accessor returns plain Python ints (numpy
+scalars ``repr`` differently and would corrupt content fingerprints and
+canonical structures), and neighbor order is *sorted* rather than
+set-iteration order.  All canonicalized sweep quantities are
+order-independent functions of graph content, which is what makes the
+CSR and dict cores byte-identical under the canonical digest — pinned
+by the cross-core equivalence tests.
+
+The active core is selected by the ``REPRO_GRAPH_CORE`` environment
+variable (``csr`` by default, ``dict`` for the legacy representation),
+surfaced on the CLI as ``--graph-core``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from collections.abc import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from repro.graphs.dataset import (
+    _HEADER_BYTES,
+    _PACK_HEADER,
+    _PACK_MAGIC,
+    GraphDataset,
+)
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "CSRGraph",
+    "CSRDataset",
+    "GRAPH_CORE_ENV",
+    "GRAPH_CORES",
+    "active_graph_core",
+    "as_core_dataset",
+]
+
+Label = Hashable
+
+#: Environment variable selecting the in-memory graph representation.
+GRAPH_CORE_ENV = "REPRO_GRAPH_CORE"
+#: Recognized core names, default first.
+GRAPH_CORES = ("csr", "dict")
+
+
+def active_graph_core() -> str:
+    """The selected graph core: ``csr`` (default) or ``dict``.
+
+    Read from :data:`GRAPH_CORE_ENV` on every call, so tests and the
+    CLI can flip cores without touching module state; unrecognized
+    values fall back to the default.
+    """
+    value = os.environ.get(GRAPH_CORE_ENV, GRAPH_CORES[0]).strip().lower()
+    return value if value in GRAPH_CORES else GRAPH_CORES[0]
+
+
+def as_core_dataset(dataset, core: str | None = None):
+    """*dataset* in the active core's representation (idempotent).
+
+    Under the ``csr`` core a :class:`~repro.graphs.dataset.GraphDataset`
+    is converted to a :class:`CSRDataset`; anything already converted —
+    or any dataset under the ``dict`` core — passes through unchanged.
+    """
+    if core is None:
+        core = active_graph_core()
+    if core != "csr" or isinstance(dataset, CSRDataset):
+        return dataset
+    return CSRDataset.from_dataset(dataset)
+
+
+class CSRGraph:
+    """One immutable vertex-labeled graph in CSR form.
+
+    Read-API compatible with :class:`~repro.graphs.graph.Graph` for
+    every accessor the matcher and the index builders use; there is no
+    ``add_edge``.  Neighbor runs are sorted, so :meth:`neighbors`
+    returns ascending tuples and :meth:`has_edge` binary-searches a
+    contiguous slice.
+
+    Per-graph caches (neighbor tuples and frozensets, label groups,
+    neighbor-label counts) are filled lazily and amortize across every
+    query verified against the graph — the dict core recomputes the
+    same structures per (query, graph) pair.
+    """
+
+    __slots__ = (
+        "graph_id",
+        "_label_table",
+        "_label_ids",
+        "_indptr",
+        "_indices",
+        "_order",
+        "_size",
+        "_degrees",
+        "_neighbor_tuples",
+        "_neighbor_sets",
+        "_by_label",
+        "_histogram",
+        "_neighbor_label_counts",
+        "_label_id_of",
+    )
+
+    def __init__(
+        self,
+        label_table: tuple[Label, ...],
+        label_ids: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        graph_id: int | None = None,
+    ) -> None:
+        self._label_table = label_table
+        self._label_ids = label_ids
+        self._indptr = indptr
+        self._indices = indices
+        self._order = int(label_ids.shape[0])
+        self._size = int(indices.shape[0]) // 2
+        self.graph_id = graph_id
+        self._degrees: np.ndarray | None = None
+        self._neighbor_tuples: list[tuple[int, ...] | None] | None = None
+        self._neighbor_sets: list[frozenset[int] | None] | None = None
+        self._by_label: dict[Label, list[int]] | None = None
+        self._histogram: dict[Label, int] | None = None
+        self._neighbor_label_counts: list[dict[Label, int]] | None = None
+        self._label_id_of: dict[Label, int] | None = None
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        label_index: dict[Label, int] | None = None,
+    ) -> "CSRGraph":
+        """Convert a builder :class:`Graph`; neighbor runs are sorted.
+
+        *label_index* lets a dataset share one label table across all
+        its graphs (entries are appended for unseen labels); without it
+        the graph gets a private table.
+        """
+        if label_index is None:
+            label_index = {}
+        order = graph.order
+        label_ids = np.empty(order, dtype=np.int64)
+        indptr = np.zeros(order + 1, dtype=np.int64)
+        flat: list[int] = []
+        for v in range(order):
+            label_ids[v] = label_index.setdefault(
+                graph.label(v), len(label_index)
+            )
+            row = sorted(graph.neighbors(v))
+            indptr[v + 1] = indptr[v] + len(row)
+            flat.extend(row)
+        indices = np.asarray(flat, dtype=np.int64)
+        table = tuple(label_index)
+        return cls(table, label_ids, indptr, indices, graph_id=graph.graph_id)
+
+    # ------------------------------------------------------------------
+    # basic accessors (Graph read-API parity)
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of vertices, ``|V|``."""
+        return self._order
+
+    @property
+    def size(self) -> int:
+        """Number of edges, ``|E|``."""
+        return self._size
+
+    def label(self, v: int) -> Label:
+        """The label of vertex *v*."""
+        return self._label_table[self._label_ids[v]]
+
+    @property
+    def labels(self) -> tuple[Label, ...]:
+        """Tuple of labels indexed by vertex."""
+        table = self._label_table
+        return tuple(table[i] for i in self._label_ids.tolist())
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Ascending tuple of vertices adjacent to *v* (cached)."""
+        cache = self._neighbor_tuples
+        if cache is None:
+            cache = self._neighbor_tuples = [None] * self._order
+        row = cache[v]
+        if row is None:
+            row = cache[v] = tuple(
+                self._indices[self._indptr[v] : self._indptr[v + 1]].tolist()
+            )
+        return row
+
+    def neighbor_set(self, v: int) -> frozenset[int]:
+        """Frozenset of vertices adjacent to *v* (cached); for set
+        algebra in the matchers."""
+        cache = self._neighbor_sets
+        if cache is None:
+            cache = self._neighbor_sets = [None] * self._order
+        row = cache[v]
+        if row is None:
+            row = cache[v] = frozenset(self.neighbors(v))
+        return row
+
+    def neighbors_slice(self, v: int) -> np.ndarray:
+        """Raw sorted int64 slice of *v*'s neighbor run (do not write)."""
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def label_ids_array(self) -> np.ndarray:
+        """Per-vertex label-table indices (int64; do not write)."""
+        return self._label_ids
+
+    @property
+    def label_table(self) -> tuple[Label, ...]:
+        """The deduplicated label table ``label_ids_array`` indexes."""
+        return self._label_table
+
+    def degree(self, v: int) -> int:
+        """Number of edges incident to *v*."""
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees_array(self) -> np.ndarray:
+        """All vertex degrees as one int64 array (cached; do not write)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self._indptr)
+        return self._degrees
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` exists; binary search in the sorted run."""
+        i0 = self._indptr[u]
+        i1 = self._indptr[u + 1]
+        run = self._indices[i0:i1]
+        k = int(np.searchsorted(run, v))
+        return k < run.shape[0] and int(run[k]) == v
+
+    def vertices(self) -> range:
+        """Iterable over all vertex ids."""
+        return range(self._order)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield each edge exactly once as ``(u, v)`` with ``u < v``."""
+        for u in range(self._order):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+
+    def density(self) -> float:
+        """Graph density per Eq. (1): ``2|E| / (|V| (|V|-1))``."""
+        n = self._order
+        if n < 2:
+            return 0.0
+        return 2.0 * self._size / (n * (n - 1))
+
+    def average_degree(self) -> float:
+        """Average vertex degree per Eq. (2): ``2|E| / |V|``."""
+        if self._order == 0:
+            return 0.0
+        return 2.0 * self._size / self._order
+
+    def distinct_labels(self) -> set[Label]:
+        """The set of labels appearing on at least one vertex."""
+        table = self._label_table
+        return {table[i] for i in set(self._label_ids.tolist())}
+
+    def vertices_by_label(self) -> dict[Label, list[int]]:
+        """Map each label to the list of vertices carrying it.
+
+        Cached and shared across callers — treat it as read-only (the
+        dict core returns a fresh dict; every caller only reads).
+        """
+        if self._by_label is None:
+            groups: dict[Label, list[int]] = {}
+            table = self._label_table
+            for v, lid in enumerate(self._label_ids.tolist()):
+                groups.setdefault(table[lid], []).append(v)
+            self._by_label = groups
+        return self._by_label
+
+    def label_histogram(self) -> dict[Label, int]:
+        """Map each label to the number of vertices carrying it
+        (cached; treat as read-only)."""
+        if self._histogram is None:
+            table = self._label_table
+            counts = np.bincount(self._label_ids, minlength=len(table))
+            self._histogram = {
+                table[i]: int(c)
+                for i, c in enumerate(counts.tolist())
+                if c
+            }
+        return self._histogram
+
+    # ------------------------------------------------------------------
+    # vectorized candidate filtering (matcher hot path)
+    # ------------------------------------------------------------------
+
+    def candidate_vertices(self, label: Label, min_degree: int = 0) -> tuple[int, ...]:
+        """Vertices with *label* and degree ≥ *min_degree*, ascending.
+
+        One vectorized mask over the label-id and degree arrays — the
+        root-candidate filter of VF2 and Ullmann's initial domains.
+        Vertices this drops would fail the matchers' per-vertex label
+        and degree feasibility checks anyway, so filtering here never
+        changes an answer, only skips doomed branches earlier.
+        """
+        if self._label_id_of is None:
+            self._label_id_of = {
+                lbl: i for i, lbl in enumerate(self._label_table)
+            }
+        lid = self._label_id_of.get(label)
+        if lid is None:
+            return ()
+        mask = self._label_ids == lid
+        if min_degree > 0:
+            mask &= self.degrees_array() >= min_degree
+        return tuple(np.nonzero(mask)[0].tolist())
+
+    def neighbor_label_counts(self) -> list[dict[Label, int]]:
+        """Per-vertex neighbor-label histograms, computed once.
+
+        ``result[v][label]`` counts *v*'s neighbors carrying *label* —
+        the dominance structure :class:`SubgraphMatcher` needs for its
+        lookahead, built per (query, graph) pair under the dict core
+        but amortized across the whole workload here.
+        """
+        if self._neighbor_label_counts is None:
+            table = self._label_table
+            indptr = self._indptr
+            gathered = (
+                self._label_ids[self._indices]
+                if self._indices.shape[0]
+                else self._indices
+            )
+            out: list[dict[Label, int]] = []
+            for v in range(self._order):
+                counts: dict[Label, int] = {}
+                for lid in gathered[indptr[v] : indptr[v + 1]].tolist():
+                    lbl = table[lid]
+                    counts[lbl] = counts.get(lbl, 0) + 1
+                out.append(counts)
+            self._neighbor_label_counts = out
+        return self._neighbor_label_counts
+
+    # ------------------------------------------------------------------
+    # connectivity and subgraphs
+    # ------------------------------------------------------------------
+
+    def connected_components(self) -> list[list[int]]:
+        """Vertex lists of the connected components, each sorted."""
+        seen = [False] * self._order
+        components: list[list[int]] = []
+        for start in range(self._order):
+            if seen[start]:
+                continue
+            component = []
+            stack = [start]
+            seen[start] = True
+            while stack:
+                v = stack.pop()
+                component.append(v)
+                for w in self.neighbors(v):
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+            component.sort()
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """True iff exactly one connected component (empty graph: False)."""
+        if self._order == 0:
+            return False
+        return len(self.connected_components()) == 1
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> tuple[Graph, list[int]]:
+        """The subgraph induced by *vertices* plus the vertex map.
+
+        Returns a builder :class:`Graph` — projections are small,
+        short-lived, and immediately handed to the matcher, which
+        accepts either core.
+        """
+        mapping = sorted(set(vertices))
+        index_of = {v: i for i, v in enumerate(mapping)}
+        labels = [self.label(v) for v in mapping]
+        sub = Graph(labels)
+        for v in mapping:
+            for w in self.neighbors(v):
+                if v < w and w in index_of:
+                    sub.add_edge(index_of[v], index_of[w])
+        return sub, mapping
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality, across cores: same per-vertex labels and
+        same edge set.  Matches :class:`Graph` semantics, so a CSR view
+        of a graph compares equal to the dict graph it was packed from.
+        """
+        if isinstance(other, CSRGraph):
+            return (
+                self.labels == other.labels
+                and np.array_equal(self._indptr, other._indptr)
+                and np.array_equal(self._indices, other._indices)
+            )
+        if isinstance(other, Graph):
+            if self.labels != other.labels or self._size != other.size:
+                return False
+            return all(
+                list(self.neighbors(v)) == sorted(other.neighbor_set(v))
+                for v in self.vertices()
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:  # structural, matches Graph.__hash__
+        return hash(
+            (self.labels, frozenset(frozenset(e) for e in self.edges()))
+        )
+
+    def __repr__(self) -> str:
+        gid = f", id={self.graph_id}" if self.graph_id is not None else ""
+        return f"CSRGraph(|V|={self.order}, |E|={self.size}{gid})"
+
+
+class CSRDataset:
+    """An ordered, id-stable collection of :class:`CSRGraph` views.
+
+    Read-API compatible with :class:`~repro.graphs.dataset.GraphDataset`
+    (``len``, indexing, iteration, id and aggregate accessors) but
+    immutable: graphs are materialized once at construction so their
+    lazy caches persist across every query of a workload.
+    """
+
+    __slots__ = ("_graphs", "name")
+
+    def __init__(self, graphs: Iterable[CSRGraph], name: str = "") -> None:
+        self._graphs: list[CSRGraph] = list(graphs)
+        self.name = name
+        for graph_id, graph in enumerate(self._graphs):
+            graph.graph_id = graph_id
+
+    @classmethod
+    def from_dataset(cls, dataset: GraphDataset) -> "CSRDataset":
+        """Convert a builder dataset; one shared label table."""
+        label_index: dict[Label, int] = {}
+        graphs = [
+            CSRGraph.from_graph(graph, label_index) for graph in dataset
+        ]
+        table = tuple(label_index)
+        for graph in graphs:
+            graph._label_table = table
+        return cls(graphs, name=getattr(dataset, "name", ""))
+
+    @classmethod
+    def from_packed(cls, buffer) -> "CSRDataset":
+        """Attach to a buffer written by
+        :func:`repro.graphs.dataset.pack_dataset`.
+
+        The int64 region is bulk-copied into one numpy array (a view
+        would pin shared memory and raise ``BufferError`` on unmap) and
+        sliced per graph; adjacency runs are sorted with one vectorized
+        ``lexsort`` per graph.  No per-vertex ``from_adjacency``
+        rebuild, no per-edge Python loop — this is the arena's CSR
+        attach path.
+        """
+        base = memoryview(buffer)
+        try:
+            magic = bytes(base[: len(_PACK_MAGIC)])
+            if magic != _PACK_MAGIC:
+                raise ValueError(f"not a packed dataset (magic {magic!r})")
+            g, v, a, label_len, name_len = struct.unpack_from(
+                _PACK_HEADER, base, len(_PACK_MAGIC)
+            )
+            ints_count = (g + 1) + (v + 1) + v + a
+            ints_end = _HEADER_BYTES + 8 * ints_count
+            if len(base) < ints_end + label_len + name_len:
+                raise ValueError("packed dataset buffer is truncated")
+            ints = np.frombuffer(
+                base, dtype=np.dtype("<i8"), count=ints_count,
+                offset=_HEADER_BYTES,
+            ).astype(np.int64, copy=True)
+            label_table: tuple[Label, ...] = (
+                pickle.loads(bytes(base[ints_end : ints_end + label_len]))
+                if label_len
+                else ()
+            )
+            name = bytes(
+                base[ints_end + label_len : ints_end + label_len + name_len]
+            ).decode("utf-8")
+        finally:
+            base.release()
+        vstarts = ints[: g + 1]
+        astarts = ints[g + 1 : g + v + 2]
+        label_ids = ints[g + v + 2 : g + v + 2 + v]
+        adj = ints[g + v + 2 + v :]
+        graphs: list[CSRGraph] = []
+        for i in range(g):
+            v0 = int(vstarts[i])
+            v1 = int(vstarts[i + 1])
+            a0 = int(astarts[v0])
+            indptr = astarts[v0 : v1 + 1] - a0
+            indices = adj[a0 : int(astarts[v1])]
+            if indices.shape[0]:
+                # Packed runs preserve set-iteration order; sort each
+                # vertex's run in one shot (primary key: owning row).
+                rows = np.repeat(
+                    np.arange(v1 - v0, dtype=np.int64), np.diff(indptr)
+                )
+                indices = indices[np.lexsort((indices, rows))]
+            graphs.append(
+                CSRGraph(label_table, label_ids[v0:v1].copy(), indptr, indices)
+            )
+        return cls(graphs, name=name)
+
+    # ------------------------------------------------------------------
+    # GraphDataset read-API parity
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __getitem__(self, graph_id: int) -> CSRGraph:
+        return self._graphs[graph_id]
+
+    def __iter__(self) -> Iterator[CSRGraph]:
+        return iter(self._graphs)
+
+    def ids(self) -> range:
+        """All graph ids (dense)."""
+        return range(len(self._graphs))
+
+    def all_ids(self) -> set[int]:
+        """All graph ids as a fresh mutable set (naive candidate set)."""
+        return set(range(len(self._graphs)))
+
+    def distinct_labels(self) -> set[Label]:
+        """Union of vertex labels across all graphs."""
+        labels: set[Label] = set()
+        for graph in self._graphs:
+            labels.update(graph.distinct_labels())
+        return labels
+
+    def total_vertices(self) -> int:
+        """Sum of ``|V|`` over all graphs."""
+        return sum(graph.order for graph in self._graphs)
+
+    def total_edges(self) -> int:
+        """Sum of ``|E|`` over all graphs."""
+        return sum(graph.size for graph in self._graphs)
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return f"CSRDataset({len(self._graphs)} graphs{name})"

@@ -50,7 +50,7 @@ class Graph:
     'O'
     """
 
-    __slots__ = ("_labels", "_adj", "_size", "graph_id")
+    __slots__ = ("_labels", "_adj", "_size", "graph_id", "_neighbor_cache")
 
     def __init__(
         self,
@@ -62,6 +62,7 @@ class Graph:
         self._adj: list[set[int]] = [set() for _ in self._labels]
         self._size = 0
         self.graph_id = graph_id
+        self._neighbor_cache: list[tuple[int, ...] | None] | None = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -88,6 +89,10 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._size += 1
+        cache = self._neighbor_cache
+        if cache is not None:
+            cache[u] = None
+            cache[v] = None
 
     @classmethod
     def from_edge_list(
@@ -185,8 +190,28 @@ class Graph:
         """Tuple of labels indexed by vertex."""
         return self._labels
 
-    def neighbors(self, v: int) -> frozenset[int] | set[int]:
-        """The set of vertices adjacent to *v* (do not mutate)."""
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Tuple of vertices adjacent to *v*, in adjacency-set
+        iteration order (cached; invalidated by :meth:`add_edge`).
+
+        Returning an immutable snapshot — instead of the live internal
+        set — means no caller can corrupt shared adjacency by mutating
+        what it was handed; the iteration order still matches the
+        internal set exactly, which the flat-array packing relies on.
+        """
+        cache = self._neighbor_cache
+        if cache is None:
+            cache = self._neighbor_cache = [None] * len(self._labels)
+        row = cache[v]
+        if row is None:
+            row = cache[v] = tuple(self._adj[v])
+        return row
+
+    def neighbor_set(self, v: int) -> set[int]:
+        """The internal adjacency set of *v* for read-only set algebra
+        (the matchers intersect candidate sets against it).  Callers
+        must not mutate it; everyone else should use :meth:`neighbors`.
+        """
         return self._adj[v]
 
     def degree(self, v: int) -> int:
@@ -313,8 +338,41 @@ class Graph:
         return Graph(labels, edges, graph_id=self.graph_id)
 
     def copy(self) -> "Graph":
-        """An independent deep copy (labels are shared, structure is not)."""
-        return Graph(self._labels, self.edges(), graph_id=self.graph_id)
+        """An independent deep copy (labels are shared, structure is not).
+
+        Routed through :meth:`from_adjacency` so each adjacency set is
+        rebuilt by inserting members in the original's iteration order
+        — the parity contract that makes a copy behave exactly like a
+        pickle round trip.  (Rebuilding from ``edges()``, as this
+        method once did, yields equal sets with *different* iteration
+        orders, which breaks byte-identity of anything serialized from
+        the copy.)
+        """
+        return Graph.from_adjacency(
+            self._labels,
+            [tuple(row) for row in self._adj],
+            graph_id=self.graph_id,
+        )
+
+    # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle labels/adjacency/size/id — never the neighbor cache.
+
+        Unpickling rebuilds each adjacency set by re-inserting members,
+        which generally lands them in a *different* iteration order than
+        the original (fresh table vs. incrementally grown one).  A
+        cached tuple snapshotted from the original would therefore be
+        stale on the round-tripped graph; the cache is process-local by
+        construction.
+        """
+        return (self._labels, self._adj, self._size, self.graph_id)
+
+    def __setstate__(self, state) -> None:
+        self._labels, self._adj, self._size, self.graph_id = state
+        self._neighbor_cache = None
 
     # ------------------------------------------------------------------
     # comparisons / hashing-friendly forms

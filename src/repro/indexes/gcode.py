@@ -129,6 +129,9 @@ class GCodeIndex(GraphIndex):
         #: Graph codes sorted by graph order (the "search tree").
         self._codes: list[_GraphCode] = []
         self._orders: list[int] = []
+        #: (label_table, bucket ids) for the CSR fast path; datasets
+        #: share one label table, so one hash pass covers every graph.
+        self._bucket_cache: tuple[object, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # signature construction
@@ -141,7 +144,15 @@ class GCodeIndex(GraphIndex):
             if budget is not None and v % 64 == 0:
                 budget.check()
             signatures.append(self.vertex_signature(graph, v))
-        label_counts = self._bucket_counts(graph.label(v) for v in graph.vertices())
+        ids = getattr(graph, "label_ids_array", None)
+        if ids is not None:
+            label_counts = self._bucket_counts_from_ids(
+                self._bucket_array(graph), ids()
+            )
+        else:
+            label_counts = self._bucket_counts(
+                graph.label(v) for v in graph.vertices()
+            )
         return _GraphCode(
             graph_id=graph.graph_id if graph.graph_id is not None else -1,
             order=graph.order,
@@ -151,9 +162,15 @@ class GCodeIndex(GraphIndex):
 
     def vertex_signature(self, graph: Graph, vertex: int) -> VertexSignature:
         """Signature of one vertex: counters plus path-tree spectrum."""
-        neighbor_counts = self._bucket_counts(
-            graph.label(w) for w in graph.neighbors(vertex)
-        )
+        ids = getattr(graph, "label_ids_array", None)
+        if ids is not None:
+            neighbor_counts = self._bucket_counts_from_ids(
+                self._bucket_array(graph), ids()[graph.neighbors_slice(vertex)]
+            )
+        else:
+            neighbor_counts = self._bucket_counts(
+                graph.label(w) for w in graph.neighbors(vertex)
+            )
         tree_labels, adjacency = self._path_tree(graph, vertex)
         tree_counts = self._bucket_counts(tree_labels)
         eigenvalues = self._top_eigenvalues(adjacency)
@@ -210,6 +227,31 @@ class GCodeIndex(GraphIndex):
             if counts[bucket] < 255:  # saturating counters keep dominance
                 counts[bucket] += 1
         return tuple(counts)
+
+    def _bucket_array(self, graph) -> np.ndarray:
+        """Bucket id per label-table entry, cached across CSR graphs."""
+        table = graph.label_table
+        cached = self._bucket_cache
+        if cached is None or cached[0] is not table:
+            buckets = np.array(
+                [stable_hash(label) % self.counter_buckets for label in table],
+                dtype=np.int64,
+            )
+            self._bucket_cache = cached = (table, buckets)
+        return cached[1]
+
+    def _bucket_counts_from_ids(
+        self, bucket_of: np.ndarray, label_ids: np.ndarray
+    ) -> tuple[int, ...]:
+        """Vectorized twin of :meth:`_bucket_counts` over label ids.
+
+        ``bincount`` then clamp matches the scalar saturating loop
+        exactly: counts only grow, so clamping after the fact is the
+        same as refusing increments past 255.  Counts come back as
+        Python ints so signatures stay byte-identical across cores.
+        """
+        counts = np.bincount(bucket_of[label_ids], minlength=self.counter_buckets)
+        return tuple(np.minimum(counts, 255).tolist())
 
     # ------------------------------------------------------------------
     # build / filter

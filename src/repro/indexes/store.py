@@ -103,8 +103,11 @@ class ArtifactProvenance:
     details: dict = field(default_factory=dict)
     #: ``repro.__version__`` of the process that built the payload.
     library_version: str = __version__
-    #: Unix timestamp of the original build (0.0 = unknown).
-    created_at: float = 0.0
+    #: Unix timestamp of the original build (0.0 = unknown).  Excluded
+    #: from equality: a cold build and a warm (store-served) rerun of
+    #: the same configuration must compare equal in tests — when an
+    #: artifact was built is bookkeeping, not identity.
+    created_at: float = field(default=0.0, compare=False)
 
 
 @dataclass(frozen=True, slots=True)
@@ -164,12 +167,19 @@ def artifact_address(method: str, params: Mapping, dataset_digest: int) -> str:
 
 
 def artifact_from_index(
-    index: GraphIndex, dataset_digest: int, created_at: float | None = None
+    index: GraphIndex,
+    dataset_digest: int,
+    created_at: float | None = None,
+    clock=time.time,
 ) -> IndexArtifact:
     """Snapshot a **built** *index* into an artifact.
 
     The payload is the index structure only (`export_payload`); the
     header records the build's measured seconds and size as provenance.
+    The ``created_at`` wall-clock stamp comes from *clock* (injectable
+    for tests) unless given explicitly; measured build *durations* never
+    touch the wall clock — they are ``perf_counter`` intervals from
+    :class:`repro.utils.timing.Timer`.
     """
     report = index.build_report  # raises RuntimeError when unbuilt
     header = ArtifactHeader(
@@ -182,7 +192,7 @@ def artifact_from_index(
             size_bytes=report.size_bytes,
             details=dict(report.details),
             library_version=__version__,
-            created_at=time.time() if created_at is None else created_at,
+            created_at=clock() if created_at is None else created_at,
         ),
     )
     return IndexArtifact(header=header, payload=index.export_payload())

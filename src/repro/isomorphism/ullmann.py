@@ -45,8 +45,18 @@ def ullmann_is_subgraph(
 
 def _initial_candidates(query: Graph, data: Graph) -> list[set[int]] | None:
     """Degree- and label-feasible candidate sets per query vertex."""
+    pick = getattr(data, "candidate_vertices", None)
+    if pick is not None:
+        # CSR core: one vectorized label+degree mask per query vertex.
+        candidates: list[set[int]] = []
+        for u in query.vertices():
+            feasible = set(pick(query.label(u), query.degree(u)))
+            if not feasible:
+                return None
+            candidates.append(feasible)
+        return candidates
     by_label = data.vertices_by_label()
-    candidates: list[set[int]] = []
+    candidates = []
     for u in query.vertices():
         feasible = {
             d
@@ -96,7 +106,7 @@ class _State:
         # Monomorphism constraint: query neighbors of `position` must
         # map into data neighbors of d (and not onto d — injectivity).
         for u in self.query.neighbors(position):
-            narrowed[u] &= self.data.neighbors(d)
+            narrowed[u] &= self.data.neighbor_set(d)
             narrowed[u].discard(d)
             if not narrowed[u]:
                 return None
@@ -116,7 +126,7 @@ class _State:
                 doomed = []
                 for d in candidates[u]:
                     for w in self.query.neighbors(u):
-                        if not (candidates[w] & self.data.neighbors(d)):
+                        if not (candidates[w] & self.data.neighbor_set(d)):
                             doomed.append(d)
                             break
                 if doomed:

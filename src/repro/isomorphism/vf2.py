@@ -78,9 +78,16 @@ class SubgraphMatcher:
         self._query_neighbor_labels = [
             _label_counts(query, v) for v in query.vertices()
         ]
-        self._data_neighbor_labels = [
-            _label_counts(data, v) for v in data.vertices()
-        ]
+        # The CSR core amortizes the per-vertex neighbor-label counts
+        # (and the label groups above) across every matcher built on
+        # the same data graph; the dict core recomputes them per pair.
+        data_counts = getattr(data, "neighbor_label_counts", None)
+        self._data_neighbor_labels = (
+            data_counts()
+            if data_counts is not None
+            else [_label_counts(data, v) for v in data.vertices()]
+        )
+        self._root_candidates = getattr(data, "candidate_vertices", None)
 
     # ------------------------------------------------------------------
     # public API
@@ -152,12 +159,18 @@ class SubgraphMatcher:
         q_vertex = self._order[position]
         anchors = self._mapped_neighbors[position]
         if not anchors:
-            # New component root: any data vertex with the right label.
+            # New component root: any data vertex with the right label
+            # (the CSR core also mask-filters by degree in one shot;
+            # vertices dropped would fail _feasible's degree rule).
+            if self._root_candidates is not None:
+                return self._root_candidates(
+                    self.query.label(q_vertex), self.query.degree(q_vertex)
+                )
             return self._data_labels.get(self.query.label(q_vertex), ())
         # Intersect the data adjacencies of the mapped anchor images,
         # starting from the smallest to keep the working set tiny.
         neighbor_sets = sorted(
-            (self.data.neighbors(mapping[w]) for w in anchors), key=len
+            (self.data.neighbor_set(mapping[w]) for w in anchors), key=len
         )
         candidates = set(neighbor_sets[0])
         for neighbor_set in neighbor_sets[1:]:

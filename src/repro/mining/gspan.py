@@ -214,7 +214,7 @@ def _children(
             # Backward extensions: rightmost vertex -> rightmost-path vertex.
             for j_index in rpath[:-1]:
                 target = embedding.vmap[j_index]
-                if target not in host.neighbors(rm_vertex):
+                if not host.has_edge(rm_vertex, target):
                     continue
                 host_edge = frozenset((rm_vertex, target))
                 if host_edge in embedding.used:

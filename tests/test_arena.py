@@ -107,6 +107,20 @@ class TestPackRoundTrip:
             for v in a.vertices():
                 assert list(a.neighbors(v)) == list(b.neighbors(v))
 
+    def test_copy_is_pickle_equivalent(self, dataset):
+        """``Graph.copy()`` must honour the same parity contract as pack
+        and pickle: adjacency sets rebuilt fresh, inserting neighbors in
+        the source's iteration order.  The old implementation rebuilt
+        from ``edges()`` order, so a copied dataset packed to different
+        bytes than the original's pickle round trip."""
+        pickled = pickle.loads(pickle.dumps(dataset))
+        copied = GraphDataset([g.copy() for g in dataset], name=dataset.name)
+        for a, b in zip(pickled, copied):
+            for v in a.vertices():
+                assert list(a.neighbors(v)) == list(b.neighbors(v))
+        assert pack_dataset(copied) == pack_dataset(pickled)
+        assert dataset_fingerprint(copied) == dataset_fingerprint(dataset)
+
     def test_pack_is_deterministic(self, dataset):
         assert pack_dataset(dataset) == pack_dataset(dataset)
         assert dataset_fingerprint(dataset) == dataset_fingerprint(dataset)

@@ -86,6 +86,36 @@ class TestAccessors:
         assert Graph(["A", "B", "A"]).distinct_labels() == {"A", "B"}
 
 
+class TestNeighborsImmutability:
+    """``neighbors()`` used to hand out the live internal adjacency set;
+    any caller could silently corrupt the graph (PR 6 regression)."""
+
+    def test_neighbors_returns_immutable_snapshot(self):
+        graph = star_graph("C", "HH")
+        row = graph.neighbors(0)
+        assert isinstance(row, tuple)
+        assert not hasattr(row, "add") and not hasattr(row, "discard")
+
+    def test_snapshot_survives_later_mutation(self):
+        graph = Graph("ABC", [(0, 1)])
+        before = graph.neighbors(0)
+        graph.add_edge(0, 2)
+        assert before == (1,)
+        assert set(graph.neighbors(0)) == {1, 2}
+
+    def test_mutating_set_copy_does_not_corrupt_graph(self):
+        graph = star_graph("C", "HHH")
+        taken = set(graph.neighbors(0))
+        taken.clear()
+        assert graph.degree(0) == 3
+        assert set(graph.neighbors(0)) == {1, 2, 3}
+
+    def test_neighbor_set_is_documented_read_only_view(self):
+        graph = star_graph("C", "HH")
+        assert graph.neighbor_set(0) == {1, 2}
+        assert graph.neighbor_set(1) == {0}
+
+
 class TestMetrics:
     """Equations (1) and (2) of the paper."""
 

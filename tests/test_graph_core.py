@@ -1,0 +1,329 @@
+"""PR 6: the CSR graph core — byte-identical to the dict builder.
+
+Four properties are pinned here:
+
+1. **Accessor parity** — :class:`CSRGraph` answers every read accessor
+   (labels, degrees, sorted neighbors, edges, label groups, components,
+   induced subgraphs) exactly like the dict :class:`Graph` it was built
+   from, and its vectorized extras (``candidate_vertices``,
+   ``neighbor_label_counts``) match brute force over the dict graph.
+2. **Transport parity** — ``CSRDataset.from_packed`` over the arena
+   wire format reconstructs the same graphs as ``from_dataset`` over
+   the unpacked dict graphs, and the worker-side cache keys attachments
+   per core.
+3. **Byte identity** — for *all seven* index methods, a cell evaluated
+   under the CSR core canonicalizes to exactly the same JSON as under
+   the dict core: same statuses, candidate and answer counts,
+   false-positive ratios, index sizes, and build details.
+4. **Matcher parity** — a hypothesis property: VF2 enumerates the same
+   embedding set and Ullmann the same boolean on CSR and dict hosts
+   over random labeled graphs, including disconnected queries and
+   label-disjoint early exits.
+"""
+
+import json
+import pickle
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arena import (
+    DatasetArena,
+    attach_csr_dataset,
+    attach_dataset,
+    cached_dataset,
+    clear_worker_caches,
+)
+from repro.core.runner import evaluate_method, make_method
+from repro.core.serialization import canonical_cell
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.graphs.csr import (
+    GRAPH_CORE_ENV,
+    CSRDataset,
+    CSRGraph,
+    active_graph_core,
+    as_core_dataset,
+)
+from repro.graphs.dataset import pack_dataset
+from repro.graphs.graph import Graph
+from repro.indexes import ALL_INDEX_CLASSES
+from repro.isomorphism import SubgraphMatcher, ullmann_is_subgraph
+
+#: All seven benchmarked methods, with settings small enough that each
+#: build stays well under a second on the module dataset.
+METHOD_CONFIGS = {
+    "naive": {},
+    "ggsx": {"max_path_edges": 3},
+    "grapes": {"max_path_edges": 3, "workers": 2},
+    "ctindex": {"fingerprint_bits": 256, "feature_edges": 3},
+    "gcode": {"path_depth": 2, "top_eigenvalues": 2, "counter_buckets": 16},
+    "gindex": {"max_fragment_edges": 3, "support_ratio": 0.25},
+    "tree+delta": {"max_feature_edges": 3, "support_ratio": 0.25},
+}
+
+assert set(METHOD_CONFIGS) == set(ALL_INDEX_CLASSES)
+
+BUDGETS = {"build_budget_seconds": 60.0, "query_budget_seconds": 60.0}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = GraphGenConfig(
+        num_graphs=8, mean_nodes=14, mean_density=0.08, num_labels=5
+    )
+    return generate_dataset(config, seed=23)
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    return generate_queries(dataset, 3, 4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def csr(dataset):
+    return CSRDataset.from_dataset(dataset)
+
+
+# ----------------------------------------------------------------------
+# core selection
+# ----------------------------------------------------------------------
+
+
+class TestCoreToggle:
+    def test_default_is_csr(self, monkeypatch):
+        monkeypatch.delenv(GRAPH_CORE_ENV, raising=False)
+        assert active_graph_core() == "csr"
+
+    def test_env_selects_dict(self, monkeypatch):
+        monkeypatch.setenv(GRAPH_CORE_ENV, "dict")
+        assert active_graph_core() == "dict"
+
+    def test_unrecognized_value_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(GRAPH_CORE_ENV, "linked-list")
+        assert active_graph_core() == "csr"
+
+    def test_as_core_dataset_is_idempotent(self, dataset, monkeypatch):
+        monkeypatch.setenv(GRAPH_CORE_ENV, "csr")
+        converted = as_core_dataset(dataset)
+        assert isinstance(converted, CSRDataset)
+        assert as_core_dataset(converted) is converted
+
+    def test_dict_core_passes_datasets_through(self, dataset, monkeypatch):
+        monkeypatch.setenv(GRAPH_CORE_ENV, "dict")
+        assert as_core_dataset(dataset) is dataset
+
+
+# ----------------------------------------------------------------------
+# accessor parity
+# ----------------------------------------------------------------------
+
+
+class TestAccessorParity:
+    def test_read_api_matches_dict_graph(self, dataset, csr):
+        for g, c in zip(dataset, csr):
+            assert c.graph_id == g.graph_id
+            assert c.order == g.order and c.size == g.size
+            assert c.labels == g.labels
+            assert c.density() == pytest.approx(g.density())
+            assert c.average_degree() == pytest.approx(g.average_degree())
+            for v in g.vertices():
+                assert c.label(v) == g.label(v)
+                assert c.degree(v) == g.degree(v)
+                assert list(c.neighbors(v)) == sorted(g.neighbor_set(v))
+                assert c.neighbor_set(v) == frozenset(g.neighbor_set(v))
+                for w in g.vertices():
+                    assert c.has_edge(v, w) == g.has_edge(v, w)
+            assert set(c.edges()) == set(g.edges())
+            assert c.vertices_by_label() == g.vertices_by_label()
+            assert c.label_histogram() == g.label_histogram()
+            assert c.distinct_labels() == g.distinct_labels()
+            assert sorted(map(sorted, c.connected_components())) == sorted(
+                map(sorted, g.connected_components())
+            )
+            assert c.is_connected() == g.is_connected()
+            assert c == g
+
+    def test_neighbors_are_sorted_tuples(self, csr):
+        for c in csr:
+            for v in c.vertices():
+                row = c.neighbors(v)
+                assert isinstance(row, tuple)
+                assert list(row) == sorted(row)
+
+    def test_candidate_vertices_matches_brute_force(self, dataset, csr):
+        for g, c in zip(dataset, csr):
+            for label in sorted(g.distinct_labels()):
+                for min_degree in (0, 1, 2, 4):
+                    expected = tuple(
+                        v
+                        for v in g.vertices()
+                        if g.label(v) == label and g.degree(v) >= min_degree
+                    )
+                    assert c.candidate_vertices(label, min_degree) == expected
+            assert c.candidate_vertices("no-such-label") == ()
+
+    def test_neighbor_label_counts_matches_brute_force(self, dataset, csr):
+        for g, c in zip(dataset, csr):
+            counts = c.neighbor_label_counts()
+            for v in g.vertices():
+                expected: dict = {}
+                for w in g.neighbor_set(v):
+                    expected[g.label(w)] = expected.get(g.label(w), 0) + 1
+                assert counts[v] == expected
+
+    def test_induced_subgraph_matches(self, dataset, csr):
+        for g, c in zip(dataset, csr):
+            keep = list(g.vertices())[:: 2]
+            sub_g, map_g = g.induced_subgraph(keep)
+            sub_c, map_c = c.induced_subgraph(keep)
+            assert map_c == map_g
+            assert sub_c == sub_g
+
+    def test_csr_graph_is_immutable(self, csr):
+        first = next(iter(csr))
+        with pytest.raises(AttributeError):
+            first.add_edge  # noqa: B018 — no mutation API exists
+
+
+# ----------------------------------------------------------------------
+# transport parity: packed bytes and the arena
+# ----------------------------------------------------------------------
+
+
+class TestTransportParity:
+    def test_from_packed_equals_from_dataset(self, dataset, csr):
+        attached = CSRDataset.from_packed(pack_dataset(dataset))
+        assert attached.name == csr.name
+        assert len(attached) == len(csr)
+        for a, b in zip(attached, csr):
+            assert a.graph_id == b.graph_id
+            assert a == b
+
+    def test_attach_csr_matches_dict_attach(self, dataset):
+        arena = DatasetArena.create(dataset)
+        try:
+            csr_view = attach_csr_dataset(arena.handle)
+            dict_view = attach_dataset(arena.handle)
+            for a, g in zip(csr_view, dict_view):
+                assert a == g
+        finally:
+            arena.close()
+
+    def test_cached_dataset_is_keyed_per_core(self, dataset, monkeypatch):
+        arena = DatasetArena.create(dataset)
+        try:
+            clear_worker_caches()
+            monkeypatch.setenv(GRAPH_CORE_ENV, "csr")
+            csr_view = cached_dataset(arena.handle)
+            assert all(isinstance(g, CSRGraph) for g in csr_view)
+            monkeypatch.setenv(GRAPH_CORE_ENV, "dict")
+            dict_view = cached_dataset(arena.handle)
+            assert all(isinstance(g, Graph) for g in dict_view)
+            monkeypatch.setenv(GRAPH_CORE_ENV, "csr")
+            assert cached_dataset(arena.handle) is csr_view
+        finally:
+            clear_worker_caches()
+            arena.close()
+
+
+# ----------------------------------------------------------------------
+# byte identity across cores, all seven methods
+# ----------------------------------------------------------------------
+
+
+def _cell_json(cell) -> str:
+    """A cell's canonical form as sorted-key JSON bytes-for-bytes."""
+    return json.dumps(asdict(canonical_cell(cell)), sort_keys=True)
+
+
+class TestByteIdentityAcrossCores:
+    @pytest.mark.parametrize("name", sorted(ALL_INDEX_CLASSES))
+    def test_canonical_cell_identical(self, name, dataset, queries, monkeypatch):
+        workloads = {4: queries}
+        config = METHOD_CONFIGS[name]
+        monkeypatch.setenv(GRAPH_CORE_ENV, "dict")
+        dict_json = _cell_json(
+            evaluate_method(name, dataset, workloads, method_config=config, **BUDGETS)
+        )
+        monkeypatch.setenv(GRAPH_CORE_ENV, "csr")
+        csr_json = _cell_json(
+            evaluate_method(name, dataset, workloads, method_config=config, **BUDGETS)
+        )
+        assert csr_json == dict_json
+
+
+class TestNoCallerMutatesAdjacency:
+    def test_pipeline_leaves_adjacency_untouched(self, dataset, queries):
+        """Building and querying every method must not change any data
+        graph — the packed bytes are an exact adjacency snapshot (the
+        ``neighbors()`` live-set leak this PR fixed made this possible
+        to violate from any index builder)."""
+        before = pack_dataset(dataset)
+        for name, config in METHOD_CONFIGS.items():
+            index = make_method(name, config)
+            index.build(dataset)
+            for query in queries:
+                index.query(query)
+        assert pack_dataset(dataset) == before
+
+
+# ----------------------------------------------------------------------
+# matcher parity (hypothesis property)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def labeled_graphs(draw, max_vertices=8, labels="ABC"):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    vertex_labels = draw(
+        st.lists(st.sampled_from(labels), min_size=n, max_size=n)
+    )
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = (
+        draw(st.lists(st.sampled_from(possible), unique=True))
+        if possible
+        else []
+    )
+    return Graph(vertex_labels, edges)
+
+
+def _embedding_set(query, data):
+    return sorted(
+        tuple(sorted(mapping.items()))
+        for mapping in SubgraphMatcher(query, data).iter_embeddings()
+    )
+
+
+class TestMatcherParity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=labeled_graphs(), query=labeled_graphs(max_vertices=4))
+    def test_vf2_and_ullmann_agree_across_cores(self, data, query):
+        csr_host = CSRGraph.from_graph(data)
+        dict_embeddings = _embedding_set(query, data)
+        assert _embedding_set(query, csr_host) == dict_embeddings
+        expected = ullmann_is_subgraph(query, data)
+        assert ullmann_is_subgraph(query, csr_host) == expected
+        assert expected == bool(dict_embeddings)
+
+    def test_disconnected_query(self):
+        data = Graph("ABAB", [(0, 1), (2, 3)])
+        query = Graph("AB", [])  # two isolated query vertices
+        assert _embedding_set(query, CSRGraph.from_graph(data)) == _embedding_set(
+            query, data
+        )
+
+    def test_label_disjoint_query_early_exits_empty(self):
+        data = Graph("AAA", [(0, 1), (1, 2)])
+        query = Graph(["Z"])
+        csr_host = CSRGraph.from_graph(data)
+        assert not SubgraphMatcher(query, csr_host).exists()
+        assert not ullmann_is_subgraph(query, csr_host)
+        assert csr_host.candidate_vertices("Z") == ()
+
+    def test_pickle_round_trip_preserves_csr_graph(self, csr):
+        for graph in csr:
+            clone = pickle.loads(pickle.dumps(graph))
+            assert clone == graph

@@ -157,6 +157,33 @@ class TestRoundTrip:
 # ----------------------------------------------------------------------
 
 
+class TestProvenanceClock:
+    """``created_at`` is injectable provenance, never identity (the PR 6
+    determinism fix: an inline ``time.time()`` made cold and warm
+    snapshots of the same build compare unequal)."""
+
+    def test_injected_clock_is_respected(self, dataset, digest):
+        index = build("naive", dataset)
+        artifact = artifact_from_index(index, digest, clock=lambda: 123.5)
+        assert artifact.provenance.created_at == 123.5
+
+    def test_explicit_created_at_wins_over_clock(self, dataset, digest):
+        index = build("naive", dataset)
+        artifact = artifact_from_index(
+            index, digest, created_at=7.0, clock=lambda: 123.5
+        )
+        assert artifact.provenance.created_at == 7.0
+
+    def test_created_at_excluded_from_equality(self, dataset, digest):
+        index = build("naive", dataset)
+        cold = artifact_from_index(index, digest, clock=lambda: 1.0)
+        warm = artifact_from_index(index, digest, clock=lambda: 2.0)
+        assert cold.provenance.created_at != warm.provenance.created_at
+        assert cold.provenance == warm.provenance
+        assert cold.header == warm.header
+        assert cold.address == warm.address
+
+
 class TestRejection:
     def _stored(self, dataset, digest, tmp_path):
         store = IndexStore(tmp_path)
