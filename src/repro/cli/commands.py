@@ -480,6 +480,224 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    _apply_graph_core(args)
+    from repro.core.serve import (
+        QueryService,
+        ServeError,
+        make_server,
+        run_server,
+    )
+
+    dataset = _load_dataset(args.dataset)
+    methods = list(args.method) or None
+    for method in methods or []:
+        _require_known_method(method)
+    options = _parse_options(args.option)
+    service = QueryService(
+        dataset,
+        methods=methods,
+        method_options=options,
+        index_store_dir=args.index_store,
+        reuse_indexes=not args.no_index_reuse,
+        name=Path(args.dataset).stem,
+    )
+    print(
+        f"warming {len(service.methods)} method(s) over "
+        f"{len(service.dataset)} graphs..."
+    )
+    try:
+        states = service.warm(_resolve_jobs(args.jobs))
+    except ServeError as exc:
+        raise CliError(str(exc))
+    for method, state in states.items():
+        verb = "reused" if state.reused else "built"
+        suffix = " [from index store]" if state.reused else ""
+        print(
+            f"  {verb} {method} in {state.build_seconds:.3f}s "
+            f"({state.index_bytes / 1024:.1f} KiB){suffix}"
+        )
+    try:
+        server = make_server(service, args.host, args.port)
+    except OSError as exc:
+        raise CliError(f"cannot bind {args.host}:{args.port}: {exc}")
+    return run_server(server)
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    _apply_graph_core(args)
+    import dataclasses
+    import json
+    import threading
+
+    from repro.core.loadgen import (
+        ScenarioError,
+        bench_record,
+        evaluate_kpis,
+        load_scenario,
+        metrics_of,
+        run_load,
+    )
+    from repro.core.serve import (
+        QueryService,
+        ServeError,
+        answers_of,
+        make_server,
+    )
+    from repro.graphs.dataset import GraphDataset
+    from repro.graphs.io import dumps_dataset
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        raise CliError(str(exc))
+    if not args.queries:
+        raise CliError(
+            "bench serve requires --queries (the workload the load draws from)"
+        )
+    queries = list(_load_dataset(args.queries))
+    if not queries:
+        raise CliError(f"no queries in {args.queries}")
+    # One request = one single-query .gfd workload, so every answer in
+    # the response maps back to exactly one workload query.
+    query_texts = [dumps_dataset(GraphDataset([query])) for query in queries]
+
+    method = args.method or scenario.method
+    if not method:
+        raise CliError(
+            "no method selected: pass --method or add a 'method:' line "
+            "to the scenario"
+        )
+    _require_known_method(method)
+    if method != scenario.method:
+        scenario = dataclasses.replace(scenario, method=method)
+    options = _parse_options(args.option)
+
+    dataset = _load_dataset(args.dataset) if args.dataset else None
+    server = None
+    acceptor = None
+    if args.url:
+        url = args.url.rstrip("/")
+    else:
+        # Self-host: an in-process daemon over --dataset, alive only for
+        # this run — the zero-setup path the CI smoke leg and quick
+        # local checks use.
+        if dataset is None:
+            raise CliError(
+                "pass --url for a running daemon, or --dataset to "
+                "self-host one"
+            )
+        service = QueryService(
+            dataset,
+            methods=[method],
+            method_options=options,
+            index_store_dir=args.index_store,
+            name=Path(args.dataset).stem,
+        )
+        try:
+            service.warm()
+        except ServeError as exc:
+            raise CliError(str(exc))
+        server = make_server(service, port=0)
+        acceptor = threading.Thread(
+            target=server.serve_forever, name="bench-serve-accept"
+        )
+        acceptor.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        print(f"self-hosting {method} daemon at {url}")
+
+    try:
+        pace = (
+            f" at {scenario.rps:g} req/s" if scenario.rps else " (unthrottled)"
+        )
+        print(
+            f"scenario {scenario.name}: {scenario.clients} client(s) x "
+            f"{scenario.requests} request(s) against {method}{pace}"
+        )
+        result = run_load(url, scenario, query_texts)
+    finally:
+        if server is not None:
+            server.shutdown()
+            acceptor.join()
+            server.server_close()
+            persistent_pool().close()
+
+    metrics = metrics_of(result)
+    print(
+        f"{metrics['requests']} request(s) in {metrics['seconds']:.3f}s "
+        f"({metrics['qps']:.1f} req/s, {metrics['errors']} error(s)); "
+        f"latency q50 {metrics['q50_ms']:.3f} ms, "
+        f"q90 {metrics['q90_ms']:.3f} ms, max {metrics['max_ms']:.3f} ms"
+    )
+    divergent = result.divergent_queries()
+    if divergent:
+        shown = ", ".join(str(index) for index in divergent[:10])
+        raise CliError(
+            f"daemon returned diverging answers for {len(divergent)} "
+            f"workload quer(y/ies) (indexes {shown}) — concurrent "
+            "requests must be deterministic"
+        )
+    verified = False
+    if args.verify:
+        if dataset is None:
+            raise CliError(
+                "--verify needs --dataset (the batch engine answers "
+                "locally for comparison)"
+            )
+        index, row, digest = _built_via_store(
+            method, _supported_options(method, options), dataset,
+            args.index_store,
+        )
+        if row is None:
+            index.build(_resolve_payload_dataset(dataset))
+            _store_built_index(index, args.index_store, digest)
+        # Each request carried one query, so the daemon's `answers`
+        # payload is a one-element list — mirror that shape here.
+        expected = [answers_of([index.query(query)]) for query in queries]
+        mismatched = [
+            query_index
+            for query_index, seen in sorted(result.answers_by_query.items())
+            if seen != [expected[query_index]]
+        ]
+        if mismatched:
+            shown = ", ".join(str(index) for index in mismatched[:10])
+            raise CliError(
+                f"daemon answers differ from the batch engine on "
+                f"{len(mismatched)} workload quer(y/ies) (indexes {shown})"
+            )
+        print(
+            f"verified: daemon answers identical to the batch engine "
+            f"on {len(result.answers_by_query)} quer(y/ies)"
+        )
+        verified = True
+    if result.errors and not any(
+        spec.metric == "errors" for spec in scenario.kpis
+    ):
+        raise CliError(
+            f"{result.errors} request(s) failed and the scenario sets "
+            "no 'errors' KPI budget"
+        )
+    outcomes = evaluate_kpis(scenario.kpis, metrics)
+    for outcome in outcomes:
+        print(outcome.render())
+    if args.json:
+        record = bench_record(
+            scenario,
+            metrics,
+            outcomes,
+            extra={"url": url, "verified": verified},
+        )
+        Path(args.json).write_text(
+            json.dumps(record, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote benchmark record to {args.json}")
+    failed = [outcome for outcome in outcomes if not outcome.passed]
+    if failed:
+        raise CliError(f"{len(failed)} KPI assertion(s) failed")
+    return 0
+
+
 def _sweep_json_path(base: str, experiment: str, multiple: bool) -> Path:
     """Per-experiment JSON path: the experiment name is appended when a
     single invocation runs several sweeps."""

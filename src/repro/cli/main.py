@@ -447,6 +447,164 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_gc.set_defaults(handler=commands.cmd_index_gc)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the online query daemon: load a dataset, warm one "
+        "index per method (from the artifact store when possible), and "
+        "answer subgraph queries over HTTP until SIGTERM/SIGINT drains "
+        "it",
+    )
+    serve.add_argument("dataset", help="dataset file (.gfd) to serve")
+    serve.add_argument(
+        "--method",
+        action="append",
+        default=[],
+        help="method to warm and serve (repeatable; default: all)",
+    )
+    serve.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="method constructor option (repeatable; applies to every "
+        "--method that accepts it)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; 0.0.0.0 exposes "
+        "the daemon beyond localhost)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8572,
+        metavar="N",
+        help="TCP port to bind (default 8572; 0 picks an ephemeral "
+        "port, announced on stdout)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the warm-up builds (default 1 = "
+        "sequential; 0 = all cores); queries are answered by request "
+        "threads either way",
+    )
+    serve.add_argument(
+        "--index-store",
+        metavar="DIR",
+        help="content-addressed index artifact store: serve matching "
+        "prebuilt indexes instead of building at startup, and store "
+        "fresh builds for later daemons and sweeps",
+    )
+    serve.add_argument(
+        "--no-index-reuse",
+        action="store_true",
+        help="build fresh at startup even when --index-store holds a "
+        "matching artifact (fresh builds are still written through)",
+    )
+    serve.add_argument(
+        "--graph-core",
+        choices=["csr", "dict"],
+        help="in-memory graph representation for the hot path: immutable "
+        "flat-array CSR (default) or the legacy dict-of-sets core; "
+        "answers are identical",
+    )
+    serve.set_defaults(handler=commands.cmd_serve)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="drive performance benchmarks against the serving tier "
+        "(bench serve: declarative load scenarios with KPI assertions)",
+    )
+    # Like `repro index`, the shared flags are declared on this parser
+    # (docs audit + `repro bench --help`) AND on the subcommand with
+    # SUPPRESS defaults, so both argument orders parse.
+    bench.add_argument(
+        "--dataset",
+        metavar="FILE",
+        help="dataset file (.gfd) — required to self-host a daemon or "
+        "to --verify answers against the batch engine",
+    )
+    bench.add_argument(
+        "--queries",
+        metavar="FILE",
+        help="query workload file (.gfd) the load is drawn from "
+        "(required)",
+    )
+    bench.add_argument(
+        "--url",
+        metavar="URL",
+        help="target a running 'repro serve' daemon (e.g. "
+        "http://127.0.0.1:8572); omitted = self-host an in-process "
+        "daemon over --dataset for the duration of the run",
+    )
+    bench.add_argument(
+        "--method",
+        metavar="NAME",
+        help="method the requests target (overrides the scenario's "
+        "'method:' line)",
+    )
+    bench.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="method constructor option for self-hosted/--verify "
+        "builds (repeatable)",
+    )
+    bench.add_argument(
+        "--index-store",
+        metavar="DIR",
+        help="artifact store for self-hosted/--verify builds (warm "
+        "startups, like 'repro serve --index-store')",
+    )
+    bench.add_argument(
+        "--verify",
+        action="store_true",
+        help="after the load run, answer every workload query through "
+        "the batch engine in-process and fail unless the daemon's "
+        "answers are identical",
+    )
+    bench.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the run's metrics + KPI outcomes as a benchmark "
+        "trajectory point (e.g. BENCH_pr7.json)",
+    )
+    bench.add_argument(
+        "--graph-core",
+        choices=["csr", "dict"],
+        help="graph core for self-hosted/--verify builds",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_serve = bench_sub.add_parser(
+        "serve",
+        help="run a declarative load scenario against the query daemon "
+        "and assert its KPIs",
+    )
+    bench_serve.add_argument(
+        "scenario",
+        help="scenario file: 'key: value' lines (name, method, clients, "
+        "requests, rps, timeout_seconds) plus repeatable "
+        "'kpi: METRIC <= N' / 'kpi: METRIC >= N' assertions",
+    )
+    for flag, kwargs in (
+        ("--dataset", {"metavar": "FILE"}),
+        ("--queries", {"metavar": "FILE"}),
+        ("--url", {"metavar": "URL"}),
+        ("--method", {"metavar": "NAME"}),
+        ("--option", {"action": "append", "metavar": "KEY=VALUE"}),
+        ("--index-store", {"metavar": "DIR"}),
+        ("--verify", {"action": "store_true"}),
+        ("--json", {"metavar": "FILE"}),
+        ("--graph-core", {"choices": ["csr", "dict"]}),
+    ):
+        bench_serve.add_argument(flag, default=argparse.SUPPRESS, **kwargs)
+    bench_serve.set_defaults(handler=commands.cmd_bench_serve)
+
     report = subparsers.add_parser(
         "report",
         help="re-render a sweep saved with 'sweep --json' or 'merge' "

@@ -303,6 +303,37 @@ class ShardExecutor:
         raise NotImplementedError
 
 
+#: Grace period between ``terminate()`` and the ``kill()`` escalation
+#: when stopping shard subprocesses (seconds).
+_STOP_GRACE_SECONDS = 5.0
+
+
+def _stop_processes(running: Sequence[tuple], grace: float = _STOP_GRACE_SECONDS) -> None:
+    """Stop every ``(process, log)`` pair, escalating to SIGKILL.
+
+    ``terminate()`` first (SIGTERM: shards flush their manifests and
+    exit), then ``wait(grace)``, then ``kill()`` for anything still
+    alive — a shard wedged in uninterruptible work (or masking SIGTERM)
+    must not hang the driver forever on a bare ``wait()``.  Logs are
+    closed last so a dying shard's final output still lands.  Never
+    raises: teardown runs from exception paths.
+    """
+    for process, _ in running:
+        try:
+            process.terminate()
+        except OSError:  # pragma: no cover - already reaped
+            pass
+    for process, log in running:
+        try:
+            process.wait(timeout=grace)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+        except OSError:  # pragma: no cover - already reaped
+            pass
+        log.close()
+
+
 class LocalSubprocessExecutor(ShardExecutor):
     """Run every shard as a concurrent local subprocess.
 
@@ -312,9 +343,18 @@ class LocalSubprocessExecutor(ShardExecutor):
     extended with this process's ``repro`` package location so the
     children resolve the same code regardless of how the parent was
     launched (installed, ``PYTHONPATH=src``, or a pytest run).
+
+    Interruption contract: a ``KeyboardInterrupt`` (Ctrl-C) or any
+    other exception raised while waiting stops every running shard —
+    ``terminate()``, a bounded ``wait``, then ``kill()`` — instead of
+    orphaning them; completed shards keep their manifests, so the
+    launch resumes with ``--resume``.
     """
 
     name = "local"
+
+    #: Seconds a terminated shard gets to flush and exit before SIGKILL.
+    stop_grace = _STOP_GRACE_SECONDS
 
     def run(self, commands: Sequence[ShardCommand]) -> list[int]:
         import repro
@@ -326,7 +366,7 @@ class LocalSubprocessExecutor(ShardExecutor):
             env["PYTHONPATH"] = (
                 package_root + (os.pathsep + existing if existing else "")
             )
-        running = []
+        running: list[tuple] = []
         try:
             for command in commands:
                 log = open(command.log_path, "w", encoding="utf-8")
@@ -346,18 +386,30 @@ class LocalSubprocessExecutor(ShardExecutor):
             # orphan the shards already started: stop them, close their
             # logs, and fail as a driver error — completed shards from
             # earlier launches keep their manifests, so --resume works.
-            for process, log in running:
-                process.terminate()
-                process.wait()
-                log.close()
+            _stop_processes(running, grace=self.stop_grace)
             raise DriverError(
                 f"could not start every shard subprocess: {exc}; "
                 "no shards left running — rerun with --resume"
             )
+        return self._await(running)
+
+    def _await(self, running: Sequence[tuple]) -> list[int]:
+        """Wait for every ``(process, log)`` pair, in order.
+
+        On ``KeyboardInterrupt`` — or any exception out of the wait
+        loop — every still-running shard is stopped (with kill
+        escalation) before the exception propagates: Ctrl-C on the
+        driver must never leave orphaned shard sweeps burning CPU
+        behind a dead parent.
+        """
         codes = []
-        for process, log in running:
-            codes.append(process.wait())
-            log.close()
+        try:
+            for process, log in running:
+                codes.append(process.wait())
+                log.close()
+        except BaseException:
+            _stop_processes(running[len(codes):], grace=self.stop_grace)
+            raise
         return codes
 
 

@@ -1,0 +1,412 @@
+"""Declarative load generation against the online query service.
+
+The serving tier (:mod:`repro.core.serve`) is only trustworthy if its
+performance is *asserted*, not eyeballed — the discipline of the
+redisgraph-benchmark-go scenario files: a YAML-ish document declares
+the workload shape (``clients``/``rps``/``requests``) and the KPIs the
+run must meet (``q50 latency ≤ X ms``, ``QPS ≥ Y``), and CI gates on
+the outcome.  This module is that half:
+
+* :func:`parse_scenario` reads the line-oriented scenario format
+  (``key: value`` pairs plus repeatable ``kpi:`` assertions — see
+  :data:`SCENARIO_KEYS`); unknown keys and malformed KPIs fail loudly,
+  a scenario is a contract, not a suggestion.
+* :func:`run_load` drives a live daemon over HTTP: ``clients`` worker
+  threads issue ``requests`` total queries (round-robin through the
+  workload), paced to ``rps`` when nonzero (scheduled send times, not
+  sleep-per-request drift), measuring client-observed latency.
+* Every response's answer lists are kept **per workload query**, so
+  the result knows whether concurrent execution ever returned two
+  different answers for the same query — the serve-vs-batch identity
+  contract's concurrent half.
+* :func:`evaluate_kpis` scores the measured metrics against the
+  scenario's assertions and :func:`bench_record` emits the
+  ``BENCH_pr7.json`` trajectory point.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "KpiOutcome",
+    "KpiSpec",
+    "LoadResult",
+    "Scenario",
+    "ScenarioError",
+    "bench_record",
+    "evaluate_kpis",
+    "load_scenario",
+    "metrics_of",
+    "parse_scenario",
+    "post_query",
+    "run_load",
+]
+
+BENCH_SCHEMA = "repro-serve-bench-v1"
+
+
+class ScenarioError(ValueError):
+    """A scenario file that cannot be parsed or a KPI that cannot run."""
+
+
+# ----------------------------------------------------------------------
+# scenarios: the declarative workload + KPI contract
+# ----------------------------------------------------------------------
+
+#: Scalar scenario keys -> (coercion, default).  ``kpi`` is the one
+#: repeatable key and lives outside this table.
+SCENARIO_KEYS: dict = {
+    "name": (str, "scenario"),
+    "description": (str, ""),
+    "method": (str, ""),
+    "clients": (int, 1),
+    "requests": (int, 1),
+    "rps": (float, 0.0),
+    "timeout_seconds": (float, 30.0),
+}
+
+#: Metric names a KPI may assert, matching :func:`metrics_of`.
+KPI_METRICS = (
+    "q50_ms",
+    "q90_ms",
+    "q99_ms",
+    "mean_ms",
+    "max_ms",
+    "qps",
+    "errors",
+    "requests",
+    "seconds",
+)
+
+_OPS = {"<=": lambda a, b: a <= b, ">=": lambda a, b: a >= b}
+
+
+@dataclass(frozen=True, slots=True)
+class KpiSpec:
+    """One assertion: ``metric <= threshold`` or ``metric >= threshold``."""
+
+    metric: str
+    op: str
+    threshold: float
+
+    def check(self, metrics: dict) -> tuple[float, bool]:
+        actual = float(metrics[self.metric])
+        return actual, _OPS[self.op](actual, self.threshold)
+
+    def spec(self) -> str:
+        return f"{self.metric} {self.op} {self.threshold:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A parsed load scenario: workload shape plus KPI assertions."""
+
+    name: str = "scenario"
+    description: str = ""
+    #: Method the requests target ("" = the bench CLI's default).
+    method: str = ""
+    clients: int = 1
+    requests: int = 1
+    #: Target aggregate request rate; 0 = unthrottled.
+    rps: float = 0.0
+    #: Per-request HTTP timeout.
+    timeout_seconds: float = 30.0
+    kpis: tuple[KpiSpec, ...] = field(default_factory=tuple)
+
+
+def _parse_kpi(raw: str) -> KpiSpec:
+    for op in _OPS:
+        if op in raw:
+            metric, _, threshold = raw.partition(op)
+            metric = metric.strip()
+            if metric not in KPI_METRICS:
+                known = ", ".join(KPI_METRICS)
+                raise ScenarioError(
+                    f"unknown KPI metric {metric!r}; expected one of {known}"
+                )
+            try:
+                value = float(threshold.strip())
+            except ValueError:
+                raise ScenarioError(
+                    f"KPI threshold must be a number, got {threshold.strip()!r}"
+                )
+            return KpiSpec(metric=metric, op=op, threshold=value)
+    raise ScenarioError(
+        f"KPI must be 'METRIC <= N' or 'METRIC >= N', got {raw!r}"
+    )
+
+
+def parse_scenario(text: str) -> Scenario:
+    """Parse the line-oriented scenario format.
+
+    One ``key: value`` per line; ``#`` starts a comment; blank lines
+    are ignored; ``kpi:`` repeats.  Example::
+
+        name: serve-smoke
+        method: ggsx
+        clients: 2
+        requests: 40
+        rps: 0            # unthrottled
+        kpi: q50_ms <= 250
+        kpi: qps >= 2
+    """
+    values: dict = {}
+    kpis: list[KpiSpec] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        key, separator, value = line.partition(":")
+        key = key.strip()
+        if not separator or not key:
+            raise ScenarioError(
+                f"line {lineno}: expected 'key: value', got {raw.strip()!r}"
+            )
+        value = value.strip()
+        if key == "kpi":
+            kpis.append(_parse_kpi(value))
+            continue
+        if key not in SCENARIO_KEYS:
+            known = ", ".join([*SCENARIO_KEYS, "kpi"])
+            raise ScenarioError(
+                f"line {lineno}: unknown scenario key {key!r}; "
+                f"expected one of {known}"
+            )
+        coerce, _ = SCENARIO_KEYS[key]
+        try:
+            values[key] = coerce(value)
+        except ValueError:
+            raise ScenarioError(
+                f"line {lineno}: {key} expects {coerce.__name__}, "
+                f"got {value!r}"
+            )
+    scenario = Scenario(**values, kpis=tuple(kpis))
+    if scenario.clients < 1:
+        raise ScenarioError(f"clients must be >= 1, got {scenario.clients}")
+    if scenario.requests < 1:
+        raise ScenarioError(f"requests must be >= 1, got {scenario.requests}")
+    if scenario.rps < 0:
+        raise ScenarioError(f"rps must be >= 0, got {scenario.rps}")
+    return scenario
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise ScenarioError(f"scenario file not found: {path}")
+    try:
+        return parse_scenario(text)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{path}: {exc}")
+
+
+# ----------------------------------------------------------------------
+# the load run
+# ----------------------------------------------------------------------
+
+
+def post_query(
+    url: str, method: str, gfd_text: str, timeout: float = 30.0
+) -> tuple[int, dict]:
+    """POST one workload to ``<url>/query``; ``(status, document)``.
+
+    HTTP-level errors come back as a status + ``{"error": ...}``
+    document rather than raising — the load generator counts them, it
+    does not crash on them.
+    """
+    body = json.dumps({"method": method, "queries": gfd_text}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url.rstrip('/')}/query",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            document = json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            document = {"error": str(exc)}
+        return exc.code, document
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        return 0, {"error": str(exc)}
+
+
+@dataclass
+class LoadResult:
+    """What one load run measured."""
+
+    #: Client-observed per-request seconds, successful requests only.
+    latencies: list[float] = field(default_factory=list)
+    errors: int = 0
+    requests: int = 0
+    #: Wall-clock seconds from first send to last response.
+    seconds: float = 0.0
+    #: Workload query index -> the distinct answer payloads observed
+    #: (a correct daemon yields exactly one per query, however many
+    #: concurrent clients asked).
+    answers_by_query: dict[int, list] = field(default_factory=dict)
+
+    def record_answers(self, query_index: int, answers) -> None:
+        seen = self.answers_by_query.setdefault(query_index, [])
+        if answers not in seen:
+            seen.append(answers)
+
+    def divergent_queries(self) -> list[int]:
+        """Workload queries that ever received two different answers."""
+        return sorted(
+            index
+            for index, seen in self.answers_by_query.items()
+            if len(seen) != 1
+        )
+
+
+def run_load(
+    url: str, scenario: Scenario, query_texts: list[str]
+) -> LoadResult:
+    """Drive a live daemon with *scenario* over *query_texts*.
+
+    Request *i* (0-based, global across clients) carries workload query
+    ``i % len(query_texts)`` — every query is exercised, and with more
+    requests than queries the same query is asked concurrently by
+    different clients, which is exactly the interleaving the identity
+    contract must survive.  With ``rps > 0`` request *i* is not sent
+    before ``start + i/rps`` (scheduled pacing, immune to per-request
+    sleep drift).
+    """
+    if not query_texts:
+        raise ScenarioError("run_load needs at least one query")
+    method = scenario.method
+    result = LoadResult()
+    lock = threading.Lock()
+    next_request = 0
+    start = time.perf_counter()
+
+    def take() -> int | None:
+        nonlocal next_request
+        with lock:
+            if next_request >= scenario.requests:
+                return None
+            index = next_request
+            next_request += 1
+            return index
+
+    def client() -> None:
+        while True:
+            index = take()
+            if index is None:
+                return
+            if scenario.rps > 0:
+                scheduled = start + index / scenario.rps
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            query_index = index % len(query_texts)
+            sent = time.perf_counter()
+            status, document = post_query(
+                url,
+                method,
+                query_texts[query_index],
+                timeout=scenario.timeout_seconds,
+            )
+            elapsed = time.perf_counter() - sent
+            with lock:
+                result.requests += 1
+                if status == 200:
+                    result.latencies.append(elapsed)
+                    result.record_answers(query_index, document.get("answers"))
+                else:
+                    result.errors += 1
+
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-{i}")
+        for i in range(scenario.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.seconds = max(time.perf_counter() - start, 1e-9)
+    return result
+
+
+def metrics_of(result: LoadResult) -> dict:
+    """The KPI-addressable metrics of one load run."""
+    from repro.core.serve import quantile
+
+    latencies = sorted(result.latencies)
+    count = len(latencies)
+    return {
+        "q50_ms": quantile(latencies, 0.50) * 1e3,
+        "q90_ms": quantile(latencies, 0.90) * 1e3,
+        "q99_ms": quantile(latencies, 0.99) * 1e3,
+        "mean_ms": (sum(latencies) / count * 1e3) if count else 0.0,
+        "max_ms": (latencies[-1] * 1e3) if count else 0.0,
+        "qps": count / result.seconds,
+        "errors": result.errors,
+        "requests": result.requests,
+        "seconds": result.seconds,
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class KpiOutcome:
+    """One KPI scored against a run's measured metrics."""
+
+    spec: KpiSpec
+    actual: float
+    passed: bool
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"{mark}  {self.spec.spec()}  (actual {self.actual:g})"
+
+
+def evaluate_kpis(
+    kpis: tuple[KpiSpec, ...], metrics: dict
+) -> list[KpiOutcome]:
+    return [
+        KpiOutcome(spec=spec, actual=actual, passed=passed)
+        for spec in kpis
+        for actual, passed in [spec.check(metrics)]
+    ]
+
+
+def bench_record(
+    scenario: Scenario,
+    metrics: dict,
+    outcomes: list[KpiOutcome],
+    extra: dict | None = None,
+) -> dict:
+    """The ``BENCH_pr7.json`` trajectory point of one load run."""
+    record = {
+        "schema": BENCH_SCHEMA,
+        "scenario": scenario.name,
+        "method": scenario.method,
+        "clients": scenario.clients,
+        "requests": scenario.requests,
+        "rps": scenario.rps,
+        **{key: metrics[key] for key in KPI_METRICS},
+        "kpis": [
+            {
+                "kpi": outcome.spec.spec(),
+                "actual": outcome.actual,
+                "passed": outcome.passed,
+            }
+            for outcome in outcomes
+        ],
+        "passed": all(outcome.passed for outcome in outcomes),
+    }
+    if extra:
+        record.update(extra)
+    return record

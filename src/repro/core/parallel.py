@@ -27,6 +27,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import threading
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -259,10 +260,19 @@ class PersistentPool:
     The module-level singleton (:func:`persistent_pool`) is closed via
     ``atexit``; callers that want deterministic teardown (the CLI does)
     call :meth:`close` themselves.
+
+    Teardown is **idempotent and reentrancy-safe**: the online query
+    service (:mod:`repro.core.serve`) closes the pool from a signal-
+    driven shutdown path while ``atexit`` holds its own registration,
+    so ``close`` → ``close`` (double teardown) must be a no-op and a
+    ``close`` arriving *while another close is mid-shutdown* — a signal
+    handler interrupting the executor teardown — must return
+    immediately instead of deadlocking on executor shutdown.
     """
 
     def __init__(self) -> None:
         self._runner: ParallelRunner | None = None
+        self._close_lock = threading.Lock()
 
     def runner(self, jobs: int | None) -> ParallelRunner:
         """The shared runner for *jobs* workers (``None`` = all cores).
@@ -285,10 +295,22 @@ class PersistentPool:
         return self._runner
 
     def close(self) -> None:
-        """Shut down the pooled workers (idempotent)."""
-        if self._runner is not None:
-            self._runner.close()
-            self._runner = None
+        """Shut down the pooled workers (idempotent, reentrancy-safe).
+
+        A second ``close`` while one is already mid-teardown (a signal
+        handler firing during ``atexit``, or vice versa) returns
+        immediately — the first closer owns the shutdown, and blocking
+        here would deadlock a handler running on the same thread the
+        teardown interrupted.
+        """
+        if not self._close_lock.acquire(blocking=False):
+            return  # another close is already tearing the pool down
+        try:
+            runner, self._runner = self._runner, None
+            if runner is not None:
+                runner.close()
+        finally:
+            self._close_lock.release()
 
     def __enter__(self) -> "PersistentPool":
         return self

@@ -1,0 +1,558 @@
+"""The online query tier: a long-lived daemon answering subgraph queries.
+
+Everything before this module is *offline*: ``repro sweep``/``launch``
+reproduce the paper's figures as batch jobs and exit.  The production
+systems this reproduction models (and the ROADMAP's north star — heavy
+traffic from many concurrent clients) face the opposite shape: indexes
+are built **once**, kept hot, and amortized over an unbounded query
+stream.  This module is that tier:
+
+* A :class:`QueryService` loads one dataset, warms one built index per
+  method — served from the content-addressed artifact store
+  (:mod:`repro.indexes.store`) when a matching build exists, built
+  fresh (and written through) otherwise — and answers query workloads
+  from concurrent callers.  Warm-up can fan the per-method builds out
+  across the persistent pool's workers (``jobs > 1``), shipping the
+  built structures back as artifacts.
+* A :class:`ReproHTTPServer` (stdlib ``ThreadingHTTPServer``; no
+  framework dependency) exposes the service over three endpoints:
+  ``GET /healthz`` (liveness + warm-index inventory), ``GET /metrics``
+  (request counts, QPS, latency quantiles), and ``POST /query``
+  (a ``.gfd`` query workload in, per-query answer id lists out).
+* :func:`run_server` owns the daemon lifecycle: SIGTERM/SIGINT flip a
+  shutdown event, the accept loop stops, **in-flight requests drain**
+  (``block_on_close``, non-daemon request threads), the persistent
+  pool closes (idempotently — the ``atexit`` hook fires later on the
+  same, now no-op, path), and the process exits 0.
+
+Answer identity is the load-bearing contract, exactly as byte-identity
+is for the offline engine: a query answered by the daemon returns the
+same sorted answer-id lists as ``repro query`` over the same artifacts.
+Methods whose indexes mutate at query time (Tree+Δ adopts features of
+failed queries) are serialized per method behind an ``RLock``, so
+concurrency can reorder *across* methods but never interleave inside
+one index — the store's memory tiers are themselves lock-guarded for
+the same reason.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.runner import make_method
+from repro.graphs.csr import as_core_dataset
+from repro.graphs.dataset import GraphDataset, dataset_fingerprint
+from repro.graphs.graph import GraphError
+from repro.graphs.io import loads_dataset
+from repro.indexes import ALL_INDEX_CLASSES
+
+__all__ = [
+    "MethodState",
+    "QueryService",
+    "RequestMetrics",
+    "ReproHTTPServer",
+    "ServeError",
+    "answers_of",
+    "make_server",
+    "quantile",
+    "run_server",
+]
+
+
+class ServeError(RuntimeError):
+    """A service that cannot warm up or answer (bad method, bad query)."""
+
+
+# ----------------------------------------------------------------------
+# request metrics: what /metrics reports and the load generator asserts
+# ----------------------------------------------------------------------
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample (0 on empty).
+
+    Nearest-rank (not interpolated) so the reported q50 is a latency
+    that actually happened — the convention of the redisgraph-benchmark
+    harnesses whose KPI format the load generator mirrors.
+    """
+    if not sorted_values:
+        return 0.0
+    if q <= 0.0:
+        return sorted_values[0]
+    # 1-based nearest rank is ceil(q * n); clamp for q > 1.
+    rank = min(len(sorted_values), math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class RequestMetrics:
+    """Thread-safe recorder of per-request latencies and errors.
+
+    Every request thread of the daemon records into one instance; the
+    lock makes the append + counter increments atomic.  ``snapshot``
+    computes QPS over the service's lifetime and nearest-rank latency
+    quantiles — the exact quantities ``repro bench serve`` asserts KPIs
+    against server-side.
+    """
+
+    #: Retain at most this many latencies (newest win); quantiles over
+    #: an unbounded daemon lifetime would otherwise grow without limit.
+    max_samples = 100_000
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started = clock()
+        self._latencies: list[float] = []
+        self._requests = 0
+        self._errors = 0
+
+    def record(self, seconds: float, error: bool = False) -> None:
+        with self._lock:
+            self._requests += 1
+            if error:
+                self._errors += 1
+            else:
+                self._latencies.append(seconds)
+                if len(self._latencies) > self.max_samples:
+                    del self._latencies[: -self.max_samples]
+
+    def snapshot(self) -> dict:
+        """Current counters and latency quantiles, as a JSON-able dict."""
+        with self._lock:
+            uptime = max(self._clock() - self._started, 1e-9)
+            latencies = sorted(self._latencies)
+            requests = self._requests
+            errors = self._errors
+        return {
+            "requests": requests,
+            "errors": errors,
+            "uptime_seconds": uptime,
+            "qps": requests / uptime,
+            "latency_ms": {
+                "q50": quantile(latencies, 0.50) * 1e3,
+                "q90": quantile(latencies, 0.90) * 1e3,
+                "q99": quantile(latencies, 0.99) * 1e3,
+                "mean": (sum(latencies) / len(latencies) * 1e3)
+                if latencies
+                else 0.0,
+                "max": (latencies[-1] * 1e3) if latencies else 0.0,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# the service: one dataset, warm indexes, locked answering
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class MethodState:
+    """One warm index plus the lock serializing queries through it."""
+
+    index: object
+    #: Tree+Δ mutates its Δ table per query; every method answers under
+    #: its own lock so concurrent clients cannot interleave inside one
+    #: index structure (methods still answer in parallel to each other).
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    build_seconds: float = 0.0
+    index_bytes: int = 0
+    reused: bool = False
+    artifact: str = ""
+
+
+def answers_of(results) -> list[list[int]]:
+    """Per-query sorted answer-id lists — the identity-bearing payload.
+
+    The exact reduction ``repro query`` applies before comparing
+    methods (``tuple(tuple(sorted(r.answers)))``), as JSON-able lists:
+    a daemon answer and a batch answer for the same query must be
+    **equal element for element**.
+    """
+    return [sorted(result.answers) for result in results]
+
+
+def _warm_worker(payload: tuple) -> tuple:
+    """Pool-side warm-up: build (or fetch) one method, return its artifact.
+
+    Top-level for pickling.  The heavy structure crosses back as an
+    :class:`~repro.indexes.store.IndexArtifact` — the same contract the
+    offline engine reuses builds through — and the parent materializes
+    it against its own dataset instance.
+    """
+    from repro.core.arena import ArenaHandle, cached_dataset
+    from repro.indexes.store import artifact_from_index, shared_store
+
+    dataset, method, options, digest, store_dir, reuse = payload
+    if isinstance(dataset, ArenaHandle):
+        resolved = cached_dataset(dataset)
+    else:
+        resolved = as_core_dataset(dataset)
+    store = shared_store(store_dir) if store_dir else None
+    index = make_method(method, options)
+    if store is not None and reuse:
+        artifact = store.get(method, index.index_params(), digest)
+        if artifact is not None:
+            return method, artifact, True
+    index.build(resolved)
+    artifact = artifact_from_index(index, digest)
+    if store is not None:
+        store.put(artifact)
+    return method, artifact, False
+
+
+class QueryService:
+    """Warm indexes over one dataset, answering concurrent workloads.
+
+    Parameters
+    ----------
+    dataset:
+        The data-graph collection queries run against (converted to the
+        active graph core once, here, so every request thread shares
+        the same immutable CSR structures).
+    methods:
+        Method names to warm (default: the full roster).
+    method_options:
+        ``--option`` map; each method receives the subset its
+        constructor accepts, like ``repro query``.
+    index_store_dir / reuse_indexes:
+        The content-addressed artifact store to serve builds from (and
+        write fresh builds to).  ``reuse_indexes=False`` forces fresh
+        builds, still written through.
+    """
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        methods: list[str] | None = None,
+        method_options: dict | None = None,
+        index_store_dir: str | None = None,
+        reuse_indexes: bool = True,
+        name: str = "",
+    ) -> None:
+        self.dataset = as_core_dataset(dataset)
+        self.name = name or getattr(dataset, "name", "") or "dataset"
+        self.methods = list(methods) if methods else list(ALL_INDEX_CLASSES)
+        for method in self.methods:
+            if method not in ALL_INDEX_CLASSES:
+                known = ", ".join(ALL_INDEX_CLASSES)
+                raise ServeError(
+                    f"unknown method {method!r}; expected one of {known}"
+                )
+        self.method_options = dict(method_options or {})
+        self.index_store_dir = index_store_dir
+        self.reuse_indexes = reuse_indexes
+        self.dataset_digest = dataset_fingerprint(self.dataset)
+        self._states: dict[str, MethodState] = {}
+
+    # -- warm-up -------------------------------------------------------
+
+    def _options_for(self, method: str) -> dict:
+        import inspect
+
+        accepted = inspect.signature(
+            ALL_INDEX_CLASSES[method].__init__
+        ).parameters
+        return {
+            key: value
+            for key, value in self.method_options.items()
+            if key in accepted
+        }
+
+    def warm(self, jobs: int | None = 1) -> dict[str, MethodState]:
+        """Build or fetch every method's index; the daemon's startup.
+
+        ``jobs > 1`` fans the builds out across the persistent pool's
+        workers through a shared-memory arena (one dataset segment, not
+        one pickle per method); built structures come back as store
+        artifacts and are materialized against this process's dataset.
+        Sequential warm-up (the default) builds in-process.
+        """
+        from repro.indexes.store import (
+            artifact_from_index,
+            materialize_artifact,
+            shared_store,
+        )
+
+        pending = [m for m in self.methods if m not in self._states]
+        if not pending:
+            return self._states
+        # --jobs convention: None = all cores, 1 = sequential.
+        parallel = (jobs is None or jobs > 1) and len(pending) > 1
+        if parallel:
+            from repro.core.arena import DatasetArena
+            from repro.core.parallel import persistent_pool
+
+            arena = DatasetArena.create(self.dataset)
+            try:
+                tasks = [
+                    (
+                        arena.handle,
+                        method,
+                        self._options_for(method),
+                        self.dataset_digest,
+                        self.index_store_dir,
+                        self.reuse_indexes,
+                    )
+                    for method in pending
+                ]
+                outcomes = persistent_pool().runner(jobs).map(_warm_worker, tasks)
+            finally:
+                arena.close()
+            for method, artifact, reused in outcomes:
+                index = materialize_artifact(artifact, self.dataset)
+                self._install(method, index, artifact, reused)
+            return self._states
+        store = shared_store(self.index_store_dir) if self.index_store_dir else None
+        for method in pending:
+            index = make_method(method, self._options_for(method))
+            artifact = None
+            reused = False
+            if store is not None and self.reuse_indexes:
+                artifact = store.get(
+                    method, index.index_params(), self.dataset_digest
+                )
+                if artifact is not None:
+                    index = materialize_artifact(artifact, self.dataset)
+                    reused = True
+            if artifact is None:
+                index.build(self.dataset)
+                artifact = artifact_from_index(index, self.dataset_digest)
+                if store is not None:
+                    store.put(artifact)
+            self._install(method, index, artifact, reused)
+        return self._states
+
+    def _install(self, method: str, index, artifact, reused: bool) -> None:
+        provenance = artifact.provenance
+        self._states[method] = MethodState(
+            index=index,
+            build_seconds=provenance.build_seconds,
+            index_bytes=provenance.size_bytes,
+            reused=reused,
+            artifact=artifact.address,
+        )
+
+    # -- answering -----------------------------------------------------
+
+    def answer(self, method: str, queries) -> list:
+        """Run *queries* through one warm index, serialized per method.
+
+        Returns the per-query :class:`~repro.indexes.base.QueryResult`
+        list in query order.  Raises :class:`ServeError` for a method
+        the service does not hold — the daemon's 400, never a silent
+        fallback to a cold build mid-request.
+        """
+        state = self._states.get(method)
+        if state is None:
+            warm = ", ".join(self._states) or "none"
+            raise ServeError(
+                f"method {method!r} is not warm on this service "
+                f"(warm: {warm})"
+            )
+        with state.lock:
+            return [state.index.query(query) for query in queries]
+
+    def answer_text(self, method: str, gfd_text: str) -> dict:
+        """Answer a ``.gfd``-formatted workload: the HTTP body contract.
+
+        Returns the JSON-able response document: per-query sorted
+        answer ids (the identity payload), candidate counts, and the
+        measured query seconds.
+        """
+        try:
+            workload = loads_dataset(gfd_text, name="request")
+        except GraphError as exc:
+            raise ServeError(f"malformed query workload: {exc}")
+        queries = list(workload)
+        if not queries:
+            raise ServeError("empty query workload")
+        results = self.answer(method, queries)
+        return {
+            "method": method,
+            "count": len(results),
+            "answers": answers_of(results),
+            "candidates": [len(r.candidates) for r in results],
+            "seconds": sum(r.total_seconds for r in results),
+        }
+
+    def inventory(self) -> dict:
+        """The warm-method map ``/healthz`` reports."""
+        return {
+            method: {
+                "build_seconds": state.build_seconds,
+                "index_bytes": state.index_bytes,
+                "reused": state.reused,
+                "artifact": state.artifact,
+            }
+            for method, state in self._states.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# the HTTP face: ThreadingHTTPServer + a three-endpoint handler
+# ----------------------------------------------------------------------
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`.
+
+    ``daemon_threads = False`` + ``block_on_close = True`` is the
+    graceful-drain half of the shutdown contract: ``shutdown()`` stops
+    the accept loop, and ``server_close()`` then *joins* every
+    in-flight request thread — a client mid-query gets its answer, not
+    a reset connection.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    #: A drained socket should release its port immediately for the
+    #: next daemon (or test) binding it.
+    allow_reuse_address = True
+
+    def __init__(self, address, service: QueryService) -> None:
+        super().__init__(address, ServeHandler)
+        self.service = service
+        self.metrics = RequestMetrics()
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes: ``GET /healthz``, ``GET /metrics``, ``POST /query``."""
+
+    server: ReproHTTPServer  # narrowed for readability
+    #: Stamped into the Server header; version bumps with the package.
+    server_version = "repro-serve/1"
+
+    # The default handler prints one access-log line per request to
+    # stderr; at load-generator rates that noise dominates the daemon's
+    # own output, and /metrics already records the activity.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _send_json(self, status: int, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            service = self.server.service
+            metrics = self.server.metrics.snapshot()
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "dataset": service.name,
+                    "graphs": len(service.dataset),
+                    "methods": service.inventory(),
+                    "requests": metrics["requests"],
+                    "uptime_seconds": metrics["uptime_seconds"],
+                },
+            )
+            return
+        if self.path == "/metrics":
+            self._send_json(200, self.server.metrics.snapshot())
+            return
+        self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path != "/query":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        started = time.perf_counter()
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length)
+            try:
+                document = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServeError(f"request body is not valid JSON: {exc}")
+            if not isinstance(document, dict) or "queries" not in document:
+                raise ServeError(
+                    'request body must be {"method": ..., "queries": "<gfd>"}'
+                )
+            method = document.get("method", "")
+            response = self.server.service.answer_text(
+                str(method), str(document["queries"])
+            )
+        except ServeError as exc:
+            self.server.metrics.record(
+                time.perf_counter() - started, error=True
+            )
+            self._send_json(400, {"error": str(exc)})
+            return
+        self.server.metrics.record(time.perf_counter() - started)
+        self._send_json(200, response)
+
+
+# ----------------------------------------------------------------------
+# lifecycle: bind, announce, drain on SIGTERM/SIGINT, exit 0
+# ----------------------------------------------------------------------
+
+
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> ReproHTTPServer:
+    """Bind a server for *service* (``port=0`` = ephemeral; the bound
+    port is ``server.server_address[1]``)."""
+    return ReproHTTPServer((host, port), service)
+
+
+def run_server(
+    server: ReproHTTPServer,
+    announce=print,
+    install_signals: bool = True,
+    shutdown_event: threading.Event | None = None,
+) -> int:
+    """Serve until SIGTERM/SIGINT (or *shutdown_event*), then drain.
+
+    The accept loop runs on a worker thread; this thread blocks on the
+    shutdown event, which the signal handlers set.  (``shutdown()``
+    must never be called from the thread running ``serve_forever`` —
+    with the accept loop elsewhere, the signal-woken main thread calls
+    it safely.)  After the drain the persistent pool closes through its
+    reentrancy-safe path and the daemon returns 0 — the clean-shutdown
+    contract the CI smoke leg asserts.
+    """
+    from repro.core.parallel import persistent_pool
+
+    stop = shutdown_event if shutdown_event is not None else threading.Event()
+    previous: dict[int, object] = {}
+    if install_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(
+                signum, lambda *_args: stop.set()
+            )
+    acceptor = threading.Thread(
+        target=server.serve_forever, name="repro-serve-accept"
+    )
+    acceptor.start()
+    host, port = server.server_address[:2]
+    announce(f"serving on http://{host}:{port} (SIGTERM or Ctrl-C drains)")
+    try:
+        stop.wait()
+    finally:
+        announce("shutting down: draining in-flight requests...")
+        server.shutdown()
+        acceptor.join()
+        server.server_close()  # joins request threads (block_on_close)
+        persistent_pool().close()
+        if install_signals:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        snapshot = server.metrics.snapshot()
+        announce(
+            f"served {snapshot['requests']} request(s) "
+            f"({snapshot['errors']} error(s), "
+            f"q50 {snapshot['latency_ms']['q50']:.3f} ms, "
+            f"{snapshot['qps']:.1f} req/s lifetime)"
+        )
+    return 0

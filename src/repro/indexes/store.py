@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from collections import OrderedDict
 from collections.abc import Mapping
@@ -245,13 +246,19 @@ def write_artifact(
     """Write one artifact file: schema, header, payload, optional dataset.
 
     The write is atomic (temp file + rename) so a crashed invocation
-    never leaves a half-written artifact at the final address.
+    never leaves a half-written artifact at the final address.  The
+    temp name is unique per *writer* — pid for concurrent processes,
+    thread id for the serve daemon's request threads — so concurrent
+    putters of one address each rename their own complete file (last
+    rename wins; the bytes are equal).
     *dataset_blob* (a :func:`repro.graphs.dataset.pack_dataset` buffer)
     makes the file standalone — ``repro build --save`` uses it so
     ``repro query --load`` works without re-reading the dataset.
     """
     path = Path(path)
-    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    tmp = path.with_name(
+        f".{path.name}.tmp{os.getpid()}-{threading.get_ident()}"
+    )
     try:
         with open(tmp, "wb") as handle:
             pickle.dump(_ARTIFACT_SCHEMA, handle, protocol=pickle.HIGHEST_PROTOCOL)
@@ -346,6 +353,18 @@ class IndexStore:
         live object graphs; materialization hands out fresh index
         instances, so sharing is safe (see the payload-copy notes in
         :meth:`GraphIndex._import_payload` implementations).
+
+    Thread safety
+    -------------
+    The memory-LRU tier is guarded by an :class:`threading.RLock`: the
+    online query service (:mod:`repro.core.serve`) hits one shared
+    store from every request thread, and an unlocked ``OrderedDict``
+    corrupts under interleaved ``move_to_end``/``popitem`` — two
+    threads can race a ``get`` promotion against an eviction and raise
+    ``KeyError``, or evict the very entry just promoted.  Every method
+    touching ``_memory`` takes the lock; disk I/O (atomic writes,
+    header reads) stays outside it so a slow disk tier never serializes
+    memory hits.
     """
 
     def __init__(
@@ -358,11 +377,15 @@ class IndexStore:
         self.root = None if root is None else Path(root)
         self.memory_items = memory_items
         self._memory: OrderedDict[str, IndexArtifact] = OrderedDict()
+        #: Guards ``_memory`` and ``stats`` (reentrant: ``put`` calls
+        #: ``_remember`` with it held).
+        self._lock = threading.RLock()
         self.stats = StoreStats()
 
     def __len__(self) -> int:
         """Artifacts currently held in the memory tier."""
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def __repr__(self) -> str:
         where = "memory-only" if self.root is None else str(self.root)
@@ -387,30 +410,39 @@ class IndexStore:
         must rebuild, not crash); ``repro index gc`` removes such files.
         """
         address = artifact_address(method, params, dataset_digest)
-        artifact = self._memory.get(address)
-        if artifact is not None:
-            self._memory.move_to_end(address)
-            self.stats.memory_hits += 1
-            return artifact
+        with self._lock:
+            artifact = self._memory.get(address)
+            if artifact is not None:
+                self._memory.move_to_end(address)
+                self.stats.memory_hits += 1
+                return artifact
         if self.root is not None:
             path = self.path_of(address)
             if path.exists():
+                # Disk reads happen outside the lock: a slow disk tier
+                # must never serialize concurrent memory hits.  Two
+                # threads missing the same address both read the file;
+                # the second _remember is an idempotent overwrite.
                 try:
                     artifact, _ = read_artifact(path, expect_digest=dataset_digest)
                 except (IndexStoreError, OSError):
-                    self.stats.misses += 1
+                    with self._lock:
+                        self.stats.misses += 1
                     return None
                 if artifact.address != address:
                     # A renamed/copied file: its header describes some
                     # other (method, params, dataset).  Serving it would
                     # silently answer with the wrong index; `gc` removes
                     # such files.
-                    self.stats.misses += 1
+                    with self._lock:
+                        self.stats.misses += 1
                     return None
-                self._remember(address, artifact)
-                self.stats.disk_hits += 1
+                with self._lock:
+                    self._remember(address, artifact)
+                    self.stats.disk_hits += 1
                 return artifact
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         return None
 
     def put(self, artifact: IndexArtifact) -> str:
@@ -420,22 +452,29 @@ class IndexStore:
         an equal build simply overwrites the same address.
         """
         address = artifact.address
-        self._remember(address, artifact)
+        with self._lock:
+            self._remember(address, artifact)
+            self.stats.puts += 1
         if self.root is not None:
+            # Write-through outside the lock: the write is atomic
+            # (temp + rename), so concurrent putters of one address
+            # race harmlessly to install equal bytes.
             self.root.mkdir(parents=True, exist_ok=True)
             write_artifact(self.path_of(address), artifact)
-        self.stats.puts += 1
         return address
 
     def _remember(self, address: str, artifact: IndexArtifact) -> None:
-        self._memory[address] = artifact
-        self._memory.move_to_end(address)
-        while len(self._memory) > self.memory_items:
-            self._memory.popitem(last=False)
+        # Callers hold self._lock (RLock, so put -> _remember re-enters).
+        with self._lock:
+            self._memory[address] = artifact
+            self._memory.move_to_end(address)
+            while len(self._memory) > self.memory_items:
+                self._memory.popitem(last=False)
 
     def clear_memory(self) -> None:
         """Drop the memory tier (tests and memory pressure); disk stays."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     # -- maintenance (the `repro index` subcommands) -------------------
 
@@ -454,7 +493,8 @@ class IndexStore:
 
     def remove(self, address: str) -> bool:
         """Delete one artifact from both tiers; True if anything existed."""
-        existed = self._memory.pop(address, None) is not None
+        with self._lock:
+            existed = self._memory.pop(address, None) is not None
         if self.root is not None:
             path = self.path_of(address)
             if path.exists():
@@ -503,7 +543,8 @@ class IndexStore:
         }
 
     def _drop_address(self, address: str) -> None:
-        self._memory.pop(address, None)
+        with self._lock:
+            self._memory.pop(address, None)
 
 
 # ----------------------------------------------------------------------
@@ -515,20 +556,28 @@ class IndexStore:
 #: so one ``--index-store`` directory is shared by every worker of an
 #: invocation — and by every later invocation pointing at it.
 _ACTIVE: dict[str | None, IndexStore] = {}
+_ACTIVE_LOCK = threading.Lock()
 
 
 def shared_store(root: str | Path | None) -> IndexStore:
-    """This process's store for *root* (``None`` = memory-only default)."""
+    """This process's store for *root* (``None`` = memory-only default).
+
+    Thread-safe: concurrent resolvers of one root (server request
+    threads, say) get the same instance, never two racing stores over
+    one directory.
+    """
     key = None if root is None else str(Path(root))
-    store = _ACTIVE.get(key)
-    if store is None:
-        store = IndexStore(key)
-        _ACTIVE[key] = store
-    return store
+    with _ACTIVE_LOCK:
+        store = _ACTIVE.get(key)
+        if store is None:
+            store = IndexStore(key)
+            _ACTIVE[key] = store
+        return store
 
 
 def clear_stores() -> None:
     """Drop every shared store's memory tier and registry (tests)."""
-    for store in _ACTIVE.values():
-        store.clear_memory()
-    _ACTIVE.clear()
+    with _ACTIVE_LOCK:
+        for store in _ACTIVE.values():
+            store.clear_memory()
+        _ACTIVE.clear()

@@ -1,0 +1,238 @@
+"""CLI end-to-end for ``repro serve`` and ``repro bench serve``.
+
+The daemon lifecycle exactly as CI drives it: a real subprocess daemon
+warmed from an ``--index-store``, queried over HTTP, drained with
+SIGTERM, and gone with exit code 0; and the load generator's
+self-hosted path with ``--verify`` holding the serve-vs-batch answer
+identity plus a ``BENCH_pr7.json`` trajectory point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import main
+from repro.core.loadgen import post_query
+from repro.core.runner import make_method
+from repro.core.serve import answers_of
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.graphs.csr import as_core_dataset
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.io import write_dataset
+from repro.indexes.store import clear_stores
+
+@pytest.fixture(autouse=True)
+def _fresh_stores():
+    clear_stores()
+    yield
+    clear_stores()
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-corpus")
+    config = GraphGenConfig(
+        num_graphs=10, mean_nodes=9, mean_density=0.25, num_labels=3
+    )
+    dataset = generate_dataset(config, seed=11)
+    queries = generate_queries(dataset, 3, 3, seed=5)
+    dataset_path = root / "data.gfd"
+    queries_path = root / "queries.gfd"
+    write_dataset(dataset, dataset_path)
+    write_dataset(GraphDataset(queries, name="queries"), queries_path)
+    return dataset, queries, dataset_path, queries_path
+
+
+def write_scenario(path: Path, **overrides) -> Path:
+    lines = {
+        "name": "cli-test",
+        "method": "naive",
+        "clients": 2,
+        "requests": 8,
+        "rps": 0,
+        "timeout_seconds": 15,
+    }
+    lines.update(overrides)
+    kpis = lines.pop("kpis", ["q50_ms <= 10000", "qps >= 0.1", "errors <= 0"])
+    text = "".join(f"{key}: {value}\n" for key, value in lines.items())
+    text += "".join(f"kpi: {kpi}\n" for kpi in kpis)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestBenchServe:
+    def test_self_hosted_run_verifies_and_records(self, corpus, tmp_path, capsys):
+        _, _, dataset_path, queries_path = corpus
+        scenario = write_scenario(tmp_path / "scenario.txt")
+        json_path = tmp_path / "BENCH_pr7.json"
+        code = main(
+            [
+                "bench",
+                "--dataset", str(dataset_path),
+                "--queries", str(queries_path),
+                "--verify",
+                "--json", str(json_path),
+                "serve", str(scenario),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified: daemon answers identical" in out
+        assert out.count("PASS") == 3 and "FAIL" not in out
+        record = json.loads(json_path.read_text())
+        assert record["schema"] == "repro-serve-bench-v1"
+        assert record["passed"] is True
+        assert record["verified"] is True
+        assert record["requests"] == 8
+        assert record["errors"] == 0
+
+    def test_failing_kpi_fails_the_command(self, corpus, tmp_path, capsys):
+        _, _, dataset_path, queries_path = corpus
+        scenario = write_scenario(
+            tmp_path / "strict.txt", kpis=["qps >= 1000000"]
+        )
+        json_path = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--dataset", str(dataset_path),
+                "--queries", str(queries_path),
+                "--json", str(json_path),
+                "serve", str(scenario),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "KPI assertion(s) failed" in captured.err
+        # The trajectory point is still written — a failed run is a
+        # data point, not a lost one.
+        assert json.loads(json_path.read_text())["passed"] is False
+
+    def test_method_flag_overrides_scenario(self, corpus, tmp_path, capsys):
+        _, _, dataset_path, queries_path = corpus
+        scenario = write_scenario(tmp_path / "scenario.txt", method="ggsx")
+        code = main(
+            [
+                "bench",
+                "--dataset", str(dataset_path),
+                "--queries", str(queries_path),
+                "--method", "naive",
+                "--option", "max_path_edges=2",
+                "serve", str(scenario),
+            ]
+        )
+        assert code == 0
+        assert "against naive" in capsys.readouterr().out
+
+    def test_missing_target_is_a_clear_error(self, corpus, tmp_path, capsys):
+        _, _, _, queries_path = corpus
+        scenario = write_scenario(tmp_path / "scenario.txt")
+        code = main(
+            ["bench", "--queries", str(queries_path), "serve", str(scenario)]
+        )
+        assert code == 2
+        assert "--url" in capsys.readouterr().err
+
+    def test_bad_scenario_is_a_clear_error(self, corpus, tmp_path, capsys):
+        _, _, dataset_path, queries_path = corpus
+        bad = tmp_path / "bad.txt"
+        bad.write_text("clients: zero\n", encoding="utf-8")
+        code = main(
+            [
+                "bench",
+                "--dataset", str(dataset_path),
+                "--queries", str(queries_path),
+                "serve", str(bad),
+            ]
+        )
+        assert code == 2
+        assert "clients expects int" in capsys.readouterr().err
+
+
+def spawn_daemon(args, cwd):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+def read_announced_url(process, deadline_seconds=120) -> tuple[str, list[str]]:
+    """Read daemon stdout until the 'serving on <url>' line."""
+    lines: list[str] = []
+    deadline = time.monotonic() + deadline_seconds
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"daemon exited before announcing: {''.join(lines)}"
+            )
+        lines.append(line)
+        if "serving on http://" in line:
+            url = line.split("serving on ", 1)[1].split(" ", 1)[0]
+            return url, lines
+    raise AssertionError(f"daemon never announced: {''.join(lines)}")
+
+
+class TestServeDaemon:
+    def test_daemon_answers_then_drains_on_sigterm(self, corpus, tmp_path):
+        dataset, queries, dataset_path, queries_path = corpus
+        process = spawn_daemon(
+            [
+                str(dataset_path),
+                "--method", "naive",
+                "--port", "0",
+                "--index-store", str(tmp_path / "store"),
+            ],
+            cwd=tmp_path,
+        )
+        try:
+            url, _ = read_announced_url(process)
+            status, document = post_query(
+                url, "naive", queries_path.read_text(encoding="utf-8")
+            )
+            assert status == 200
+            index = make_method("naive", {})
+            index.build(as_core_dataset(dataset))
+            expected = answers_of([index.query(query) for query in queries])
+            assert document["answers"] == expected
+
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=60)
+            tail = process.stdout.read()
+            assert code == 0, tail
+            assert "draining" in tail
+            assert "served 1 request(s)" in tail
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+            process.stdout.close()
+        # The store was written through: a second daemon reuses it.
+        assert list((tmp_path / "store").glob("*.idx"))
+
+    def test_unknown_method_fails_before_binding(self, corpus, tmp_path):
+        _, _, dataset_path, _ = corpus
+        process = spawn_daemon(
+            [str(dataset_path), "--method", "vf9"], cwd=tmp_path
+        )
+        out, _ = process.communicate(timeout=60)
+        assert process.returncode == 2
+        assert "unknown method" in out

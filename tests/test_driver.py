@@ -481,3 +481,125 @@ class TestCellAssignment:
     def test_float_x_values_resolve_by_str(self):
         assignment = CellAssignment.of([(0.12, "naive")])
         assert assignment.resolve([0.05, 0.12], ["naive"]) == [(0.12, "naive")]
+
+
+class FakeLog:
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class FakeProcess:
+    """A subprocess double: scripted wait behavior, recorded signals."""
+
+    def __init__(self, code=0, wait_raises=None, ignores_terminate=False):
+        self.code = code
+        self.wait_raises = wait_raises
+        self.ignores_terminate = ignores_terminate
+        self.terminated = False
+        self.killed = False
+
+    def terminate(self):
+        self.terminated = True
+
+    def kill(self):
+        self.killed = True
+
+    def wait(self, timeout=None):
+        if self.wait_raises is not None:
+            raised, self.wait_raises = self.wait_raises, None
+            raise raised
+        if timeout is not None and self.ignores_terminate and not self.killed:
+            import subprocess
+
+            raise subprocess.TimeoutExpired(cmd="fake", timeout=timeout)
+        return self.code
+
+
+class TestStopProcesses:
+    """The terminate -> wait(grace) -> kill escalation (this PR's
+    executor interruption fix)."""
+
+    def test_cooperative_children_are_terminated_not_killed(self):
+        from repro.core.driver import _stop_processes
+
+        pairs = [(FakeProcess(), FakeLog()) for _ in range(3)]
+        _stop_processes(pairs, grace=0.1)
+        for process, log in pairs:
+            assert process.terminated and not process.killed
+            assert log.closed
+
+    def test_stubborn_children_are_killed(self):
+        from repro.core.driver import _stop_processes
+
+        stubborn = FakeProcess(ignores_terminate=True)
+        gentle = FakeProcess()
+        pairs = [(stubborn, FakeLog()), (gentle, FakeLog())]
+        _stop_processes(pairs, grace=0.01)
+        assert stubborn.terminated and stubborn.killed
+        assert gentle.terminated and not gentle.killed
+        assert all(log.closed for _, log in pairs)
+
+    def test_already_reaped_children_never_raise(self):
+        from repro.core.driver import _stop_processes
+
+        dead = FakeProcess(wait_raises=OSError("No child processes"))
+        dead.terminate = lambda: (_ for _ in ()).throw(OSError("gone"))
+        log = FakeLog()
+        _stop_processes([(dead, log)], grace=0.01)
+        assert log.closed
+
+    def test_interrupt_mid_wait_stops_remaining_shards(self):
+        """Ctrl-C while waiting on shard 1 must terminate shards 1..n,
+        not orphan them; shard 0's completed code is simply dropped
+        with the raised interrupt."""
+        executor = LocalSubprocessExecutor()
+        executor.stop_grace = 0.01
+        done = FakeProcess(code=0)
+        interrupted = FakeProcess(wait_raises=KeyboardInterrupt())
+        orphan_risk = FakeProcess(ignores_terminate=True)
+        pairs = [
+            (done, FakeLog()),
+            (interrupted, FakeLog()),
+            (orphan_risk, FakeLog()),
+        ]
+        with pytest.raises(KeyboardInterrupt):
+            executor._await(pairs)
+        assert not done.terminated  # it had already exited
+        assert interrupted.terminated
+        assert orphan_risk.terminated and orphan_risk.killed
+        assert all(log.closed for _, log in pairs)
+
+    def test_clean_waits_return_codes_in_order(self):
+        executor = LocalSubprocessExecutor()
+        pairs = [(FakeProcess(code=i), FakeLog()) for i in range(3)]
+        assert executor._await(pairs) == [0, 1, 2]
+        assert all(log.closed for _, log in pairs)
+
+    def test_sigterm_masking_child_is_killed_for_real(self, tmp_path):
+        """Integration: a real child that traps SIGTERM is gone after
+        _stop_processes, via the SIGKILL escalation."""
+        import subprocess
+        import sys
+
+        from repro.core.driver import _stop_processes
+
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import signal, time\n"
+                "signal.signal(signal.SIGTERM, signal.SIG_IGN)\n"
+                "print('up', flush=True)\n"
+                "time.sleep(60)\n",
+            ],
+            stdout=subprocess.PIPE,
+        )
+        assert process.stdout.readline().strip() == b"up"
+        log = FakeLog()
+        _stop_processes([(process, log)], grace=0.2)
+        assert process.poll() is not None
+        assert log.closed
+        process.stdout.close()

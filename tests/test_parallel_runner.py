@@ -369,3 +369,58 @@ class TestPersistentPool:
         assert sweep_to_json(canonical_sweep(second)) == sweep_to_json(
             canonical_sweep(fresh)
         )
+
+
+class TestPersistentPoolTeardown:
+    """The idempotent / reentrancy-safe close contract the serve
+    daemon's signal-driven shutdown (plus atexit) relies on."""
+
+    def test_double_close_is_a_noop(self):
+        pool = PersistentPool()
+        runner = pool.runner(2)
+        assert pool.active_runner is runner
+        pool.close()
+        assert pool.active_runner is None
+        pool.close()  # second teardown: nothing to do, nothing raised
+        assert pool.active_runner is None
+
+    def test_close_during_close_returns_instead_of_blocking(self):
+        import threading
+        import time
+
+        pool = PersistentPool()
+        pool.runner(2)
+        entered = threading.Event()
+        release = threading.Event()
+
+        original_close = pool._runner.close
+
+        def slow_close():
+            entered.set()
+            release.wait(timeout=10)
+            original_close()
+
+        pool._runner.close = slow_close
+        first = threading.Thread(target=pool.close)
+        first.start()
+        assert entered.wait(timeout=10)
+        # Reentrant close while the first is mid-teardown: must return
+        # promptly (a blocked signal handler would deadlock the drain).
+        start = time.perf_counter()
+        pool.close()
+        assert time.perf_counter() - start < 1.0
+        release.set()
+        first.join(timeout=10)
+        assert not first.is_alive()
+        assert pool.active_runner is None
+
+    def test_pool_is_usable_again_after_close(self):
+        pool = PersistentPool()
+        first = pool.runner(2)
+        pool.close()
+        second = pool.runner(2)
+        try:
+            assert second is not first
+            assert second.map(len, [[1], [1, 2]]) == [1, 2]
+        finally:
+            pool.close()
