@@ -536,6 +536,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         evaluate_kpis,
         load_scenario,
         metrics_of,
+        post_query,
         run_load,
     )
     from repro.core.serve import (
@@ -544,7 +545,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         answers_of,
         make_server,
     )
-    from repro.graphs.dataset import GraphDataset
+    from repro.graphs.dataset import DatasetDelta, GraphDataset, apply_delta
     from repro.graphs.io import dumps_dataset
 
     try:
@@ -561,6 +562,23 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     # One request = one single-query .gfd workload, so every answer in
     # the response maps back to exactly one workload query.
     query_texts = [dumps_dataset(GraphDataset([query])) for query in queries]
+
+    update_graphs = list(_load_dataset(args.updates)) if args.updates else []
+    if scenario.update_every > 0 and not update_graphs:
+        raise CliError(
+            "the scenario sets update_every but no --updates FILE "
+            "supplies the graphs to insert"
+        )
+    if update_graphs and scenario.update_every <= 0:
+        raise CliError(
+            "--updates given but the scenario sets no update_every "
+            "(add 'update_every: N' to interleave writes)"
+        )
+    # One update = insert one graph, so the applied prefix of the pool
+    # reconstructs the daemon's final dataset exactly.
+    update_texts = [
+        dumps_dataset(GraphDataset([graph])) for graph in update_graphs
+    ]
 
     method = args.method or scenario.method
     if not method:
@@ -615,7 +633,29 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             f"scenario {scenario.name}: {scenario.clients} client(s) x "
             f"{scenario.requests} request(s) against {method}{pace}"
         )
-        result = run_load(url, scenario, query_texts)
+        result = run_load(
+            url, scenario, query_texts, update_texts=update_texts or None
+        )
+        post_answers = None
+        if args.verify and result.updates:
+            if result.update_errors:
+                raise CliError(
+                    f"{result.update_errors} update(s) failed — cannot "
+                    "reconstruct the daemon's final dataset for --verify"
+                )
+            # The load's answers straddle update boundaries; only the
+            # daemon's *post-update* answers are comparable to a cold
+            # build, so re-ask each query once while it is still up.
+            post_answers = []
+            for query_index, text in enumerate(query_texts):
+                status, document = post_query(url, method, text)
+                if status != 200:
+                    raise CliError(
+                        f"post-update re-ask of workload query "
+                        f"{query_index} failed ({status}): "
+                        f"{document.get('error', '?')}"
+                    )
+                post_answers.append(document.get("answers"))
     finally:
         if server is not None:
             server.shutdown()
@@ -630,16 +670,69 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         f"latency q50 {metrics['q50_ms']:.3f} ms, "
         f"q90 {metrics['q90_ms']:.3f} ms, max {metrics['max_ms']:.3f} ms"
     )
+    if result.updates or result.update_errors:
+        print(
+            f"{metrics['updates']} update(s) applied "
+            f"({metrics['update_errors']} update error(s)); update "
+            f"latency q50 {metrics['update_q50_ms']:.3f} ms, "
+            f"mean {metrics['update_mean_ms']:.3f} ms"
+        )
     divergent = result.divergent_queries()
     if divergent:
-        shown = ", ".join(str(index) for index in divergent[:10])
-        raise CliError(
-            f"daemon returned diverging answers for {len(divergent)} "
-            f"workload quer(y/ies) (indexes {shown}) — concurrent "
-            "requests must be deterministic"
-        )
+        if result.updates:
+            # Answers legitimately change as deltas land mid-run; only
+            # the post-update re-ask (below) is held to determinism.
+            print(
+                f"note: {len(divergent)} workload quer(y/ies) changed "
+                "answers across updates (expected under mixed "
+                "read/write)"
+            )
+        else:
+            shown = ", ".join(str(index) for index in divergent[:10])
+            raise CliError(
+                f"daemon returned diverging answers for {len(divergent)} "
+                f"workload quer(y/ies) (indexes {shown}) — concurrent "
+                "requests must be deterministic"
+            )
     verified = False
-    if args.verify:
+    if args.verify and result.updates:
+        if dataset is None:
+            raise CliError(
+                "--verify needs --dataset (the batch engine answers "
+                "locally for comparison)"
+            )
+        # The daemon's final dataset is base + the applied prefix of
+        # the update pool; rebuild it cold, in process (deliberately
+        # bypassing the store: the daemon dual-wrote the same content
+        # address, so a store hit would not be an independent check).
+        final_dataset = dataset
+        for graph in update_graphs[: result.updates]:
+            final_dataset = apply_delta(
+                final_dataset, DatasetDelta(added=(graph,))
+            )
+        index = make_method(method, _supported_options(method, options))
+        index.build(_resolve_payload_dataset(final_dataset))
+        assert post_answers is not None
+        expected = [answers_of([index.query(query)]) for query in queries]
+        mismatched = [
+            query_index
+            for query_index in range(len(queries))
+            if post_answers[query_index] != expected[query_index]
+        ]
+        if mismatched:
+            shown = ", ".join(str(index) for index in mismatched[:10])
+            raise CliError(
+                f"post-update daemon answers differ from a cold batch "
+                f"build on {len(mismatched)} workload quer(y/ies) "
+                f"(indexes {shown})"
+            )
+        print(
+            f"verified: post-update daemon answers identical to a cold "
+            f"batch build over {len(final_dataset)} graph(s) "
+            f"on {len(queries)} quer(y/ies)"
+        )
+        verified = True
+    elif args.verify:
         if dataset is None:
             raise CliError(
                 "--verify needs --dataset (the batch engine answers "
@@ -677,6 +770,13 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         raise CliError(
             f"{result.errors} request(s) failed and the scenario sets "
             "no 'errors' KPI budget"
+        )
+    if result.update_errors and not any(
+        spec.metric == "update_errors" for spec in scenario.kpis
+    ):
+        raise CliError(
+            f"{result.update_errors} update(s) failed and the scenario "
+            "sets no 'update_errors' KPI budget"
         )
     outcomes = evaluate_kpis(scenario.kpis, metrics)
     for outcome in outcomes:
@@ -1303,6 +1403,11 @@ def cmd_index_ls(args: argparse.Namespace) -> int:
             f"{header.provenance.build_seconds:.3f}s  "
             f"[{params or 'defaults'}]"
         )
+        if header.parent:
+            print(
+                f"    ^ incremental update of {header.parent} "
+                f"(delta {header.delta_digest:016x})"
+            )
     print(f"total {total / 1024:.1f} KiB")
     return 0
 

@@ -562,11 +562,20 @@ def build_parser() -> argparse.ArgumentParser:
         "startups, like 'repro serve --index-store')",
     )
     bench.add_argument(
+        "--updates",
+        metavar="FILE",
+        help="graph pool (.gfd) for mixed read/write scenarios: when the "
+        "scenario sets 'update_every: N', every Nth request slot posts "
+        "the next pooled graph to the daemon's /update endpoint instead "
+        "of querying",
+    )
+    bench.add_argument(
         "--verify",
         action="store_true",
         help="after the load run, answer every workload query through "
         "the batch engine in-process and fail unless the daemon's "
-        "answers are identical",
+        "answers are identical (with --updates, the comparison engine "
+        "is built cold over the post-update dataset)",
     )
     bench.add_argument(
         "--json",
@@ -588,7 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument(
         "scenario",
         help="scenario file: 'key: value' lines (name, method, clients, "
-        "requests, rps, timeout_seconds) plus repeatable "
+        "requests, rps, timeout_seconds, update_every) plus repeatable "
         "'kpi: METRIC <= N' / 'kpi: METRIC >= N' assertions",
     )
     for flag, kwargs in (
@@ -598,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("--method", {"metavar": "NAME"}),
         ("--option", {"action": "append", "metavar": "KEY=VALUE"}),
         ("--index-store", {"metavar": "DIR"}),
+        ("--updates", {"metavar": "FILE"}),
         ("--verify", {"action": "store_true"}),
         ("--json", {"metavar": "FILE"}),
         ("--graph-core", {"choices": ["csr", "dict"]}),

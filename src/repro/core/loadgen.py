@@ -46,10 +46,13 @@ __all__ = [
     "metrics_of",
     "parse_scenario",
     "post_query",
+    "post_update",
     "run_load",
 ]
 
-BENCH_SCHEMA = "repro-serve-bench-v1"
+#: v2: records the mixed read/write shape (updates applied, update
+#: latency quantiles, ``update_every``) alongside the query KPIs.
+BENCH_SCHEMA = "repro-serve-bench-v2"
 
 
 class ScenarioError(ValueError):
@@ -70,6 +73,7 @@ SCENARIO_KEYS: dict = {
     "requests": (int, 1),
     "rps": (float, 0.0),
     "timeout_seconds": (float, 30.0),
+    "update_every": (int, 0),
 }
 
 #: Metric names a KPI may assert, matching :func:`metrics_of`.
@@ -83,6 +87,10 @@ KPI_METRICS = (
     "errors",
     "requests",
     "seconds",
+    "updates",
+    "update_errors",
+    "update_q50_ms",
+    "update_mean_ms",
 )
 
 _OPS = {"<=": lambda a, b: a <= b, ">=": lambda a, b: a >= b}
@@ -118,6 +126,10 @@ class Scenario:
     rps: float = 0.0
     #: Per-request HTTP timeout.
     timeout_seconds: float = 30.0
+    #: Mixed read/write shape: every Nth request slot issues a dataset
+    #: update (from the bench CLI's ``--updates`` pool) instead of a
+    #: query.  0 = read-only.
+    update_every: int = 0
     kpis: tuple[KpiSpec, ...] = field(default_factory=tuple)
 
 
@@ -194,6 +206,10 @@ def parse_scenario(text: str) -> Scenario:
         raise ScenarioError(f"requests must be >= 1, got {scenario.requests}")
     if scenario.rps < 0:
         raise ScenarioError(f"rps must be >= 0, got {scenario.rps}")
+    if scenario.update_every < 0:
+        raise ScenarioError(
+            f"update_every must be >= 0, got {scenario.update_every}"
+        )
     return scenario
 
 
@@ -242,6 +258,37 @@ def post_query(
         return 0, {"error": str(exc)}
 
 
+def post_update(
+    url: str,
+    add_text: str = "",
+    remove=(),
+    timeout: float = 30.0,
+) -> tuple[int, dict]:
+    """POST one dataset delta to ``<url>/update``; ``(status, document)``.
+
+    Same error contract as :func:`post_query`: HTTP failures come back
+    as a status + error document, never an exception.
+    """
+    body = json.dumps({"add": add_text, "remove": list(remove)}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url.rstrip('/')}/update",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            document = json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            document = {"error": str(exc)}
+        return exc.code, document
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        return 0, {"error": str(exc)}
+
+
 @dataclass
 class LoadResult:
     """What one load run measured."""
@@ -256,6 +303,11 @@ class LoadResult:
     #: (a correct daemon yields exactly one per query, however many
     #: concurrent clients asked).
     answers_by_query: dict[int, list] = field(default_factory=dict)
+    #: Dataset updates successfully applied (mixed read/write runs).
+    updates: int = 0
+    update_errors: int = 0
+    #: Client-observed per-update seconds, successful updates only.
+    update_latencies: list[float] = field(default_factory=list)
 
     def record_answers(self, query_index: int, answers) -> None:
         seen = self.answers_by_query.setdefault(query_index, [])
@@ -272,7 +324,10 @@ class LoadResult:
 
 
 def run_load(
-    url: str, scenario: Scenario, query_texts: list[str]
+    url: str,
+    scenario: Scenario,
+    query_texts: list[str],
+    update_texts: list[str] | None = None,
 ) -> LoadResult:
     """Drive a live daemon with *scenario* over *query_texts*.
 
@@ -283,13 +338,29 @@ def run_load(
     contract must survive.  With ``rps > 0`` request *i* is not sent
     before ``start + i/rps`` (scheduled pacing, immune to per-request
     sleep drift).
+
+    With ``scenario.update_every = N > 0``, every Nth request slot
+    posts the next graph from *update_texts* to ``/update`` instead of
+    querying (falling back to a query once the pool is drained).  The
+    pool is consumed **in order under one lock held across the POST**,
+    so however the client threads interleave, the daemon applies
+    ``update_texts[0], [1], ...`` as a strict prefix — which is what
+    lets ``--verify`` reconstruct the final dataset for the cold-engine
+    comparison.
     """
     if not query_texts:
         raise ScenarioError("run_load needs at least one query")
+    if scenario.update_every > 0 and not update_texts:
+        raise ScenarioError(
+            "scenario sets update_every but no updates were provided"
+        )
     method = scenario.method
+    updates = list(update_texts or [])
     result = LoadResult()
     lock = threading.Lock()
+    update_lock = threading.Lock()
     next_request = 0
+    next_update = 0
     start = time.perf_counter()
 
     def take() -> int | None:
@@ -301,6 +372,27 @@ def run_load(
             next_request += 1
             return index
 
+    def send_update() -> bool:
+        """Apply the next pooled update; False when the pool is dry."""
+        nonlocal next_update
+        with update_lock:
+            if next_update >= len(updates):
+                return False
+            add_text = updates[next_update]
+            next_update += 1
+            sent = time.perf_counter()
+            status, _document = post_update(
+                url, add_text, timeout=scenario.timeout_seconds
+            )
+            elapsed = time.perf_counter() - sent
+        with lock:
+            if status == 200:
+                result.updates += 1
+                result.update_latencies.append(elapsed)
+            else:
+                result.update_errors += 1
+        return True
+
     def client() -> None:
         while True:
             index = take()
@@ -311,6 +403,12 @@ def run_load(
                 delay = scheduled - time.perf_counter()
                 if delay > 0:
                     time.sleep(delay)
+            if (
+                scenario.update_every > 0
+                and (index + 1) % scenario.update_every == 0
+                and send_update()
+            ):
+                continue
             query_index = index % len(query_texts)
             sent = time.perf_counter()
             status, document = post_query(
@@ -346,6 +444,8 @@ def metrics_of(result: LoadResult) -> dict:
 
     latencies = sorted(result.latencies)
     count = len(latencies)
+    update_latencies = sorted(result.update_latencies)
+    update_count = len(update_latencies)
     return {
         "q50_ms": quantile(latencies, 0.50) * 1e3,
         "q90_ms": quantile(latencies, 0.90) * 1e3,
@@ -356,6 +456,12 @@ def metrics_of(result: LoadResult) -> dict:
         "errors": result.errors,
         "requests": result.requests,
         "seconds": result.seconds,
+        "updates": result.updates,
+        "update_errors": result.update_errors,
+        "update_q50_ms": quantile(update_latencies, 0.50) * 1e3,
+        "update_mean_ms": (
+            (sum(update_latencies) / update_count * 1e3) if update_count else 0.0
+        ),
     }
 
 
@@ -396,6 +502,7 @@ def bench_record(
         "clients": scenario.clients,
         "requests": scenario.requests,
         "rps": scenario.rps,
+        "update_every": scenario.update_every,
         **{key: metrics[key] for key in KPI_METRICS},
         "kpis": [
             {

@@ -47,7 +47,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.runner import make_method
 from repro.graphs.csr import as_core_dataset
-from repro.graphs.dataset import GraphDataset, dataset_fingerprint
+from repro.graphs.dataset import (
+    DatasetDelta,
+    GraphDataset,
+    apply_delta,
+    dataset_fingerprint,
+    delta_fingerprint,
+)
 from repro.graphs.graph import GraphError
 from repro.graphs.io import loads_dataset
 from repro.indexes import ALL_INDEX_CLASSES
@@ -249,6 +255,13 @@ class QueryService:
         self.reuse_indexes = reuse_indexes
         self.dataset_digest = dataset_fingerprint(self.dataset)
         self._states: dict[str, MethodState] = {}
+        #: Serializes whole-service updates: one delta swaps every
+        #: method's index and then the dataset, atomically with respect
+        #: to other updates (queries serialize per method as usual).
+        self._update_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending_updates = 0
+        self.updates_applied = 0
 
     # -- warm-up -------------------------------------------------------
 
@@ -381,6 +394,113 @@ class QueryService:
             "seconds": sum(r.total_seconds for r in results),
         }
 
+    # -- dynamic updates ----------------------------------------------
+
+    @property
+    def staleness(self) -> int:
+        """Updates accepted by the daemon but not yet applied.
+
+        The ``/metrics`` gauge the CI mixed read/write leg watches: it
+        rises while an update is queued or in flight and returns to 0
+        once every warm index reflects the latest dataset.
+        """
+        with self._pending_lock:
+            return self._pending_updates
+
+    def note_pending_update(self, step: int) -> None:
+        with self._pending_lock:
+            self._pending_updates += step
+
+    def update(self, delta: DatasetDelta) -> dict:
+        """Apply *delta* to the dataset and every warm index, atomically.
+
+        Each method's index is brought up to date through its
+        ``update()`` contract (incremental where the method supports it,
+        rebuild otherwise) — producing, by contract, exactly the index a
+        cold build over the post-delta dataset would.  Updated artifacts
+        are written through to the store twice: once at their lineage
+        address (derived from the parent artifact and the delta digest,
+        for ``repro index ls`` derivation chains) and once re-addressed
+        as a cold build, so future cold starts over the new dataset
+        reuse them.
+        """
+        from repro.indexes.store import (
+            artifact_from_index,
+            shared_store,
+            strip_lineage,
+        )
+
+        with self._update_lock:
+            try:
+                new_dataset = as_core_dataset(apply_delta(self.dataset, delta))
+            except (ValueError, TypeError) as exc:
+                raise ServeError(f"bad delta: {exc}")
+            new_digest = dataset_fingerprint(new_dataset)
+            ddigest = delta_fingerprint(delta)
+            store = (
+                shared_store(self.index_store_dir)
+                if self.index_store_dir
+                else None
+            )
+            summary: dict[str, dict] = {}
+            for method, state in self._states.items():
+                with state.lock:
+                    report = state.index.update(delta, new_dataset=new_dataset)
+                    artifact = artifact_from_index(
+                        state.index,
+                        new_digest,
+                        parent=state.artifact,
+                        delta_digest=ddigest,
+                    )
+                    if store is not None:
+                        store.put(artifact)
+                        store.put(strip_lineage(artifact))
+                    state.build_seconds = report.seconds
+                    state.index_bytes = report.size_bytes
+                    state.reused = False
+                    state.artifact = artifact.address
+                summary[method] = {
+                    "seconds": report.seconds,
+                    "maintenance": report.details.get("maintenance", ""),
+                    "artifact": artifact.address,
+                }
+            self.dataset = new_dataset
+            self.dataset_digest = new_digest
+            self.updates_applied += 1
+        return {
+            "graphs": len(new_dataset),
+            "dataset_digest": f"{new_digest & 0xFFFFFFFFFFFFFFFF:016x}",
+            "added": len(delta.added),
+            "removed": len(delta.removed),
+            "methods": summary,
+        }
+
+    def update_text(self, document: dict) -> dict:
+        """Apply an update from its HTTP body form.
+
+        The body contract is ``{"add": "<gfd text>", "remove": [ids]}``
+        (either key optional); ids refer to the dataset as served at
+        the moment the update is applied.
+        """
+        added: tuple = ()
+        add_text = document.get("add", "")
+        if add_text:
+            try:
+                workload = loads_dataset(str(add_text), name="update")
+            except GraphError as exc:
+                raise ServeError(f"malformed added graphs: {exc}")
+            added = tuple(workload)
+        removed = document.get("remove", [])
+        if not isinstance(removed, list):
+            raise ServeError('"remove" must be a list of graph ids')
+        try:
+            delta = DatasetDelta(added=added, removed=tuple(removed))
+        except (ValueError, TypeError) as exc:
+            raise ServeError(f"bad delta: {exc}")
+        if not delta:
+            raise ServeError("empty update: nothing to add or remove")
+        return self.update(delta)
+
     def inventory(self) -> dict:
         """The warm-method map ``/healthz`` reports."""
         return {
@@ -419,6 +539,10 @@ class ReproHTTPServer(ThreadingHTTPServer):
         super().__init__(address, ServeHandler)
         self.service = service
         self.metrics = RequestMetrics()
+        #: Update requests are metered separately: mixing second-scale
+        #: index maintenance into the query latency quantiles would
+        #: drown the numbers the KPIs assert.
+        self.update_metrics = RequestMetrics()
 
 
 class ServeHandler(BaseHTTPRequestHandler):
@@ -459,23 +583,36 @@ class ServeHandler(BaseHTTPRequestHandler):
             )
             return
         if self.path == "/metrics":
-            self._send_json(200, self.server.metrics.snapshot())
+            document = self.server.metrics.snapshot()
+            document["updates"] = self.server.update_metrics.snapshot()
+            document["staleness"] = self.server.service.staleness
+            document["updates_applied"] = self.server.service.updates_applied
+            self._send_json(200, document)
             return
         self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length)
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}")
+        if not isinstance(document, dict):
+            raise ServeError("request body must be a JSON object")
+        return document
+
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/update":
+            self._post_update()
+            return
         if self.path != "/query":
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
         started = time.perf_counter()
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            raw = self.rfile.read(length)
-            try:
-                document = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise ServeError(f"request body is not valid JSON: {exc}")
-            if not isinstance(document, dict) or "queries" not in document:
+            document = self._read_json_body()
+            if "queries" not in document:
                 raise ServeError(
                     'request body must be {"method": ..., "queries": "<gfd>"}'
                 )
@@ -490,6 +627,29 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
             return
         self.server.metrics.record(time.perf_counter() - started)
+        self._send_json(200, response)
+
+    def _post_update(self) -> None:
+        """``POST /update``: apply a dataset delta to every warm index.
+
+        The staleness gauge covers the request's full span — it rises
+        the moment the update is accepted and falls only after every
+        index reflects it (or the request fails).
+        """
+        service = self.server.service
+        started = time.perf_counter()
+        service.note_pending_update(+1)
+        try:
+            response = service.update_text(self._read_json_body())
+        except ServeError as exc:
+            self.server.update_metrics.record(
+                time.perf_counter() - started, error=True
+            )
+            self._send_json(400, {"error": str(exc)})
+            return
+        finally:
+            service.note_pending_update(-1)
+        self.server.update_metrics.record(time.perf_counter() - started)
         self._send_json(200, response)
 
 

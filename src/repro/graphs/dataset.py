@@ -19,15 +19,20 @@ import pickle
 import struct
 from array import array
 from collections.abc import Hashable, Iterable, Iterator
+from dataclasses import dataclass
 
 from repro.graphs.graph import Graph
 
 __all__ = [
+    "DatasetDelta",
     "GraphDataset",
     "PackedDatasetReader",
-    "pack_dataset",
-    "unpack_dataset",
+    "apply_delta",
     "dataset_fingerprint",
+    "delta_fingerprint",
+    "pack_dataset",
+    "removal_remap",
+    "unpack_dataset",
 ]
 
 
@@ -112,6 +117,137 @@ class GraphDataset:
     def __repr__(self) -> str:
         name = f" {self.name!r}" if self.name else ""
         return f"GraphDataset({len(self._graphs)} graphs{name})"
+
+
+# ----------------------------------------------------------------------
+# dynamic datasets: deltas, application, and delta identity
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DatasetDelta:
+    """A canonical batch of graph insertions and deletions.
+
+    ``removed`` holds ids *in the pre-delta dataset*; ``added`` holds
+    new graphs appended after the survivors.  The form is canonical:
+    removed ids are normalized to a sorted, duplicate-free tuple and
+    added graphs to a tuple, so two logically equal deltas compare and
+    digest (:func:`delta_fingerprint`) identically regardless of how
+    they were assembled.
+    """
+
+    #: Graphs to append (ids assigned after the surviving graphs).
+    added: tuple[Graph, ...] = ()
+    #: Pre-delta ids of graphs to remove (normalized sorted unique).
+    removed: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        added = tuple(self.added)
+        removed = tuple(self.removed)
+        for graph_id in removed:
+            if not isinstance(graph_id, int) or isinstance(graph_id, bool):
+                raise TypeError(f"removed id {graph_id!r} is not an int")
+            if graph_id < 0:
+                raise ValueError(f"removed id {graph_id} is negative")
+        if len(set(removed)) != len(removed):
+            raise ValueError("removed ids contain duplicates")
+        object.__setattr__(self, "added", added)
+        object.__setattr__(self, "removed", tuple(sorted(removed)))
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetDelta(+{len(self.added)} graph(s), "
+            f"-{len(self.removed)} id(s))"
+        )
+
+
+def _copied_graph(graph) -> Graph:
+    """A fresh dict-core copy of *graph* (handles CSR hosts too).
+
+    :func:`apply_delta` never aliases its inputs: ``GraphDataset.add``
+    overwrites ``graph_id`` in place, so sharing Graph objects between
+    the old and new datasets would corrupt the old one's ids.
+    """
+    copy = getattr(graph, "copy", None)
+    if copy is not None:
+        return copy()
+    return Graph.from_adjacency(
+        graph.labels,
+        [list(graph.neighbors(v)) for v in graph.vertices()],
+    )
+
+
+def apply_delta(
+    dataset: GraphDataset, delta: DatasetDelta, name: str = ""
+) -> GraphDataset:
+    """The post-delta dataset: survivors (re-densified, in id order)
+    followed by the added graphs.
+
+    Pure: returns a new dataset of graph *copies* and never mutates
+    *dataset* or the graphs inside *delta*.  The survivor copies
+    preserve adjacency iteration order (see ``Graph.from_adjacency``),
+    so a cold build over the result is byte-identical to one over any
+    equally-derived dataset — the property the incremental-maintenance
+    harness (``tests/test_incremental.py``) pins.
+    """
+    for graph_id in delta.removed:
+        if graph_id >= len(dataset):
+            raise ValueError(
+                f"removed id {graph_id} out of range for "
+                f"{len(dataset)}-graph dataset"
+            )
+    removed = set(delta.removed)
+    result = GraphDataset(name=name or dataset.name)
+    for graph_id in range(len(dataset)):
+        if graph_id not in removed:
+            result.add(_copied_graph(dataset[graph_id]))
+    for graph in delta.added:
+        result.add(_copied_graph(graph))
+    return result
+
+
+def delta_fingerprint(delta: DatasetDelta) -> int:
+    """A representation-independent 64-bit digest of a delta.
+
+    Mirrors :func:`dataset_fingerprint`'s canonical form (labels plus
+    sorted edge lists) for the added graphs, so equal deltas digest
+    alike across pickle and ``.gfd`` round trips.  Combined with a
+    parent artifact address, this keys updated-index lineage in
+    :mod:`repro.indexes.store`.
+    """
+    import hashlib
+
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(repr(delta.removed).encode("utf-8"))
+    hasher.update(repr(len(delta.added)).encode("utf-8"))
+    for graph in delta.added:
+        labels = tuple(graph.label(v) for v in graph.vertices())
+        edges: list[tuple[int, int]] = []
+        for v in graph.vertices():
+            edges.extend((v, w) for w in graph.neighbors(v) if w >= v)
+        edges.sort()
+        hasher.update(repr((graph.order, labels, edges)).encode("utf-8"))
+    return int.from_bytes(hasher.digest(), "little")
+
+
+def removal_remap(num_graphs: int, removed: Iterable[int]) -> dict[int, int]:
+    """Old-id → new-id mapping for the survivors of a removal.
+
+    Removed ids are absent from the mapping; surviving ids map to their
+    re-densified position in the post-delta dataset.  The incremental
+    index implementations use this to rewrite their per-graph postings.
+    """
+    dropped = set(removed)
+    remap: dict[int, int] = {}
+    next_id = 0
+    for graph_id in range(num_graphs):
+        if graph_id not in dropped:
+            remap[graph_id] = next_id
+            next_id += 1
+    return remap
 
 
 # ----------------------------------------------------------------------

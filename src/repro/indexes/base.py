@@ -30,7 +30,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
-from repro.graphs.dataset import GraphDataset
+from repro.graphs.dataset import DatasetDelta, GraphDataset, apply_delta
 from repro.graphs.graph import Graph
 from repro.isomorphism.vf2 import SubgraphMatcher
 from repro.utils.budget import Budget
@@ -122,6 +122,75 @@ class GraphIndex(ABC):
     @abstractmethod
     def _build(self, dataset: GraphDataset, budget: Budget | None) -> dict | None:
         """Method-specific construction; returns optional detail counters."""
+
+    # ------------------------------------------------------------------
+    # stage (a'): incremental maintenance
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        delta: DatasetDelta,
+        budget: Budget | None = None,
+        new_dataset: GraphDataset | None = None,
+    ) -> BuildReport:
+        """Bring the index up to date with *delta* applied to its dataset.
+
+        The contract is an equivalence: after ``update(delta)`` the
+        exported payload must be **byte-identical** to a cold
+        :meth:`build` over ``apply_delta(dataset, delta)``.  Methods
+        with genuinely incremental structures (Tree+Δ's mined table,
+        GRAPES' per-graph postings) override :meth:`_update`; everyone
+        else inherits the universal rebuild-from-scratch fallback, which
+        satisfies the equivalence trivially.
+
+        *new_dataset*, when given, must be the post-delta dataset
+        (callers like the serve tier apply the delta once and share the
+        result); otherwise it is computed here.  Returns the refreshed
+        :class:`BuildReport` — ``details["maintenance"]`` records which
+        path ran (``"incremental"`` or ``"rebuild"``).
+        """
+        self._require_built()
+        assert self._dataset is not None
+        if new_dataset is None:
+            new_dataset = apply_delta(self._dataset, delta)
+        else:
+            expected = len(self._dataset) - len(delta.removed) + len(delta.added)
+            if len(new_dataset) != expected:
+                raise ValueError(
+                    f"{self.name}: new_dataset has {len(new_dataset)} "
+                    f"graphs, expected {expected} after delta"
+                )
+        with Timer() as timer:
+            details = self._update(new_dataset, delta, budget)
+            if details is None:
+                self._dataset = new_dataset
+                details = self._build(new_dataset, budget) or {}
+                details["maintenance"] = "rebuild"
+            else:
+                self._dataset = new_dataset
+                details.setdefault("maintenance", "incremental")
+        self._build_report = BuildReport(
+            seconds=timer.elapsed,
+            size_bytes=self.size_bytes(),
+            details=details,
+        )
+        return self._build_report
+
+    def _update(
+        self,
+        new_dataset: GraphDataset,
+        delta: DatasetDelta,
+        budget: Budget | None,
+    ) -> dict | None:
+        """Method-specific incremental maintenance.
+
+        Called with ``self._dataset`` still pointing at the *old*
+        dataset (the swap happens after this returns).  Return detail
+        counters on success, or ``None`` to decline — the caller then
+        rebuilds from scratch.  Implementations must not mutate index
+        state before deciding to decline.
+        """
+        return None
 
     @property
     def build_report(self) -> BuildReport:

@@ -46,7 +46,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.features.paths import path_features
-from repro.graphs.dataset import GraphDataset
+from repro.graphs.dataset import DatasetDelta, GraphDataset, removal_remap
 from repro.graphs.graph import Graph
 from repro.indexes.base import GraphIndex
 from repro.indexes.pathtrie import PathTrie
@@ -112,7 +112,9 @@ class GrapesIndex(GraphIndex):
                     )
             return trie
 
-        if len(shards) == 1:
+        if not shards:  # empty dataset (e.g. a delete-everything delta)
+            tries = [PathTrie(keep_locations=True)]
+        elif len(shards) == 1:
             tries = [build_shard(shards[0])]
         else:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
@@ -124,6 +126,47 @@ class GrapesIndex(GraphIndex):
             "trie_nodes": self._trie.node_count(),
             "features": self._trie.num_features,
             "workers": len(shards),
+        }
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+
+    def _update(
+        self,
+        new_dataset: GraphDataset,
+        delta: DatasetDelta,
+        budget: Budget | None,
+    ) -> dict:
+        """True incremental maintenance over the per-graph postings.
+
+        Every (feature, graph) payload in the trie is independent of
+        every other graph, so a delta is exactly: drop the removed ids,
+        re-densify the survivors (:meth:`PathTrie.remap_graphs`), and
+        insert the added graphs' features under their new ids.  The
+        canonical export then matches a cold build byte for byte.
+        """
+        assert self._dataset is not None
+        remap = removal_remap(len(self._dataset), delta.removed)
+        self._trie.remap_graphs(remap)
+        first_new = len(new_dataset) - len(delta.added)
+        for graph_id in range(first_new, len(new_dataset)):
+            if budget is not None:
+                budget.check()
+                budget.check_memory(self._trie.estimated_bytes())
+            graph = new_dataset[graph_id]
+            features = path_features(graph, self.max_path_edges, budget=budget)
+            for canonical, occurrences in features.items():
+                self._trie.insert(
+                    canonical, graph_id, occurrences.count, occurrences.starts
+                )
+        self._components_cache = {}
+        self._components_query = None
+        return {
+            "trie_nodes": self._trie.node_count(),
+            "features": self._trie.num_features,
+            "added": len(delta.added),
+            "removed": len(delta.removed),
         }
 
     # ------------------------------------------------------------------
@@ -269,11 +312,20 @@ class GrapesIndex(GraphIndex):
         return {"max_path_edges": self.max_path_edges, "workers": self.workers}
 
     def _export_payload(self) -> object:
-        return self._trie
+        # Canonical nested tuples, not the live trie: the live dicts
+        # remember insertion history (shard interleaving, update order),
+        # so only the sorted form satisfies the update == rebuild
+        # byte-identity contract.  dedup_structure makes equal exports
+        # pickle to equal bytes (pickle memoizes leaves by identity).
+        from repro.utils.hashing import dedup_structure
+
+        return dedup_structure(self._trie.to_canonical())
 
     def _import_payload(self, payload: object) -> None:
-        assert isinstance(payload, PathTrie)
-        self._trie = payload
+        assert isinstance(payload, tuple)
+        # from_canonical builds fresh dicts/sets, so several instances
+        # can materialize one in-memory payload without sharing state.
+        self._trie = PathTrie.from_canonical(payload)
         # Per-query projection state never travels with the payload.
         self._components_cache = {}
         self._components_query = None

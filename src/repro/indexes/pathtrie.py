@@ -165,6 +165,132 @@ class PathTrie:
                     self.num_nodes += 1
                 stack.append((my_child, their_child))
 
+    # ------------------------------------------------------------------
+    # canonical form + incremental maintenance
+    # ------------------------------------------------------------------
+
+    def to_canonical(self) -> tuple:
+        """The trie as nested sorted tuples — one canonical byte form.
+
+        A live trie's dictionaries remember insertion history, so its
+        pickle bytes differ between (say) a sharded parallel build and
+        an incremental update even when the content is equal.  The
+        canonical form sorts every level (children by ``repr`` of the
+        label, payload entries by graph id) and **prunes** subtrees
+        holding no counts anywhere — exactly the nodes a cold build
+        over the same feature set would never create.  Grapes exports
+        this form, which is what the update == rebuild byte-identity
+        contract compares.
+        """
+
+        def encode(node: TrieNode) -> tuple | None:
+            children = []
+            for label, child in sorted(
+                node.children.items(), key=lambda item: repr(item[0])
+            ):
+                encoded = encode(child)
+                if encoded is not None:
+                    children.append((label, encoded))
+            counts = tuple(sorted(node.counts.items()))
+            if not counts and not children:
+                return None
+            starts: tuple | None = None
+            if node.starts is not None and counts:
+                starts = tuple(
+                    (graph_id, tuple(sorted(vertex_set)))
+                    for graph_id, vertex_set in sorted(node.starts.items())
+                )
+            return (counts, starts, tuple(children))
+
+        encoded_root = encode(self.root)
+        if encoded_root is None:
+            encoded_root = ((), None, ())
+        return (bool(self.keep_locations), encoded_root)
+
+    @classmethod
+    def from_canonical(cls, data: tuple) -> "PathTrie":
+        """Rebuild a live trie from :meth:`to_canonical` output.
+
+        Always returns a fresh structure (fresh dicts and sets), so one
+        exported payload can be materialized into several index
+        instances without sharing mutable state.
+        """
+        keep_locations, encoded_root = data
+        trie = cls(keep_locations=bool(keep_locations))
+
+        def decode(node: TrieNode, encoded: tuple) -> None:
+            counts, starts, children = encoded
+            if counts:
+                trie.num_features += 1
+                trie.num_count_entries += len(counts)
+                node.counts = dict(counts)
+            if starts is not None:
+                node.starts = {
+                    graph_id: set(vertex_tuple)
+                    for graph_id, vertex_tuple in starts
+                }
+                trie.num_location_entries += sum(
+                    len(vertex_tuple) for _, vertex_tuple in starts
+                )
+            for label, encoded_child in children:
+                child = node.children[label] = TrieNode()
+                trie.num_nodes += 1
+                decode(child, encoded_child)
+
+        decode(trie.root, encoded_root)
+        return trie
+
+    def remap_graphs(self, remap: dict[int, int]) -> None:
+        """Rewrite per-graph payloads through *remap* and prune the dead.
+
+        Graph ids absent from *remap* are dropped (deleted graphs);
+        surviving ids are rewritten to their post-delta values.  Nodes
+        whose subtree loses every count are physically removed, and the
+        size counters are recomputed, so the live trie matches what a
+        cold build over the surviving graphs would construct.
+        """
+
+        def rewrite(node: TrieNode) -> bool:
+            alive = False
+            for label in list(node.children):
+                if rewrite(node.children[label]):
+                    alive = True
+                else:
+                    del node.children[label]
+            if node.counts:
+                node.counts = {
+                    remap[graph_id]: count
+                    for graph_id, count in node.counts.items()
+                    if graph_id in remap
+                }
+            if node.counts:
+                alive = True
+                if node.starts is not None:
+                    node.starts = {
+                        remap[graph_id]: starts
+                        for graph_id, starts in node.starts.items()
+                        if graph_id in remap
+                    }
+            else:
+                node.starts = None
+            return alive
+
+        rewrite(self.root)
+        self.num_nodes = 1
+        self.num_features = 0
+        self.num_count_entries = 0
+        self.num_location_entries = 0
+        for node in self.nodes():
+            if node is not self.root:
+                self.num_nodes += 1
+            if node.counts:
+                self.num_features += 1
+                self.num_count_entries += len(node.counts)
+            if node.starts:
+                self.num_location_entries += sum(
+                    len(starts) for starts in node.starts.values()
+                )
+
     def nodes(self) -> Iterator[TrieNode]:
         """Iterate over all trie nodes (for size/statistics reporting)."""
         stack = [self.root]

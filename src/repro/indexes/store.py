@@ -63,16 +63,19 @@ __all__ = [
     "artifact_address",
     "artifact_from_index",
     "clear_stores",
+    "lineage_address",
     "materialize_artifact",
     "read_artifact",
     "read_artifact_header",
     "shared_store",
+    "strip_lineage",
     "write_artifact",
 ]
 
 #: Artifact schema tag; bump when the on-disk layout changes.  Loading
 #: any other tag is a loud "stale artifact" failure, never a guess.
-_ARTIFACT_SCHEMA = "repro-index-artifact-v1"
+#: v2: headers carry update lineage (parent address + delta digest).
+_ARTIFACT_SCHEMA = "repro-index-artifact-v2"
 
 #: Default capacity of the in-memory LRU tier, in artifacts.
 _DEFAULT_MEMORY_ITEMS = 8
@@ -123,9 +126,21 @@ class ArtifactHeader:
     dataset_digest: int
     num_graphs: int
     provenance: ArtifactProvenance
+    #: Update lineage: the address of the artifact this one was derived
+    #: from by an incremental ``update()`` ("" = a cold build), and the
+    #: :func:`repro.graphs.dataset.delta_fingerprint` of the delta that
+    #: derived it.
+    parent: str = ""
+    delta_digest: int = 0
 
     @property
     def address(self) -> str:
+        # Updated artifacts live at a lineage address — a pure function
+        # of (parent address, delta digest) — so `repro index ls` can
+        # show derivation chains.  Cold builds keep the content address,
+        # preserving gc's name == header.address invariant either way.
+        if self.parent:
+            return lineage_address(self.parent, self.delta_digest)
         return artifact_address(
             self.method, dict(self.index_params), self.dataset_digest
         )
@@ -167,11 +182,39 @@ def artifact_address(method: str, params: Mapping, dataset_digest: int) -> str:
     return f"{safe_method}-{dataset_digest & 0xFFFFFFFFFFFFFFFF:016x}-{params_digest:016x}"
 
 
+def lineage_address(parent_address: str, delta_digest: int) -> str:
+    """The address of an updated artifact: pure in (parent, delta).
+
+    Two updates of the same parent by equal deltas collide on purpose
+    (that's the reuse); the method prefix is carried over from the
+    parent so listings stay greppable by method.
+    """
+    method = parent_address.split("-", 1)[0]
+    derived = stable_hash((parent_address, delta_digest & 0xFFFFFFFFFFFFFFFF))
+    return f"{method}-upd-{derived:016x}"
+
+
+def strip_lineage(artifact: IndexArtifact) -> IndexArtifact:
+    """The same artifact re-addressed as a cold build.
+
+    Because ``update()`` is byte-identical to a rebuild, an updated
+    payload *is* the cold-build payload for the post-delta dataset; the
+    serve tier dual-writes under this stripped (content) address so
+    future cold starts over the new dataset reuse it.
+    """
+    import dataclasses
+
+    header = dataclasses.replace(artifact.header, parent="", delta_digest=0)
+    return IndexArtifact(header=header, payload=artifact.payload)
+
+
 def artifact_from_index(
     index: GraphIndex,
     dataset_digest: int,
     created_at: float | None = None,
     clock=time.time,
+    parent: str = "",
+    delta_digest: int = 0,
 ) -> IndexArtifact:
     """Snapshot a **built** *index* into an artifact.
 
@@ -195,6 +238,8 @@ def artifact_from_index(
             library_version=__version__,
             created_at=clock() if created_at is None else created_at,
         ),
+        parent=parent,
+        delta_digest=delta_digest if parent else 0,
     )
     return IndexArtifact(header=header, payload=index.export_payload())
 
@@ -513,7 +558,7 @@ class IndexStore:
         kept_bytes).
         """
         removed_corrupt = 0
-        keep: list[tuple[Path, int, float]] = []  # (path, size, mtime)
+        keep: list[tuple[Path, int, float, ArtifactHeader]] = []
         for path, header in self.entries():
             if header is None or path.name != f"{header.address}.idx":
                 path.unlink(missing_ok=True)
@@ -521,16 +566,24 @@ class IndexStore:
                 removed_corrupt += 1
                 continue
             stat = path.stat()
-            keep.append((path, stat.st_size, stat.st_mtime))
+            keep.append((path, stat.st_size, stat.st_mtime, header))
         removed_evicted = 0
         if max_bytes is not None:
-            # Strictly oldest-modified first: evict until the rest fit.
-            # (A newest-first "keep what fits" greedy would evict a hot
-            # large artifact while keeping cold small ones.)
-            keep.sort(key=lambda item: item[2])  # oldest first
-            total = sum(size for _, size, _ in keep)
+            # Addresses referenced as some kept artifact's update parent
+            # are lineage *interiors*; everything else is a head (the
+            # newest artifact of its chain, or a plain cold build).
+            # Evict interiors before heads, oldest-modified first within
+            # each class: a chain's serving tip must outlive its
+            # superseded ancestors.  (A newest-first "keep what fits"
+            # greedy would evict a hot large artifact while keeping cold
+            # small ones.)
+            referenced = {
+                header.parent for _, _, _, header in keep if header.parent
+            }
+            keep.sort(key=lambda item: (item[0].stem not in referenced, item[2]))
+            total = sum(size for _, size, _, _ in keep)
             while keep and total > max_bytes:
-                path, size, _ = keep.pop(0)
+                path, size, _, _ = keep.pop(0)
                 path.unlink(missing_ok=True)
                 self._drop_address(path.stem)
                 removed_evicted += 1
@@ -539,7 +592,7 @@ class IndexStore:
             "removed_corrupt": removed_corrupt,
             "removed_evicted": removed_evicted,
             "kept": len(keep),
-            "kept_bytes": sum(size for _, size, _ in keep),
+            "kept_bytes": sum(size for _, size, _, _ in keep),
         }
 
     def _drop_address(self, address: str) -> None:

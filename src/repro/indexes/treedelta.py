@@ -45,7 +45,7 @@ import math
 
 from repro.canonical.dfscode import DfsCode, min_dfs_code
 from repro.features.cycles import enumerate_simple_cycles
-from repro.graphs.dataset import GraphDataset
+from repro.graphs.dataset import DatasetDelta, GraphDataset, removal_remap
 from repro.graphs.graph import Graph
 from repro.indexes.base import GraphIndex
 from repro.isomorphism.vf2 import is_subgraph
@@ -118,6 +118,134 @@ class TreeDeltaIndex(GraphIndex):
             "frequent_trees": len(self._tree_ids),
             "min_support": min_support,
         }
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+
+    def _update(
+        self,
+        new_dataset: GraphDataset,
+        delta: DatasetDelta,
+        budget: Budget | None,
+    ) -> dict | None:
+        """Incremental maintenance of the frequent-tree table.
+
+        Sound only while the absolute support threshold is unchanged
+        (``ceil(support_ratio * |D|)`` before == after); otherwise the
+        frequent set can grow in ways only a full re-mine sees, so we
+        decline and the base class rebuilds.
+
+        With the threshold fixed the table stays *exact* throughout:
+
+        * every stored id list is the exact support set of its code
+          (gSpan records true embeddings), so dropping removed ids and
+          re-densifying keeps it exact over the survivors;
+        * a code that becomes frequent only after the delta must occur
+          in at least one added graph (its survivor support is below
+          the threshold by anti-monotonicity), so solo-mining the added
+          graphs discovers every table entrant — survivor support for
+          brand-new codes is then counted by verification over a
+          fragment-pruned candidate pool;
+        * finally every entry below the threshold is evicted.
+
+        The Δ table resets to empty, exactly as a cold build leaves it.
+        """
+        assert self._dataset is not None
+        old_min = max(1, math.ceil(self.support_ratio * len(self._dataset)))
+        new_min = max(1, math.ceil(self.support_ratio * len(new_dataset)))
+        if new_min != old_min:
+            return None
+
+        remap = removal_remap(len(self._dataset), delta.removed)
+        table: dict[DfsCode, frozenset[int]] = {
+            code: frozenset(remap[g] for g in ids if g in remap)
+            for code, ids in self._tree_ids.items()
+        }
+
+        first_new = len(new_dataset) - len(delta.added)
+        added_codes: dict[DfsCode, tuple[Graph, set[int]]] = {}
+        for graph_id in range(first_new, len(new_dataset)):
+            if budget is not None:
+                budget.check()
+            mined = mine_frequent_patterns(
+                [new_dataset[graph_id]],
+                min_support=1,
+                max_edges=self.max_feature_edges,
+                trees_only=True,
+                budget=budget,
+            )
+            for code, pattern in mined.items():
+                entry = added_codes.get(code)
+                if entry is None:
+                    added_codes[code] = (pattern.graph, {graph_id})
+                else:
+                    entry[1].add(graph_id)
+
+        for code, (pattern_graph, new_ids) in added_codes.items():
+            existing = table.get(code)
+            if existing is not None:
+                table[code] = existing | frozenset(new_ids)
+                continue
+            # Brand new code: count its survivor support exactly, with
+            # apriori pruning through fragments already tabled.
+            candidates = self._survivor_candidates(
+                pattern_graph, table, first_new, budget
+            )
+            verified = set()
+            for graph_id in candidates:
+                if budget is not None:
+                    budget.check()
+                if is_subgraph(
+                    pattern_graph, new_dataset[graph_id], budget=budget
+                ):
+                    verified.add(graph_id)
+            table[code] = frozenset(verified) | frozenset(new_ids)
+
+        table = {
+            code: ids for code, ids in table.items() if len(ids) >= new_min
+        }
+        self._tree_ids = table
+        self._frequent_trees = set(table)
+        self._delta_ids = {}
+        return {
+            "frequent_trees": len(table),
+            "min_support": new_min,
+            "added": len(delta.added),
+            "removed": len(delta.removed),
+        }
+
+    def _survivor_candidates(
+        self,
+        pattern_graph: Graph,
+        table: dict[DfsCode, frozenset[int]],
+        first_new: int,
+        budget: Budget | None,
+    ) -> set[int]:
+        """Surviving-graph ids that may contain *pattern_graph*.
+
+        Intersects the exact id lists of the pattern's tree fragments
+        that are present in *table*; missing fragments only widen the
+        pool (verification closes the gap).
+        """
+        fragments = mine_frequent_patterns(
+            [pattern_graph],
+            min_support=1,
+            max_edges=self.max_feature_edges,
+            trees_only=True,
+            budget=budget,
+        )
+        pool: set[int] | None = None
+        for code in fragments:
+            ids = table.get(code)
+            if ids is None:
+                continue
+            pool = set(ids) if pool is None else pool & ids
+            if not pool:
+                return set()
+        if pool is None:
+            return set(range(first_new))
+        return {graph_id for graph_id in pool if graph_id < first_new}
 
     # ------------------------------------------------------------------
 
@@ -248,17 +376,37 @@ class TreeDeltaIndex(GraphIndex):
         }
 
     def _export_payload(self) -> object:
-        # Snapshot the Δ table: queries after export must not mutate
-        # the exported payload.
-        return (self._tree_ids, self._frequent_trees, dict(self._delta_ids))
+        # The payload is the mined table alone, in one canonical sorted
+        # form.  Query-time Δ adoptions are deliberately *excluded*: the
+        # Δ table is a per-instance cache whose content depends on which
+        # queries happened to run, so folding it in would make the
+        # export a function of query history — breaking both the
+        # update == rebuild byte-identity contract and determinism of
+        # persisted artifacts.  (``repr`` is the sort key because DfsCode
+        # tuples can mix label types that don't order against each
+        # other; dedup_structure makes equal exports pickle to equal
+        # bytes — pickle memoizes leaves by identity.)
+        from repro.utils.hashing import dedup_structure
+
+        return dedup_structure(
+            tuple(
+                sorted(
+                    (
+                        (code, tuple(sorted(ids)))
+                        for code, ids in self._tree_ids.items()
+                    ),
+                    key=lambda item: repr(item[0]),
+                )
+            )
+        )
 
     def _import_payload(self, payload: object) -> None:
-        tree_ids, frequent_trees, delta_ids = payload  # type: ignore[misc]
-        self._tree_ids = tree_ids
-        self._frequent_trees = frequent_trees
-        # Copy: Δ adoption mutates this dict at query time, and one
+        assert isinstance(payload, tuple)
+        # Fresh containers: the Δ table mutates at query time, and one
         # in-memory payload may back several materialized instances.
-        self._delta_ids = dict(delta_ids)
+        self._tree_ids = {code: frozenset(ids) for code, ids in payload}
+        self._frequent_trees = set(self._tree_ids)
+        self._delta_ids = {}
 
 
 def _edge_subgraph(graph: Graph, edges: list[tuple[int, int]]) -> Graph:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 
-__all__ = ["stable_hash", "stable_digest", "hash_positions"]
+__all__ = ["stable_hash", "stable_digest", "dedup_structure", "hash_positions"]
 
 
 def stable_hash(obj: object, *, salt: bytes = b"") -> int:
@@ -35,6 +35,30 @@ def stable_digest(data: bytes) -> int:
     """
     digest = hashlib.blake2b(data, digest_size=8)
     return int.from_bytes(digest.digest(), "little")
+
+
+def dedup_structure(obj: object, _memo: dict | None = None) -> object:
+    """Rebuild nested tuples so equal leaves share one object.
+
+    ``pickle`` memoizes by object *identity*: two equal structures
+    serialize to different bytes when one reuses a leaf object (an
+    interned label string, a cached int) where the other holds a fresh
+    equal copy.  Canonical index payloads route through this before
+    export, so "equal payload" and "equal pickle bytes" coincide — the
+    property the incremental-update harness asserts.  Leaves are keyed
+    by ``(type, value)`` (``1``, ``1.0`` and ``True`` must not unify);
+    unhashable leaves pass through untouched.
+    """
+    if _memo is None:
+        _memo = {}
+    if type(obj) is tuple:
+        return tuple(dedup_structure(item, _memo) for item in obj)
+    if obj is None or isinstance(obj, bool):
+        return obj
+    try:
+        return _memo.setdefault((type(obj), obj), obj)
+    except TypeError:
+        return obj
 
 
 def hash_positions(obj: object, width: int, count: int) -> list[int]:

@@ -89,7 +89,7 @@ class TestBenchServe:
         assert "verified: daemon answers identical" in out
         assert out.count("PASS") == 3 and "FAIL" not in out
         record = json.loads(json_path.read_text())
-        assert record["schema"] == "repro-serve-bench-v1"
+        assert record["schema"] == "repro-serve-bench-v2"
         assert record["passed"] is True
         assert record["verified"] is True
         assert record["requests"] == 8

@@ -1,0 +1,354 @@
+"""Differential-update harness for dynamic datasets (PR 8).
+
+The incremental-maintenance contract is strict: after ``update(delta)``,
+every index must export a payload **byte-identical** (under pickle) to a
+cold build over the post-delta dataset, and answer queries identically.
+Tree+Δ and Grapes maintain their structures in place; the other methods
+fall back to a rebuild — the contract is the same either way, so one
+harness drives all seven.
+"""
+
+import math
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import make_method
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.graphs.dataset import (
+    DatasetDelta,
+    GraphDataset,
+    apply_delta,
+    dataset_fingerprint,
+    delta_fingerprint,
+    removal_remap,
+)
+from repro.graphs.graph import Graph
+from tests.testkit import path_graph, random_graph, triangle
+
+#: Method name -> constructor options tuned for fast small-data tests.
+FAST_OPTIONS = {
+    "naive": {},
+    "ggsx": {"max_path_edges": 2},
+    "grapes": {"max_path_edges": 2, "workers": 2},
+    "ctindex": {"fingerprint_bits": 64, "feature_edges": 2},
+    "gcode": {},
+    "gindex": {"max_fragment_edges": 2, "support_ratio": 0.4},
+    "tree+delta": {"max_feature_edges": 2, "support_ratio": 0.4},
+}
+
+ALL_METHODS = sorted(FAST_OPTIONS)
+
+#: Methods with true in-place maintenance (everything else rebuilds).
+INCREMENTAL_METHODS = {"grapes", "tree+delta"}
+
+
+def small_dataset(num_graphs=6, seed=5):
+    config = GraphGenConfig(
+        num_graphs=num_graphs, mean_nodes=8, mean_density=0.3, num_labels=3
+    )
+    return generate_dataset(config, seed=seed, name="incr-base")
+
+
+def extra_graphs(count, seed=77):
+    rng = random.Random(seed)
+    return tuple(
+        random_graph(rng, min_vertices=4, max_vertices=8, labels=("L0", "L1", "L2"))
+        for _ in range(count)
+    )
+
+
+def payload_bytes(index):
+    return pickle.dumps(index.export_payload(), pickle.HIGHEST_PROTOCOL)
+
+
+def cold_payload_bytes(method, dataset, options=None):
+    cold = make_method(method, FAST_OPTIONS[method] if options is None else options)
+    cold.build(dataset)
+    return payload_bytes(cold), cold
+
+
+# ---------------------------------------------------------------------------
+# DatasetDelta / apply_delta primitives
+# ---------------------------------------------------------------------------
+
+
+class TestDatasetDelta:
+    def test_removed_is_normalized_sorted(self):
+        delta = DatasetDelta(removed=(3, 1, 2))
+        assert delta.removed == (1, 2, 3)
+
+    def test_rejects_negative_duplicate_and_non_int_ids(self):
+        with pytest.raises(ValueError):
+            DatasetDelta(removed=(-1,))
+        with pytest.raises(ValueError):
+            DatasetDelta(removed=(2, 2))
+        with pytest.raises(TypeError):
+            DatasetDelta(removed=(True,))
+        with pytest.raises(TypeError):
+            DatasetDelta(removed=("0",))
+
+    def test_truthiness_tracks_content(self):
+        assert not DatasetDelta()
+        assert DatasetDelta(added=(triangle(),))
+        assert DatasetDelta(removed=(0,))
+
+    def test_apply_delta_orders_survivors_then_added(self):
+        base = small_dataset(num_graphs=5)
+        added = extra_graphs(2)
+        result = apply_delta(base, DatasetDelta(added=added, removed=(1, 3)))
+        assert len(result) == 5
+        survivors = [0, 2, 4]
+        for new_id, old_id in enumerate(survivors):
+            assert result[new_id].labels == base[old_id].labels
+        for offset, graph in enumerate(added):
+            assert result[3 + offset].labels == graph.labels
+
+    def test_apply_delta_rejects_out_of_range_removal(self):
+        base = small_dataset(num_graphs=3)
+        with pytest.raises(ValueError):
+            apply_delta(base, DatasetDelta(removed=(3,)))
+
+    def test_apply_delta_copies_graphs(self):
+        base = GraphDataset([path_graph("ABC"), triangle()])
+        result = apply_delta(base, DatasetDelta())
+        assert result[0] is not base[0]
+        fingerprint = dataset_fingerprint(base)
+        result[0].add_edge(0, 2)  # the path lacks this closing edge
+        assert dataset_fingerprint(base) == fingerprint
+
+    def test_delta_fingerprint_is_content_addressed(self):
+        graphs = extra_graphs(2)
+        a = DatasetDelta(added=graphs, removed=(0, 2))
+        b = DatasetDelta(added=extra_graphs(2), removed=(2, 0))
+        assert delta_fingerprint(a) == delta_fingerprint(b)
+        c = DatasetDelta(added=graphs, removed=(0,))
+        assert delta_fingerprint(a) != delta_fingerprint(c)
+        assert delta_fingerprint(a) != delta_fingerprint(DatasetDelta())
+
+    def test_removal_remap(self):
+        remap = removal_remap(5, (1, 3))
+        assert remap == {0: 0, 2: 1, 4: 2}
+        assert removal_remap(3, ()) == {0: 0, 1: 1, 2: 2}
+        assert removal_remap(2, (0, 1)) == {}
+
+
+# ---------------------------------------------------------------------------
+# update(): contract plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestUpdateContract:
+    def test_update_requires_built_index(self):
+        index = make_method("naive")
+        with pytest.raises(RuntimeError):
+            index.update(DatasetDelta(added=(triangle(),)))
+
+    def test_update_validates_precomputed_dataset(self):
+        index = make_method("naive")
+        index.build(small_dataset(num_graphs=3))
+        wrong = small_dataset(num_graphs=5, seed=9)
+        with pytest.raises(ValueError):
+            index.update(DatasetDelta(added=(triangle(),)), new_dataset=wrong)
+
+    def test_fallback_methods_tag_rebuild_maintenance(self):
+        index = make_method("naive")
+        index.build(small_dataset(num_graphs=3))
+        report = index.update(DatasetDelta(added=(triangle(),)))
+        assert report.details["maintenance"] == "rebuild"
+
+    @pytest.mark.parametrize("method", sorted(INCREMENTAL_METHODS))
+    def test_incremental_methods_tag_incremental_maintenance(self, method):
+        index = make_method(method, FAST_OPTIONS[method])
+        index.build(small_dataset())
+        report = index.update(DatasetDelta(added=(triangle(),), removed=(0,)))
+        assert report.details["maintenance"] == "incremental"
+
+    def test_treedelta_declines_when_min_support_moves(self):
+        # 6 -> 9 graphs at ratio 0.4 moves the absolute min support
+        # (ceil(2.4)=3 -> ceil(3.6)=4): the table update is no longer
+        # exact, so the index must rebuild rather than guess.
+        index = make_method("tree+delta", FAST_OPTIONS["tree+delta"])
+        index.build(small_dataset(num_graphs=6))
+        report = index.update(DatasetDelta(added=extra_graphs(3)))
+        assert report.details["maintenance"] == "rebuild"
+        old_min = max(1, math.ceil(0.4 * 6))
+        new_min = max(1, math.ceil(0.4 * 9))
+        assert old_min != new_min
+
+
+# ---------------------------------------------------------------------------
+# Differential harness: update == cold rebuild, byte for byte
+# ---------------------------------------------------------------------------
+
+
+def scripted_deltas(base_len):
+    """A fixed gauntlet: mixed, empty, delete-everything, regrow."""
+    pool = extra_graphs(6, seed=123)
+    return [
+        DatasetDelta(added=pool[:2], removed=(0, base_len - 1)),
+        DatasetDelta(),
+        DatasetDelta(added=pool[2:3], removed=(1,)),
+        # delete-everything: base_len - 2 + 2 + 1 - 1 graphs remain
+        DatasetDelta(removed=tuple(range(base_len))),
+        DatasetDelta(added=pool[3:5]),
+    ]
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_scripted_sequence_matches_cold_build(method):
+    base = small_dataset()
+    index = make_method(method, FAST_OPTIONS[method])
+    index.build(base)
+    dataset = base
+    query = path_graph(["L0", "L1"])
+    for step, delta in enumerate(scripted_deltas(len(base))):
+        dataset = apply_delta(dataset, delta)
+        index.update(delta)
+        cold_bytes, cold = cold_payload_bytes(method, dataset)
+        assert payload_bytes(index) == cold_bytes, (
+            f"{method}: payload diverged from cold build at step {step}"
+        )
+        live = index.query(query)
+        want = cold.query(query)
+        assert live.candidates == want.candidates
+        assert live.answers == want.answers
+
+
+@st.composite
+def delta_sequences(draw):
+    """1-3 deltas over a known base size, tracking the evolving length.
+
+    Covers the required shapes: pure insert, pure delete, mixed
+    insert+delete, the empty delta, and delete-everything (when the
+    drawn removal count hits the whole dataset).
+    """
+    base_len = draw(st.integers(3, 6))
+    length = base_len
+    pool = list(extra_graphs(9, seed=draw(st.integers(0, 2**16))))
+    deltas = []
+    for _ in range(draw(st.integers(1, 3))):
+        num_added = draw(st.integers(0, 3))
+        added = tuple(pool.pop() for _ in range(num_added))
+        num_removed = draw(st.integers(0, length))
+        removed = tuple(
+            draw(
+                st.lists(
+                    st.integers(0, length - 1),
+                    min_size=num_removed,
+                    max_size=num_removed,
+                    unique=True,
+                )
+            )
+            if length
+            else []
+        )
+        deltas.append(DatasetDelta(added=added, removed=removed))
+        length = length - len(removed) + len(added)
+    return base_len, deltas
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+@settings(max_examples=8, deadline=None)
+@given(data=delta_sequences())
+def test_random_sequences_match_cold_build(method, data):
+    base_len, deltas = data
+    base = small_dataset(num_graphs=base_len)
+    index = make_method(method, FAST_OPTIONS[method])
+    index.build(base)
+    dataset = base
+    query = path_graph(["L1", "L2"])
+    for delta in deltas:
+        dataset = apply_delta(dataset, delta)
+        index.update(delta)
+        cold_bytes, cold = cold_payload_bytes(method, dataset)
+        assert payload_bytes(index) == cold_bytes
+        live = index.query(query)
+        want = cold.query(query)
+        assert live.candidates == want.candidates
+        assert live.answers == want.answers
+
+
+# ---------------------------------------------------------------------------
+# Tree+Δ: query-time Δ-table state never leaks into update/export
+# ---------------------------------------------------------------------------
+
+
+class TestTreeDeltaIsolation:
+    #: max_feature_edges >= 3 so simple cycles qualify as Δ features,
+    #: and a low support ratio so the query's tree fragments are all
+    #: frequent (the Δ stage only runs past a real tree candidate set).
+    OPTIONS = {"max_feature_edges": 3, "support_ratio": 0.15}
+
+    def build_with_delta_state(self):
+        index = make_method("tree+delta", self.OPTIONS)
+        base = small_dataset()
+        index.build(base)
+        # A cyclic query exercises the Δ-table adoption path: graph
+        # features beyond the tree skeleton get memoized at query time.
+        cyclic = triangle(("L0", "L0", "L0"))
+        index.query(cyclic)
+        return index, base
+
+    def test_export_excludes_query_time_delta_state(self):
+        index, base = self.build_with_delta_state()
+        cold_bytes, _ = cold_payload_bytes("tree+delta", base, self.OPTIONS)
+        assert payload_bytes(index) == cold_bytes
+
+    def test_update_after_queries_matches_cold_build(self):
+        index, base = self.build_with_delta_state()
+        delta = DatasetDelta(added=extra_graphs(1), removed=(2,))
+        dataset = apply_delta(base, delta)
+        index.update(delta)
+        cold_bytes, cold = cold_payload_bytes("tree+delta", dataset, self.OPTIONS)
+        assert payload_bytes(index) == cold_bytes
+        # Interleave further queries and a second update: answers and
+        # payloads must stay pinned to the cold equivalents.
+        cyclic = triangle(("L1", "L1", "L1"))
+        assert index.query(cyclic).answers == cold.query(cyclic).answers
+        second = DatasetDelta(added=extra_graphs(1, seed=31))
+        dataset = apply_delta(dataset, second)
+        index.update(second)
+        cold_bytes, _ = cold_payload_bytes("tree+delta", dataset, self.OPTIONS)
+        assert payload_bytes(index) == cold_bytes
+
+    def test_adopted_delta_entries_answer_like_cold_index(self):
+        index, base = self.build_with_delta_state()
+        assert index._delta_ids  # the cyclic query populated the table
+        _, cold = cold_payload_bytes("tree+delta", base, self.OPTIONS)
+        queries = (triangle(("L0", "L0", "L0")), path_graph(["L0", "L1", "L2"]))
+        for query in queries:
+            live = index.query(query)
+            want = cold.query(query)
+            assert live.candidates == want.candidates
+            assert live.answers == want.answers
+
+
+# ---------------------------------------------------------------------------
+# Maintenance across graph cores
+# ---------------------------------------------------------------------------
+
+
+def test_update_accepts_csr_added_graphs():
+    # CSR graphs have no .copy(); apply_delta must still deep-copy them.
+    from repro.graphs.csr import CSRGraph
+
+    base = small_dataset(num_graphs=4)
+    dense = Graph(["L0", "L1", "L2"])
+    dense.add_edge(0, 1)
+    dense.add_edge(1, 2)
+    csr = CSRGraph.from_graph(dense)
+    delta = DatasetDelta(added=(csr,))
+    result = apply_delta(base, delta)
+    assert tuple(result[4].labels) == tuple(dense.labels)
+    index = make_method("grapes", FAST_OPTIONS["grapes"])
+    index.build(base)
+    index.update(delta)
+    cold = make_method("grapes", FAST_OPTIONS["grapes"])
+    cold.build(result)
+    assert payload_bytes(index) == pickle.dumps(
+        cold.export_payload(), pickle.HIGHEST_PROTOCOL
+    )

@@ -463,3 +463,134 @@ class TestCellReuse:
         assert cell.provenance  # tagged...
         assert "provenance" not in cell_to_dict(cell)  # ...but never saved
         assert canonical_cell(cell).provenance == {}
+
+
+# ----------------------------------------------------------------------
+# lineage: incremental updates as first-class artifacts (PR 8)
+# ----------------------------------------------------------------------
+
+
+class TestLineage:
+    def updated_pair(self, dataset):
+        """Build, update through a delta, return (artifact, new_digest,
+        parent_address, delta) for the updated index."""
+        from repro.graphs.dataset import (
+            DatasetDelta,
+            apply_delta,
+            delta_fingerprint,
+        )
+        from tests.testkit import triangle
+
+        index = build("grapes", dataset)
+        parent = artifact_from_index(index, dataset_fingerprint(dataset))
+        delta = DatasetDelta(added=(triangle(),), removed=(0,))
+        after = apply_delta(dataset, delta)
+        index.update(delta)
+        artifact = artifact_from_index(
+            index,
+            dataset_fingerprint(after),
+            parent=parent.address,
+            delta_digest=delta_fingerprint(delta),
+        )
+        return parent, artifact, after, delta
+
+    def test_lineage_address_pure_in_parent_and_delta(self, dataset):
+        from repro.graphs.dataset import delta_fingerprint
+        from repro.indexes.store import lineage_address
+
+        parent, artifact, _, delta = self.updated_pair(dataset)
+        ddigest = delta_fingerprint(delta)
+        assert artifact.address == lineage_address(parent.address, ddigest)
+        # Pure: recomputing from the same inputs gives the same address;
+        # perturbing either input moves it.
+        assert lineage_address(parent.address, ddigest) == artifact.address
+        assert lineage_address(parent.address, ddigest + 1) != artifact.address
+        assert (
+            lineage_address(parent.address + "x", ddigest) != artifact.address
+        )
+        assert artifact.address.startswith("grapes-upd-")
+
+    def test_strip_lineage_restores_the_content_address(self, dataset):
+        from repro.indexes.store import strip_lineage
+
+        parent, artifact, after, _ = self.updated_pair(dataset)
+        stripped = strip_lineage(artifact)
+        assert stripped.header.parent == ""
+        assert stripped.header.delta_digest == 0
+        # update == rebuild, so the stripped address must equal the
+        # address a cold build over the post-delta dataset would get.
+        cold = build("grapes", after)
+        cold_artifact = artifact_from_index(
+            cold, dataset_fingerprint(after)
+        )
+        assert stripped.address == cold_artifact.address
+        assert stripped.payload == cold_artifact.payload
+
+    def test_lineage_round_trips_through_disk(self, dataset, tmp_path):
+        parent, artifact, after, _ = self.updated_pair(dataset)
+        store = IndexStore(tmp_path / "store")
+        store.put(parent)
+        store.put(artifact)
+        # Lineage artifacts live at their lineage address on disk; the
+        # header round-trips parent and delta digest intact.
+        loaded, _ = read_artifact(
+            store.path_of(artifact.address),
+            expect_digest=dataset_fingerprint(after),
+        )
+        assert loaded.address == artifact.address
+        assert loaded.header.parent == parent.address
+        assert loaded.header.delta_digest == artifact.header.delta_digest
+        index = materialize_artifact(loaded, after)
+        assert index.export_payload() == artifact.payload
+
+    def test_gc_evicts_lineage_interiors_before_heads(
+        self, dataset, tmp_path
+    ):
+        """Under a size cap, an old chain interior (something else's
+        parent) goes before the head that depends on nothing."""
+        import os
+        import time
+
+        parent, artifact, _, _ = self.updated_pair(dataset)
+        store = IndexStore(tmp_path / "store")
+        store.put(parent)
+        store.put(artifact)
+        parent_path = store.path_of(parent.address)
+        head_path = store.path_of(artifact.address)
+        now = time.time()
+        # The head is *older* than its parent: mtime alone would evict
+        # the head first, so survival proves the lineage ordering.
+        os.utime(head_path, (now - 500, now - 500))
+        os.utime(parent_path, (now, now))
+        report = store.gc(max_bytes=head_path.stat().st_size)
+        assert report["removed_evicted"] == 1
+        assert head_path.exists() and not parent_path.exists()
+
+    def test_corrupt_parent_leaves_update_path_cold_not_broken(
+        self, dataset, tmp_path
+    ):
+        """A missing/corrupt parent is a store miss: the serve tier's
+        update still works (it rebuilds), and the updated artifact is
+        still retrievable at its own address."""
+        parent, artifact, after, _ = self.updated_pair(dataset)
+        store = IndexStore(tmp_path / "store")
+        store.put(parent)
+        store.put(artifact)
+        store.path_of(parent.address).write_bytes(b"garbage")
+        # A fresh store (cold memory tier) must treat the corrupt
+        # parent as a plain miss.
+        store = IndexStore(tmp_path / "store")
+        assert (
+            store.get(
+                "grapes",
+                dict(parent.header.index_params),
+                dataset_fingerprint(dataset),
+            )
+            is None
+        )
+        loaded, _ = read_artifact(
+            store.path_of(artifact.address),
+            expect_digest=dataset_fingerprint(after),
+        )
+        index = materialize_artifact(loaded, after)
+        assert index.export_payload() == artifact.payload

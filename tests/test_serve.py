@@ -386,7 +386,7 @@ class TestScenarioFormat:
         record = bench_record(
             scenario, metrics, evaluate_kpis(scenario.kpis, metrics)
         )
-        assert record["schema"] == "repro-serve-bench-v1"
+        assert record["schema"] == "repro-serve-bench-v2"
         assert record["passed"] is True
         assert len(record["kpis"]) == 3
         json.dumps(record)  # must be JSON-able as-is
@@ -545,3 +545,194 @@ class TestConcurrentStore:
             thread.join()
         assert store.get("naive", {"tag": 1}, 1).payload == 1
         assert len(list((tmp_path / "store").glob("*.idx"))) == 1
+
+
+# ----------------------------------------------------------------------
+# dynamic datasets: POST /update (PR 8)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def mutable_server(dataset):
+    """A private service + live server: update tests mutate state, so
+    they must not share the module-scoped fixtures."""
+    svc = QueryService(dataset, methods=[METHOD], method_options=OPTIONS)
+    svc.warm()
+    server = make_server(svc, port=0)
+    acceptor = threading.Thread(target=server.serve_forever)
+    acceptor.start()
+    host, port = server.server_address[:2]
+    try:
+        yield svc, server, f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        acceptor.join()
+        server.server_close()
+
+
+def post_raw_update(url, body):
+    request = urllib.request.Request(
+        f"{url}/update",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestUpdateEndpoint:
+    def added_text(self, seed=123):
+        extra = generate_dataset(
+            GraphGenConfig(
+                num_graphs=2, mean_nodes=8, mean_density=0.3, num_labels=3
+            ),
+            seed=seed,
+            name="delta",
+        )
+        return dumps_dataset(extra), list(extra)
+
+    def test_update_changes_the_inventory(self, mutable_server, dataset):
+        svc, _, url = mutable_server
+        text, graphs = self.added_text()
+        status, document = post_raw_update(
+            url, {"add": text, "remove": [0, 3]}
+        )
+        assert status == 200
+        assert document["graphs"] == len(dataset) - 2 + len(graphs)
+        assert document["added"] == len(graphs)
+        assert document["removed"] == 2
+        assert document["methods"][METHOD]["maintenance"] in (
+            "incremental",
+            "rebuild",
+        )
+        with urllib.request.urlopen(f"{url}/healthz") as response:
+            health = json.loads(response.read())
+        assert health["graphs"] == document["graphs"]
+        assert svc.updates_applied == 1
+
+    def test_post_update_answers_match_cold_batch_build(
+        self, mutable_server, dataset, queries
+    ):
+        from repro.graphs.dataset import DatasetDelta, apply_delta
+
+        _, _, url = mutable_server
+        text, graphs = self.added_text(seed=321)
+        status, _ = post_raw_update(url, {"add": text, "remove": [1]})
+        assert status == 200
+        after = apply_delta(
+            dataset, DatasetDelta(added=tuple(graphs), removed=(1,))
+        )
+        cold = make_method(METHOD, OPTIONS)
+        cold.build(as_core_dataset(after))
+        for query, text in zip(
+            queries, [dumps_dataset(GraphDataset([q])) for q in queries]
+        ):
+            status, document = post_query(url, METHOD, text)
+            assert status == 200
+            assert document["answers"] == answers_of([cold.query(query)])
+
+    def test_metrics_gain_update_counters(self, mutable_server):
+        _, _, url = mutable_server
+        with urllib.request.urlopen(f"{url}/metrics") as response:
+            before = json.loads(response.read())
+        assert before["staleness"] == 0
+        assert before["updates_applied"] == 0
+        assert before["updates"]["requests"] == 0
+        text, _ = self.added_text()
+        status, _ = post_raw_update(url, {"add": text})
+        assert status == 200
+        with urllib.request.urlopen(f"{url}/metrics") as response:
+            after = json.loads(response.read())
+        assert after["staleness"] == 0  # nothing in flight
+        assert after["updates_applied"] == 1
+        assert after["updates"]["requests"] == 1
+        assert after["updates"]["errors"] == 0
+        # Maintenance latency must not pollute the query quantiles.
+        assert after["requests"] == before["requests"]
+
+    def test_bad_updates_are_400(self, mutable_server, dataset):
+        _, _, url = mutable_server
+        status, document = post_raw_update(url, {})
+        assert status == 400
+        assert "error" in document
+        status, document = post_raw_update(
+            url, {"remove": [len(dataset) + 5]}
+        )
+        assert status == 400
+        assert "error" in document
+        status, document = post_raw_update(url, {"remove": "nope"})
+        assert status == 400
+        status, document = post_raw_update(url, {"add": "not a gfd {"})
+        assert status == 400
+
+    def test_concurrent_queries_during_updates_stay_coherent(
+        self, mutable_server, query_texts
+    ):
+        """Queries racing an update see either the old or the new
+        dataset's answers — never an error, never a torn state."""
+        _, _, url = mutable_server
+        failures: list = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                status, document = post_query(url, METHOD, query_texts[0])
+                if status != 200:
+                    failures.append((status, document))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for seed in range(3):
+                text, _ = self.added_text(seed=seed)
+                status, document = post_raw_update(url, {"add": text})
+                assert status == 200
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert failures == []
+
+
+class TestMixedLoad:
+    def test_run_load_interleaves_updates(self, mutable_server, query_texts):
+        from repro.core.loadgen import Scenario
+
+        svc, _, url = mutable_server
+        extra = generate_dataset(
+            GraphGenConfig(
+                num_graphs=4, mean_nodes=6, mean_density=0.3, num_labels=3
+            ),
+            seed=9,
+            name="pool",
+        )
+        update_texts = [dumps_dataset(GraphDataset([g])) for g in extra]
+        scenario = Scenario(
+            name="mixed",
+            method=METHOD,
+            clients=3,
+            requests=24,
+            update_every=6,
+        )
+        result = run_load(url, scenario, query_texts, update_texts)
+        assert result.update_errors == 0
+        assert result.updates >= 1
+        assert result.updates == svc.updates_applied
+        assert len(result.update_latencies) == result.updates
+        metrics = metrics_of(result)
+        assert metrics["updates"] == result.updates
+        assert metrics["update_q50_ms"] > 0
+
+    def test_update_every_requires_update_texts(self, query_texts):
+        from repro.core.loadgen import Scenario, ScenarioError
+
+        scenario = Scenario(
+            name="mixed", method=METHOD, clients=1, requests=4, update_every=2
+        )
+        with pytest.raises(ScenarioError):
+            run_load("http://127.0.0.1:1", scenario, query_texts, None)

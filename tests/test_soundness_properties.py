@@ -128,3 +128,69 @@ def test_query_fragments_are_data_fragments(pair):
     query_fragments = set(mine_frequent_patterns([query], 1, 3))
     data_fragments = set(mine_frequent_patterns([data], 1, 3))
     assert query_fragments <= data_fragments
+
+
+# ---------------------------------------------------------------------------
+# Dynamic datasets: candidate-set supersets must survive every delta
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def delta_plan(draw):
+    """A containment pair plus a small delta over a 4-graph dataset
+    holding the data graph: filtering must still yield a candidate
+    superset of the true answers after the delta is applied."""
+    query, data = draw(containment_pair())
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = random.Random(seed)
+    from tests.testkit import random_graph
+
+    fillers = [random_graph(rng, 3, 7, "ABC") for _ in range(3)]
+    removed = tuple(sorted(draw(st.sets(st.integers(1, 3), max_size=2))))
+    num_added = draw(st.integers(0, 2))
+    added = tuple(random_graph(rng, 3, 7, "ABC") for _ in range(num_added))
+    return query, data, fillers, removed, added
+
+
+@given(delta_plan())
+@settings(max_examples=20, deadline=None)
+def test_candidate_supersets_hold_after_delta(plan):
+    """After update(delta), filter() ⊇ true answers for every method.
+
+    The data graph (id 0) is never removed, so the known embedding
+    pins at least one guaranteed answer post-delta.
+    """
+    from repro.core.runner import make_method
+    from repro.graphs.dataset import DatasetDelta, GraphDataset, apply_delta
+    from repro.isomorphism.vf2 import SubgraphMatcher
+
+    query, data, fillers, removed, added = plan
+    if find_embedding(query, data) is None:
+        return
+    base = GraphDataset([data] + fillers, name="delta-soundness")
+    delta = DatasetDelta(added=added, removed=removed)
+    after = apply_delta(base, delta)
+    truth = {
+        graph_id
+        for graph_id in after.all_ids()
+        if SubgraphMatcher(query, after[graph_id]).exists()
+    }
+    assert 0 in truth  # data graph survived and contains the query
+    options = {
+        "ggsx": {"max_path_edges": 2},
+        "grapes": {"max_path_edges": 2, "workers": 1},
+        "ctindex": {"fingerprint_bits": 128, "feature_edges": 2},
+        "gindex": {"max_fragment_edges": 2, "support_ratio": 0.5},
+        "tree+delta": {"max_feature_edges": 2, "support_ratio": 0.5},
+        "gcode": {},
+        "naive": {},
+    }
+    for method, config in options.items():
+        index = make_method(method, config)
+        index.build(base)
+        index.update(delta)
+        result = index.query(query)
+        assert truth <= result.candidates, (
+            f"{method}: filtering dropped true answers after the delta"
+        )
+        assert result.answers == truth, f"{method}: wrong answers after delta"
