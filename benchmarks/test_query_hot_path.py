@@ -1,0 +1,229 @@
+"""PR 9 benchmark: the CSR-native query hot path vs the dict walks.
+
+Three legs, same honesty rules as the PR 6 bench:
+
+1. **Enumeration microbenchmark** — the index-build path harvest (the
+   Grapes/GGSX hot loop: every labeled path up to ``MAX_PATH_EDGES``
+   edges) over every dataset graph, timed under the dict-walk feature
+   core and under the CSR kernels *on identical CSR hosts*.  Feature
+   totals must agree exactly before the timing means anything, and the
+   cycle/subset kernels are parity-checked (untimed — they share the
+   ESU recursion with the dict walk, so their wins are marginal and
+   would only dilute the path-kernel measurement).
+2. **Verification microbenchmark** — an Ullmann workload (every query
+   against every data graph) timed with set domains and with packed
+   uint64 bitset domains, on a *wide-domain* dataset (few labels,
+   hundreds of vertices) where refinement dominates — the regime the
+   bitset engine exists for.  Hit counts must agree exactly.
+3. **Sweep digest equality** — a small sweep run once per feature
+   core; canonical digests must be byte-identical, so the speedups are
+   a faster walk over the same computation, not a different one.
+
+Both measured speedups land in ``BENCH_pr9.json`` at the repo root,
+*sealed* with a content digest (`repro.core.benchrecords`): CI
+re-validates the record, so a hand-edited trajectory point fails the
+build.  ``REPRO_SCALE=paper`` scales the workload up as usual.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchkit import bench_profile
+from repro.core.benchrecords import bench_seal
+from repro.core.experiments import nodes_sweep
+from repro.core.serialization import sweep_digest
+from repro.features.cycles import enumerate_simple_cycles
+from repro.features.kernels import FEATURE_CORE_ENV
+from repro.features.paths import path_features
+from repro.features.trees import connected_edge_subsets
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.graphs.csr import CSRDataset, CSRGraph
+from repro.isomorphism.ullmann import ullmann_is_subgraph
+
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_pr9.json"
+
+#: Loop repetitions; the reported seconds are the per-pass best.
+PASSES = 3
+
+MAX_PATH_EDGES = 4
+MAX_CYCLE_EDGES = 5
+MAX_SUBSET_EDGES = 3
+
+
+def _paper_scale() -> bool:
+    return os.environ.get("REPRO_SCALE", "").lower() == "paper"
+
+
+@pytest.fixture(scope="module")
+def enum_workbench():
+    """Index-build regime: moderately dense, label-rich graphs."""
+    paper = _paper_scale()
+    config = GraphGenConfig(
+        num_graphs=8 if paper else 6,
+        mean_nodes=150 if paper else 70,
+        mean_density=0.04 if paper else 0.08,
+        num_labels=5,
+    )
+    dataset = generate_dataset(config, seed=9)
+    return list(CSRDataset.from_dataset(dataset))
+
+
+@pytest.fixture(scope="module")
+def verify_workbench():
+    """Verification regime: wide domains — few labels, many vertices.
+
+    Label-filtered candidate sets here span hundreds of data vertices,
+    so Ullmann refinement (not candidate generation) dominates; that is
+    the workload the packed-uint64 domains accelerate.
+    """
+    paper = _paper_scale()
+    config = GraphGenConfig(
+        num_graphs=10 if paper else 6,
+        mean_nodes=400,
+        mean_density=0.025,
+        num_labels=2,
+    )
+    dataset = generate_dataset(config, seed=9)
+    queries = generate_queries(dataset, 8, 7, seed=10)
+    csr_graphs = list(CSRDataset.from_dataset(dataset))
+    csr_queries = [CSRGraph.from_graph(query) for query in queries]
+    return csr_graphs, csr_queries
+
+
+def _enumeration_pass(graphs) -> tuple[int, int]:
+    """The timed leg: harvest every labeled path feature."""
+    distinct = traversals = 0
+    for graph in graphs:
+        features = path_features(graph, MAX_PATH_EDGES)
+        distinct += len(features)
+        traversals += sum(entry.count for entry in features.values())
+    return distinct, traversals
+
+
+def _side_feature_totals(graphs) -> tuple[int, int]:
+    """Untimed parity aggregate for the cycle and subset kernels."""
+    cycles = subsets = 0
+    for graph in graphs:
+        cycles += sum(1 for _ in enumerate_simple_cycles(graph, MAX_CYCLE_EDGES))
+        subsets += sum(1 for _ in connected_edge_subsets(graph, MAX_SUBSET_EDGES))
+    return cycles, subsets
+
+
+def _best_enumeration_seconds(graphs) -> tuple[float, tuple[int, int]]:
+    best = float("inf")
+    totals = (0, 0)
+    for _ in range(PASSES):
+        start = time.perf_counter()
+        totals = _enumeration_pass(graphs)
+        best = min(best, time.perf_counter() - start)
+    return best, totals
+
+
+def _verify_pass(graphs, queries, engine) -> int:
+    hits = 0
+    for query in queries:
+        for graph in graphs:
+            hits += ullmann_is_subgraph(query, graph, engine=engine)
+    return hits
+
+
+def _best_verify_seconds(graphs, queries, engine) -> tuple[float, int]:
+    best = float("inf")
+    hits = 0
+    for _ in range(PASSES):
+        start = time.perf_counter()
+        hits = _verify_pass(graphs, queries, engine)
+        best = min(best, time.perf_counter() - start)
+    return best, hits
+
+
+def test_hot_path_speedups_are_exact(
+    enum_workbench, verify_workbench, monkeypatch, benchmark
+):
+    graphs = enum_workbench
+    verify_graphs, verify_queries = verify_workbench
+
+    monkeypatch.setenv(FEATURE_CORE_ENV, "dict")
+    dict_seconds, dict_totals = _best_enumeration_seconds(graphs)
+    dict_sides = _side_feature_totals(graphs)
+    monkeypatch.setenv(FEATURE_CORE_ENV, "csr")
+    csr_seconds, csr_totals = _best_enumeration_seconds(graphs)
+    csr_sides = _side_feature_totals(graphs)
+
+    # Identity first: the kernels must harvest exactly the dict walk's
+    # features (the parity suite pins per-feature byte-identity; the
+    # bench re-checks the aggregates on its own workload).
+    assert csr_totals == dict_totals
+    assert csr_sides == dict_sides
+    features, _ = dict_totals
+    assert features > 0
+
+    set_seconds, set_hits = _best_verify_seconds(
+        verify_graphs, verify_queries, "set"
+    )
+    bitset_seconds, bitset_hits = _best_verify_seconds(
+        verify_graphs, verify_queries, "bitset"
+    )
+    assert bitset_hits == set_hits
+    assert set_hits > 0
+
+    enumeration_speedup = dict_seconds / csr_seconds
+    verify_speedup = set_seconds / bitset_seconds
+    record = bench_seal(
+        {
+            "bench": "csr-query-hot-path",
+            "pr": 9,
+            "enum_graphs": len(graphs),
+            "features": features,
+            "verify_graphs": len(verify_graphs),
+            "verify_queries": len(verify_queries),
+            "hits": set_hits,
+            "enumeration_dict_seconds": round(dict_seconds, 6),
+            "enumeration_csr_seconds": round(csr_seconds, 6),
+            "enumeration_speedup": round(enumeration_speedup, 3),
+            "verify_set_seconds": round(set_seconds, 6),
+            "verify_bitset_seconds": round(bitset_seconds, 6),
+            "verify_speedup": round(verify_speedup, 3),
+        }
+    )
+    BENCH_FILE.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nenumeration speedup over dict walk: {enumeration_speedup:.2f}x "
+        f"({dict_seconds * 1e3:.1f} ms -> {csr_seconds * 1e3:.1f} ms)"
+    )
+    print(
+        f"verification speedup over set domains: {verify_speedup:.2f}x "
+        f"({set_seconds * 1e3:.1f} ms -> {bitset_seconds * 1e3:.1f} ms)"
+    )
+
+    # One statistically repeated pass in the pytest-benchmark log too.
+    assert benchmark(_enumeration_pass, graphs) == dict_totals
+
+
+def test_sweep_digest_identical_across_feature_cores(monkeypatch):
+    from dataclasses import replace
+
+    profile = replace(
+        bench_profile(),
+        nodes_values=(10, 14),
+        default_num_graphs=12,
+        query_sizes=(3, 4),
+        queries_per_size=3,
+        method_configs={
+            "grapes": {"max_path_edges": 3},
+            "ctindex": {"feature_edges": 3},
+        },
+    )
+    monkeypatch.setenv(FEATURE_CORE_ENV, "dict")
+    dict_digest = sweep_digest(nodes_sweep(profile, seed=11))
+    monkeypatch.setenv(FEATURE_CORE_ENV, "csr")
+    csr_digest = sweep_digest(nodes_sweep(profile, seed=11))
+    assert csr_digest == dict_digest

@@ -111,6 +111,23 @@ def _apply_graph_core(args: argparse.Namespace) -> None:
         os.environ[GRAPH_CORE_ENV] = core
 
 
+def _apply_feature_core(args: argparse.Namespace) -> None:
+    """Export ``--feature-core`` to the process (and its workers).
+
+    Same travel contract as :func:`_apply_graph_core`, carried as
+    :data:`repro.features.kernels.FEATURE_CORE_ENV`: one flag selects
+    the enumeration kernels for the whole invocation, and no flag
+    leaves the environment (and thus the CSR default) alone.
+    """
+    core = getattr(args, "feature_core", None)
+    if core is not None:
+        import os
+
+        from repro.features.kernels import FEATURE_CORE_ENV
+
+        os.environ[FEATURE_CORE_ENV] = core
+
+
 def _shareable(dataset, jobs: int | None):
     """The dataset itself, or an arena handle when a pool will run.
 
@@ -299,6 +316,7 @@ def cmd_queries(args: argparse.Namespace) -> int:
 
 def cmd_build(args: argparse.Namespace) -> int:
     _apply_graph_core(args)
+    _apply_feature_core(args)
     dataset = _load_dataset(args.dataset)
     methods = list(args.method)
     for method in methods:
@@ -400,6 +418,7 @@ def _print_build_row(method: str, num_graphs: int, row: dict) -> None:
 
 def cmd_query(args: argparse.Namespace) -> int:
     _apply_graph_core(args)
+    _apply_feature_core(args)
     dataset = _load_dataset(args.dataset)
     workload = _load_dataset(args.queries)
     queries = list(workload)
@@ -482,6 +501,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     _apply_graph_core(args)
+    _apply_feature_core(args)
     from repro.core.serve import (
         QueryService,
         ServeError,
@@ -526,6 +546,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_bench_serve(args: argparse.Namespace) -> int:
     _apply_graph_core(args)
+    _apply_feature_core(args)
     import dataclasses
     import json
     import threading
@@ -782,11 +803,15 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     for outcome in outcomes:
         print(outcome.render())
     if args.json:
-        record = bench_record(
-            scenario,
-            metrics,
-            outcomes,
-            extra={"url": url, "verified": verified},
+        from repro.core.benchrecords import bench_seal
+
+        record = bench_seal(
+            bench_record(
+                scenario,
+                metrics,
+                outcomes,
+                extra={"url": url, "verified": verified},
+            )
         )
         Path(args.json).write_text(
             json.dumps(record, indent=2) + "\n", encoding="utf-8"
@@ -809,6 +834,7 @@ def _sweep_json_path(base: str, experiment: str, multiple: bool) -> Path:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     _apply_graph_core(args)
+    _apply_feature_core(args)
     from repro.core.scheduling import CostHistory
     from repro.core.sharding import (
         ManifestError,
@@ -1043,6 +1069,7 @@ def cmd_launch(args: argparse.Namespace) -> int:
     is asserted — balanced assignment must never change a result byte.
     A driver run manifest makes the whole launch resumable."""
     _apply_graph_core(args)
+    _apply_feature_core(args)
     from repro.core.driver import (
         DriverError,
         DriverRun,
@@ -1233,6 +1260,8 @@ def cmd_launch(args: argparse.Namespace) -> int:
             cli.append("--no-index-reuse")
         if args.graph_core:
             cli += ["--graph-core", args.graph_core]
+        if args.feature_core:
+            cli += ["--feature-core", args.feature_core]
         if args.resume and shard_manifest.exists():
             cli.append("--resume")
         commands_to_run.append(
@@ -1447,6 +1476,12 @@ def cmd_index_gc(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     import json
 
+    from repro.core.benchrecords import (
+        BenchValidationError,
+        bench_validate,
+        is_bench_record,
+        render_bench_summary,
+    )
     from repro.core.serialization import sweep_from_json
     from repro.core.sharding import (
         MANIFEST_SCHEMA,
@@ -1466,6 +1501,15 @@ def cmd_report(args: argparse.Namespace) -> int:
         document = json.loads(text)
     except json.JSONDecodeError as exc:
         raise CliError(f"{args.results}: not valid JSON: {exc}")
+    if is_bench_record(document):
+        # A BENCH_*.json trajectory record: validate (malformed or
+        # hand-edited records are rejected, not rendered) and summarize.
+        try:
+            kind = bench_validate(document, source=args.results)
+        except BenchValidationError as exc:
+            raise CliError(str(exc))
+        print(render_bench_summary(document, kind))
+        return 0
     schema = document.get("schema") if isinstance(document, dict) else None
     manifest = None
     if schema == MANIFEST_SCHEMA:

@@ -94,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
         "flat-array CSR (default) or the legacy dict-of-sets core; "
         "both produce byte-identical results",
     )
+    build.add_argument(
+        "--feature-core",
+        choices=["csr", "dict"],
+        help="feature-enumeration kernels: vectorized CSR array walks "
+        "(default) or the legacy dict-walk recursion; features are "
+        "byte-identical across cores",
+    )
     build.set_defaults(handler=commands.cmd_build)
 
     query = subparsers.add_parser(
@@ -138,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-memory graph representation for the hot path: immutable "
         "flat-array CSR (default) or the legacy dict-of-sets core; "
         "both produce byte-identical results",
+    )
+    query.add_argument(
+        "--feature-core",
+        choices=["csr", "dict"],
+        help="feature-enumeration kernels: vectorized CSR array walks "
+        "(default) or the legacy dict-walk recursion; features are "
+        "byte-identical across cores",
     )
     query.set_defaults(handler=commands.cmd_query)
 
@@ -240,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-memory graph representation for the hot path: immutable "
         "flat-array CSR (default) or the legacy dict-of-sets core; "
         "sweeps are byte-identical across cores",
+    )
+    sweep.add_argument(
+        "--feature-core",
+        choices=["csr", "dict"],
+        help="feature-enumeration kernels: vectorized CSR array walks "
+        "(default) or the legacy dict-walk recursion; sweeps are "
+        "byte-identical across cores",
     )
     sweep.add_argument("--out", help="directory for rendered outputs")
     sweep.add_argument("--plot", action="store_true", help="ASCII plots too")
@@ -353,6 +374,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--graph-core",
         choices=["csr", "dict"],
         help="pass --graph-core through to every shard sweep",
+    )
+    launch.add_argument(
+        "--feature-core",
+        choices=["csr", "dict"],
+        help="pass --feature-core through to every shard sweep",
     )
     launch.add_argument(
         "--json",
@@ -512,6 +538,13 @@ def build_parser() -> argparse.ArgumentParser:
         "flat-array CSR (default) or the legacy dict-of-sets core; "
         "answers are identical",
     )
+    serve.add_argument(
+        "--feature-core",
+        choices=["csr", "dict"],
+        help="feature-enumeration kernels for index builds: vectorized "
+        "CSR array walks (default) or the legacy dict-walk recursion; "
+        "answers are identical",
+    )
     serve.set_defaults(handler=commands.cmd_serve)
 
     bench = subparsers.add_parser(
@@ -588,6 +621,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["csr", "dict"],
         help="graph core for self-hosted/--verify builds",
     )
+    bench.add_argument(
+        "--feature-core",
+        choices=["csr", "dict"],
+        help="feature core for self-hosted/--verify builds",
+    )
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     bench_serve = bench_sub.add_parser(
         "serve",
@@ -611,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("--verify", {"action": "store_true"}),
         ("--json", {"metavar": "FILE"}),
         ("--graph-core", {"choices": ["csr", "dict"]}),
+        ("--feature-core", {"choices": ["csr", "dict"]}),
     ):
         bench_serve.add_argument(flag, default=argparse.SUPPRESS, **kwargs)
     bench_serve.set_defaults(handler=commands.cmd_bench_serve)

@@ -1,0 +1,426 @@
+"""Validation and sealing of ``BENCH_*.json`` trajectory records.
+
+The repo's performance trajectory is a series of benchmark records
+checked in at the repo root — one per PR that moved a number
+(``BENCH_pr6.json`` for the graph-core matcher, ``BENCH_pr7/pr8.json``
+for the serve daemon, ``BENCH_pr9.json`` for the CSR query hot path).
+CI re-derives fresh records every run; the checked-in ones are the
+claims.  A claim nobody can verify invites drift: a hand-edited
+speedup, a truncated file, a record whose KPI verdicts no longer match
+its own metrics.  This module is the gate:
+
+* :func:`bench_validate` checks one parsed record against the schema
+  family it claims (required keys, types, internal consistency —
+  derived speedups must match their operand timings, KPI verdicts must
+  match their own actuals) and raises :class:`BenchValidationError`
+  with a pointed message otherwise.
+* :func:`bench_seal` stamps a record with a ``record_digest`` — a
+  BLAKE2b hash over the canonical JSON of everything *except* the
+  digest itself.  Validation recomputes it whenever present, so any
+  post-hoc edit to a sealed record is detected even when it keeps the
+  numbers self-consistent.  Legacy records (pr6–pr8) predate sealing
+  and pass without a digest; new record kinds require one.
+
+``repro report`` recognizes bench records and validates before
+rendering, and the CI workflow validates every ``BENCH_*.json`` at the
+repo root on every run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+
+__all__ = [
+    "BenchValidationError",
+    "bench_seal",
+    "bench_validate",
+    "is_bench_record",
+    "record_digest",
+    "render_bench_summary",
+    "validate_bench_file",
+]
+
+#: Relative slack when re-deriving a speedup from its operand timings:
+#: records round speedups for display, so exact equality is too strict,
+#: but a hand-edited "2x faster" over timings that say 1.1x must fail.
+_SPEEDUP_RTOL = 0.02
+
+#: Serve-bench schema tags this validator understands.
+_SERVE_SCHEMAS = ("repro-serve-bench-v1", "repro-serve-bench-v2")
+
+#: ``"bench"``-tagged micro-benchmark kinds and whether a seal
+#: (``record_digest``) is mandatory.  pr6 predates sealing.
+_MICRO_KINDS = {
+    "graph-core-matcher": {"sealed": False},
+    "csr-query-hot-path": {"sealed": True},
+}
+
+
+class BenchValidationError(ValueError):
+    """A ``BENCH_*.json`` record is malformed, inconsistent, or tampered."""
+
+
+def is_bench_record(document) -> bool:
+    """True when *document* claims to be a benchmark record this module
+    validates (as opposed to a sweep, manifest, or anything else)."""
+    if not isinstance(document, dict):
+        return False
+    if document.get("bench") in _MICRO_KINDS:
+        return True
+    return document.get("schema") in _SERVE_SCHEMAS
+
+
+def record_digest(record: dict) -> str:
+    """BLAKE2b digest over the canonical JSON of *record* minus any
+    ``record_digest`` field — the quantity :func:`bench_seal` stamps
+    and :func:`bench_validate` recomputes."""
+    body = {key: value for key, value in record.items() if key != "record_digest"}
+    canonical = json.dumps(
+        body, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def bench_seal(record: dict) -> dict:
+    """Return *record* with a fresh ``record_digest`` stamped in."""
+    sealed = dict(record)
+    sealed.pop("record_digest", None)
+    sealed["record_digest"] = record_digest(sealed)
+    return sealed
+
+
+def _fail(source: str, message: str) -> BenchValidationError:
+    prefix = f"{source}: " if source else ""
+    return BenchValidationError(f"{prefix}{message}")
+
+
+def _require(record: dict, keys: tuple[str, ...], source: str, kind: str) -> None:
+    missing = [key for key in keys if key not in record]
+    if missing:
+        raise _fail(
+            source,
+            f"{kind} record is missing required field(s): {', '.join(missing)}",
+        )
+
+
+def _number(record: dict, key: str, source: str, minimum: float = 0.0) -> float:
+    value = record[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _fail(source, f"field {key!r} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise _fail(source, f"field {key!r} must be finite, got {value!r}")
+    if value < minimum:
+        raise _fail(source, f"field {key!r} must be >= {minimum:g}, got {value!r}")
+    return float(value)
+
+
+def _count(record: dict, key: str, source: str, minimum: int = 0) -> int:
+    value = record[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(source, f"field {key!r} must be an integer, got {value!r}")
+    if value < minimum:
+        raise _fail(source, f"field {key!r} must be >= {minimum}, got {value!r}")
+    return value
+
+
+def _check_speedup(
+    record: dict, speedup_key: str, slow_key: str, fast_key: str, source: str
+) -> None:
+    """A recorded speedup must be the ratio of its own operand timings."""
+    slow = _number(record, slow_key, source)
+    fast = _number(record, fast_key, source)
+    claimed = _number(record, speedup_key, source)
+    if fast <= 0.0:
+        raise _fail(source, f"field {fast_key!r} must be positive, got {fast!r}")
+    derived = slow / fast
+    if abs(claimed - derived) > _SPEEDUP_RTOL * max(derived, 1.0):
+        raise _fail(
+            source,
+            f"field {speedup_key!r} is {claimed:g} but "
+            f"{slow_key}/{fast_key} derives {derived:.3f} — record was "
+            "edited or mis-assembled",
+        )
+
+
+def _check_digest(record: dict, source: str, required: bool) -> None:
+    stamped = record.get("record_digest")
+    if stamped is None:
+        if required:
+            raise _fail(
+                source,
+                "record kind requires a record_digest seal and has none",
+            )
+        return
+    if not isinstance(stamped, str):
+        raise _fail(source, f"record_digest must be a string, got {stamped!r}")
+    expected = record_digest(record)
+    if stamped != expected:
+        raise _fail(
+            source,
+            f"record_digest mismatch: stamped {stamped} but content "
+            f"hashes to {expected} — record was edited after sealing",
+        )
+
+
+def _validate_kpis(record: dict, source: str) -> None:
+    kpis = record.get("kpis")
+    if not isinstance(kpis, list):
+        raise _fail(source, f"field 'kpis' must be a list, got {type(kpis).__name__}")
+    verdicts = []
+    for slot, entry in enumerate(kpis):
+        if not isinstance(entry, dict):
+            raise _fail(source, f"kpis[{slot}] must be an object, got {entry!r}")
+        for key in ("kpi", "actual", "passed"):
+            if key not in entry:
+                raise _fail(source, f"kpis[{slot}] is missing field {key!r}")
+        spec = entry["kpi"]
+        if not isinstance(spec, str):
+            raise _fail(source, f"kpis[{slot}].kpi must be a string, got {spec!r}")
+        actual = entry["actual"]
+        if isinstance(actual, bool) or not isinstance(actual, (int, float)):
+            raise _fail(
+                source, f"kpis[{slot}].actual must be a number, got {actual!r}"
+            )
+        passed = entry["passed"]
+        if not isinstance(passed, bool):
+            raise _fail(
+                source, f"kpis[{slot}].passed must be a boolean, got {passed!r}"
+            )
+        verdicts.append(passed)
+        # The KPI string carries its own contract ("q50_ms <= 2000");
+        # replay it against the recorded actual and the recorded metric.
+        parts = spec.split()
+        if len(parts) == 3 and parts[1] in ("<=", ">="):
+            metric, op, raw_limit = parts
+            try:
+                limit = float(raw_limit)
+            except ValueError:
+                raise _fail(source, f"kpis[{slot}].kpi has bad limit {raw_limit!r}")
+            holds = actual <= limit if op == "<=" else actual >= limit
+            if holds != passed:
+                raise _fail(
+                    source,
+                    f"kpis[{slot}] claims passed={passed} but "
+                    f"'{spec}' with actual {actual:g} evaluates to "
+                    f"{holds} — verdict was edited",
+                )
+            recorded = record.get(metric)
+            if isinstance(recorded, (int, float)) and not isinstance(
+                recorded, bool
+            ):
+                if not math.isclose(
+                    float(recorded), float(actual), rel_tol=1e-9, abs_tol=1e-9
+                ):
+                    raise _fail(
+                        source,
+                        f"kpis[{slot}] actual {actual!r} disagrees with "
+                        f"recorded metric {metric}={recorded!r} — record "
+                        "was edited",
+                    )
+    if "passed" in record:
+        if not isinstance(record["passed"], bool):
+            raise _fail(
+                source, f"field 'passed' must be a boolean, got {record['passed']!r}"
+            )
+        if record["passed"] != all(verdicts):
+            raise _fail(
+                source,
+                f"field 'passed' is {record['passed']} but the KPI "
+                f"verdicts conjoin to {all(verdicts)} — record was edited",
+            )
+
+
+def _validate_serve(record: dict, source: str) -> None:
+    schema = record["schema"]
+    required = (
+        "scenario",
+        "method",
+        "clients",
+        "requests",
+        "q50_ms",
+        "q90_ms",
+        "q99_ms",
+        "mean_ms",
+        "max_ms",
+        "qps",
+        "errors",
+        "seconds",
+        "kpis",
+    )
+    if schema == "repro-serve-bench-v2":
+        required = required + ("update_every", "updates", "update_errors")
+    _require(record, required, source, schema)
+    for key in ("scenario", "method"):
+        if not isinstance(record[key], str) or not record[key]:
+            raise _fail(
+                source, f"field {key!r} must be a non-empty string, got {record[key]!r}"
+            )
+    _count(record, "clients", source, minimum=1)
+    _count(record, "requests", source, minimum=1)
+    _count(record, "errors", source)
+    for key in ("q50_ms", "q90_ms", "q99_ms", "mean_ms", "max_ms", "qps", "seconds"):
+        _number(record, key, source)
+    if record["q50_ms"] > record["max_ms"] or record["q99_ms"] > record["max_ms"]:
+        raise _fail(
+            source,
+            "latency quantiles exceed the recorded maximum — record was "
+            "edited or mis-assembled",
+        )
+    if schema == "repro-serve-bench-v2":
+        _count(record, "updates", source)
+        _count(record, "update_errors", source)
+    _validate_kpis(record, source)
+    _check_digest(record, source, required=False)
+
+
+def _validate_graph_core(record: dict, source: str) -> None:
+    _require(
+        record,
+        (
+            "pr",
+            "graphs",
+            "queries",
+            "hits",
+            "dict_seconds",
+            "csr_seconds",
+            "speedup",
+        ),
+        source,
+        "graph-core-matcher",
+    )
+    _count(record, "pr", source, minimum=1)
+    _count(record, "graphs", source, minimum=1)
+    _count(record, "queries", source, minimum=1)
+    _count(record, "hits", source)
+    _check_speedup(record, "speedup", "dict_seconds", "csr_seconds", source)
+    _check_digest(record, source, required=False)
+
+
+def _validate_hot_path(record: dict, source: str) -> None:
+    _require(
+        record,
+        (
+            "pr",
+            "enum_graphs",
+            "features",
+            "verify_graphs",
+            "verify_queries",
+            "hits",
+            "enumeration_dict_seconds",
+            "enumeration_csr_seconds",
+            "enumeration_speedup",
+            "verify_set_seconds",
+            "verify_bitset_seconds",
+            "verify_speedup",
+        ),
+        source,
+        "csr-query-hot-path",
+    )
+    _count(record, "pr", source, minimum=1)
+    _count(record, "enum_graphs", source, minimum=1)
+    _count(record, "features", source, minimum=1)
+    _count(record, "verify_graphs", source, minimum=1)
+    _count(record, "verify_queries", source, minimum=1)
+    _count(record, "hits", source)
+    _check_speedup(
+        record,
+        "enumeration_speedup",
+        "enumeration_dict_seconds",
+        "enumeration_csr_seconds",
+        source,
+    )
+    _check_speedup(
+        record, "verify_speedup", "verify_set_seconds", "verify_bitset_seconds", source
+    )
+    _check_digest(record, source, required=True)
+
+
+def bench_validate(record, source: str = "") -> str:
+    """Validate one parsed benchmark record; return its kind tag.
+
+    Raises :class:`BenchValidationError` naming *source* (typically the
+    file path) on any structural, consistency, or seal failure.
+    """
+    if not isinstance(record, dict):
+        raise _fail(source, f"bench record must be a JSON object, got {record!r}")
+    kind = record.get("bench")
+    if kind in _MICRO_KINDS:
+        if kind == "graph-core-matcher":
+            _validate_graph_core(record, source)
+        else:
+            _validate_hot_path(record, source)
+        return str(kind)
+    schema = record.get("schema")
+    if schema in _SERVE_SCHEMAS:
+        _validate_serve(record, source)
+        return str(schema)
+    raise _fail(
+        source,
+        "unrecognized bench record: expected 'bench' in "
+        f"{sorted(_MICRO_KINDS)} or 'schema' in {sorted(_SERVE_SCHEMAS)}",
+    )
+
+
+def validate_bench_file(path: str | Path) -> str:
+    """Load, parse, and validate one ``BENCH_*.json`` file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise BenchValidationError(f"{path}: bench record file not found")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BenchValidationError(f"{path}: not valid JSON: {exc}")
+    return bench_validate(document, source=str(path))
+
+
+def render_bench_summary(record: dict, kind: str) -> str:
+    """One-paragraph human rendering of a validated bench record, for
+    ``repro report`` pointed at a ``BENCH_*.json``."""
+    lines = [f"benchmark record: {kind}"]
+    if kind == "graph-core-matcher":
+        lines.append(
+            f"  matcher over {record['graphs']} graph(s), "
+            f"{record['queries']} quer(y/ies), {record['hits']} hit(s)"
+        )
+        lines.append(
+            f"  dict {record['dict_seconds']:.6f}s -> "
+            f"csr {record['csr_seconds']:.6f}s "
+            f"({record['speedup']:.3f}x)"
+        )
+    elif kind == "csr-query-hot-path":
+        lines.append(
+            f"  enumeration workload: {record['enum_graphs']} graph(s), "
+            f"{record['features']} feature(s); verification workload: "
+            f"{record['verify_graphs']} graph(s) x "
+            f"{record['verify_queries']} quer(y/ies), {record['hits']} hit(s)"
+        )
+        lines.append(
+            f"  enumeration: dict {record['enumeration_dict_seconds']:.6f}s -> "
+            f"csr {record['enumeration_csr_seconds']:.6f}s "
+            f"({record['enumeration_speedup']:.3f}x)"
+        )
+        lines.append(
+            f"  verification: set {record['verify_set_seconds']:.6f}s -> "
+            f"bitset {record['verify_bitset_seconds']:.6f}s "
+            f"({record['verify_speedup']:.3f}x)"
+        )
+    else:
+        kpis = record.get("kpis", [])
+        passed = sum(1 for entry in kpis if entry.get("passed"))
+        lines.append(
+            f"  scenario {record['scenario']!r} method {record['method']!r}: "
+            f"{record['requests']} request(s) x {record['clients']} client(s), "
+            f"{record['errors']} error(s)"
+        )
+        lines.append(
+            f"  q50 {record['q50_ms']:.3f} ms, q99 {record['q99_ms']:.3f} ms, "
+            f"{record['qps']:.1f} q/s; KPIs {passed}/{len(kpis)} passed"
+        )
+    if record.get("record_digest"):
+        lines.append(f"  sealed: {record['record_digest']}")
+    return "\n".join(lines)

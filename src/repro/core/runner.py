@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
-from repro.graphs.csr import as_core_dataset
+from repro.graphs.csr import as_core_dataset, as_core_query
 from repro.graphs.dataset import GraphDataset
 from repro.graphs.graph import Graph
 from repro.indexes import ALL_INDEX_CLASSES
@@ -288,8 +288,12 @@ def _run_workloads(
             if query_budget_seconds is not None
             else None
         )
+        # Query admission: convert each workload query to the active
+        # core once, here, so filter and verify both see CSR-vs-CSR
+        # (queries arrive from generators/IO as builder dict graphs).
+        admitted = [as_core_query(query) for query in queries]
         try:
-            results = [index.query(query, budget=query_budget) for query in queries]
+            results = [index.query(query, budget=query_budget) for query in admitted]
         except BudgetExceeded:
             cell.per_size[size] = SizeStats(status=STATUS_TIMEOUT)
             continue

@@ -35,7 +35,7 @@ from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.arena import ArenaHandle, SharedCellTask, cached_dataset
-from repro.graphs.csr import active_graph_core, as_core_dataset
+from repro.graphs.csr import active_graph_core, as_core_dataset, as_core_query
 from repro.core.metrics import QueryRecord, record_of, summarize_records
 from repro.core.runner import (
     STATUS_ERROR,
@@ -526,8 +526,10 @@ def run_batch(batch: QueryBatch) -> BatchOutcome:
             else None
         )
         try:
+            # Query admission, as in the runner: each part's queries
+            # convert to the active core once before answering.
             records = tuple(
-                record_of(index.query(query, budget=budget))
+                record_of(index.query(as_core_query(query), budget=budget))
                 for query in part.queries
             )
         except BudgetExceeded:

@@ -16,6 +16,11 @@ Feature *size* is the number of edges throughout, as in the paper.
 """
 
 from repro.features.cycles import enumerate_simple_cycles
+from repro.features.kernels import (
+    FEATURE_CORE_ENV,
+    FEATURE_CORES,
+    active_feature_core,
+)
 from repro.features.paths import PathOccurrences, path_features
 from repro.features.trees import connected_edge_subsets, enumerate_trees
 
@@ -25,4 +30,7 @@ __all__ = [
     "enumerate_trees",
     "connected_edge_subsets",
     "enumerate_simple_cycles",
+    "FEATURE_CORE_ENV",
+    "FEATURE_CORES",
+    "active_feature_core",
 ]

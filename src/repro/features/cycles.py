@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro.features.kernels import csr_adjacency, csr_simple_cycles
 from repro.graphs.graph import Graph
 from repro.utils.budget import Budget
 
@@ -29,6 +30,10 @@ def enumerate_simple_cycles(
     cycle's minimum-id vertex.  A cycle of *k* vertices has *k* edges,
     so ``max_edges`` bounds both.
     """
+    if csr_adjacency(graph) is not None:
+        # CSR host under the csr feature core: same cycles, same order.
+        yield from csr_simple_cycles(graph, max_edges, budget=budget)
+        return
     if max_edges < 3:
         return
     on_path = [False] * graph.order

@@ -1,0 +1,263 @@
+"""CSR-native feature-enumeration kernels (the query/build hot path).
+
+The enumeration modules in this package were written against the dict
+:class:`~repro.graphs.graph.Graph` API — ``neighbors()`` tuples, one
+``label()`` call per visit — and keep working unchanged on a
+:class:`~repro.graphs.csr.CSRGraph` through its read-API parity.  That
+parity walk, however, pays a method call and a tuple-cache probe per
+DFS step.  The kernels below run the *same* enumerations directly over
+the CSR arrays: iterative DFS over ``indptr``/``indices`` with
+preallocated int stacks, per-vertex label *ids* instead of label
+objects, and canonical-label lookups memoized per id-sequence across
+the whole run.
+
+Byte-identity contract: a CSR graph's neighbor runs are sorted
+ascending, and ``CSRGraph.neighbors()`` returns exactly those runs —
+so a kernel iterating an ``indices`` slice visits neighbors in the
+same order the dict-walk does on the same ``CSRGraph``.  Every kernel
+therefore produces the *identical* result structure, including dict
+insertion order and generator yield order, which is what keeps
+canonical sweep digests byte-identical across feature cores (pinned by
+the parity suite in ``tests/test_feature_kernels.py``).
+
+The active core is selected by the ``REPRO_FEATURE_CORE`` environment
+variable (``csr`` by default, ``dict`` to force the legacy walk),
+surfaced on the CLI as ``--feature-core``.  The dispatch lives in the
+feature modules themselves: a kernel is used only when the host graph
+actually carries CSR arrays, so dict ``Graph`` inputs always take the
+dict-walk regardless of the toggle.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.canonical.paths import path_canonical
+from repro.utils.budget import Budget
+
+__all__ = [
+    "FEATURE_CORE_ENV",
+    "FEATURE_CORES",
+    "active_feature_core",
+    "csr_adjacency",
+    "csr_edge_list",
+    "csr_path_features",
+    "csr_simple_cycles",
+]
+
+#: Environment variable selecting the feature-enumeration core.
+FEATURE_CORE_ENV = "REPRO_FEATURE_CORE"
+#: Recognized core names, default first.
+FEATURE_CORES = ("csr", "dict")
+
+
+def active_feature_core() -> str:
+    """The selected feature core: ``csr`` (default) or ``dict``.
+
+    Read from :data:`FEATURE_CORE_ENV` on every call — mirroring
+    :func:`repro.graphs.csr.active_graph_core` — so tests and the CLI
+    can flip cores without touching module state; unrecognized values
+    fall back to the default.
+    """
+    value = os.environ.get(FEATURE_CORE_ENV, FEATURE_CORES[0]).strip().lower()
+    return value if value in FEATURE_CORES else FEATURE_CORES[0]
+
+
+def csr_adjacency(graph) -> tuple[np.ndarray, np.ndarray] | None:
+    """*graph*'s ``(indptr, indices)`` arrays, or ``None`` off-core.
+
+    The probe the feature modules dispatch on: it answers only when the
+    kernels should run — the graph carries CSR arrays *and* the active
+    feature core is ``csr``.
+    """
+    if active_feature_core() != "csr":
+        return None
+    arrays = getattr(graph, "adjacency_arrays", None)
+    if arrays is None:
+        return None
+    return arrays()
+
+
+# ----------------------------------------------------------------------
+# paths (Grapes / GGSX / gCode)
+# ----------------------------------------------------------------------
+
+
+def csr_path_features(
+    graph,
+    max_edges: int,
+    include_vertices: bool = True,
+    budget: Budget | None = None,
+) -> dict:
+    """CSR twin of :func:`repro.features.paths.path_features`.
+
+    Same enumeration, iteratively: one DFS frame per path edge held in
+    preallocated parallel stacks (vertex, resume cursor, label id), the
+    canonical label computed once per distinct label-id sequence and
+    memoized for the rest of the run.  Output is byte-identical to the
+    dict-walk on the same graph, down to dict insertion order.
+    """
+    # Local import: paths.py imports this module for the dispatch probe.
+    from repro.features.paths import PathOccurrences
+
+    if max_edges < 0:
+        raise ValueError(f"max_edges must be non-negative, got {max_edges}")
+    indptr_arr, indices_arr = graph.adjacency_arrays()
+    indptr: list[int] = indptr_arr.tolist()
+    indices: list[int] = indices_arr.tolist()
+    label_ids: list[int] = graph.label_ids_array().tolist()
+    table = graph.label_table
+    order = len(label_ids)
+
+    features: dict[tuple, PathOccurrences] = {}
+    #: label-id sequence -> canonical label tuple, shared across starts.
+    canon_of: dict[tuple[int, ...], tuple] = {}
+    on_path = bytearray(order)
+    # Preallocated DFS stacks: vertex, resume cursor into ``indices``,
+    # and the label-id run of the current path (depth == edges so far).
+    vstack = [0] * (max_edges + 1)
+    cstack = [0] * (max_edges + 1)
+    lstack = [0] * (max_edges + 1)
+
+    def record(ids: tuple[int, ...], start: int) -> None:
+        canonical = canon_of.get(ids)
+        if canonical is None:
+            canonical = canon_of[ids] = path_canonical(
+                [table[i] for i in ids]
+            )
+        entry = features.get(canonical)
+        if entry is None:
+            entry = features[canonical] = PathOccurrences()
+        entry.count += 1
+        entry.starts.add(start)
+
+    for start in range(order):
+        if budget is not None:
+            budget.check()
+        if include_vertices:
+            record((label_ids[start],), start)
+        if max_edges == 0:
+            continue
+        on_path[start] = 1
+        depth = 0
+        vstack[0] = start
+        cstack[0] = indptr[start]
+        lstack[0] = label_ids[start]
+        while depth >= 0:
+            v = vstack[depth]
+            cursor = cstack[depth]
+            end = indptr[v + 1]
+            descended = False
+            while cursor < end:
+                w = indices[cursor]
+                cursor += 1
+                if on_path[w]:
+                    continue
+                lid = label_ids[w]
+                lstack[depth + 1] = lid
+                record(tuple(lstack[: depth + 2]), start)
+                if depth + 1 < max_edges:
+                    cstack[depth] = cursor
+                    depth += 1
+                    on_path[w] = 1
+                    vstack[depth] = w
+                    cstack[depth] = indptr[w]
+                    descended = True
+                    break
+            if descended:
+                continue
+            on_path[v] = 0
+            depth -= 1
+    return features
+
+
+# ----------------------------------------------------------------------
+# cycles (CT-Index / Tree+Δ)
+# ----------------------------------------------------------------------
+
+
+def csr_simple_cycles(
+    graph, max_edges: int, budget: Budget | None = None
+) -> Iterator[tuple[int, ...]]:
+    """CSR twin of :func:`repro.features.cycles.enumerate_simple_cycles`.
+
+    Identical anchored enumeration over the raw ``indptr``/``indices``
+    lists; yields the same vertex tuples in the same order as the
+    dict-walk on the same graph.
+    """
+    if max_edges < 3:
+        return
+    indptr_arr, indices_arr = graph.adjacency_arrays()
+    indptr: list[int] = indptr_arr.tolist()
+    indices: list[int] = indices_arr.tolist()
+    order = len(indptr) - 1
+
+    on_path = bytearray(order)
+    # One frame per path vertex: the vertex and its resume cursor.
+    path = [0] * max_edges
+    cstack = [0] * max_edges
+
+    for anchor in range(order):
+        if budget is not None:
+            budget.check()
+        on_path[anchor] = 1
+        depth = 0  # index of the path's last vertex
+        path[0] = anchor
+        cstack[0] = indptr[anchor]
+        while depth >= 0:
+            v = path[depth]
+            cursor = cstack[depth]
+            end = indptr[v + 1]
+            descended = False
+            while cursor < end:
+                w = indices[cursor]
+                cursor += 1
+                if w == anchor:
+                    # Closing edge: ≥ 3 vertices and a fixed direction.
+                    if depth >= 2 and path[1] < path[depth]:
+                        yield tuple(path[: depth + 1])
+                    continue
+                if w < anchor or on_path[w]:
+                    continue
+                if depth + 1 == max_edges:
+                    continue  # one more vertex would exceed the limit
+                cstack[depth] = cursor
+                depth += 1
+                on_path[w] = 1
+                path[depth] = w
+                cstack[depth] = indptr[w]
+                descended = True
+                break
+            if descended:
+                continue
+            on_path[v] = 0
+            depth -= 1
+    return
+
+
+# ----------------------------------------------------------------------
+# connected edge subsets (CT-Index trees)
+# ----------------------------------------------------------------------
+
+
+def csr_edge_list(graph) -> list[tuple[int, int]]:
+    """All edges as ``(u, v)`` tuples with ``u < v``, in one shot.
+
+    The ESU enumeration in :mod:`repro.features.trees` only touches the
+    host graph through its edge list; extracting it vectorized (instead
+    of the per-vertex ``edges()`` generator) is the whole CSR kernel
+    for trees.  Row order — ascending ``u``, then ascending ``v`` —
+    matches ``CSRGraph.edges()`` exactly, so the downstream enumeration
+    is byte-identical.
+    """
+    indptr, indices = graph.adjacency_arrays()
+    if not indices.shape[0]:
+        return []
+    rows = np.repeat(
+        np.arange(indptr.shape[0] - 1, dtype=np.int64), np.diff(indptr)
+    )
+    keep = rows < indices
+    return list(zip(rows[keep].tolist(), indices[keep].tolist()))

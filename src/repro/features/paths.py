@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.canonical.paths import path_canonical
+from repro.features.kernels import csr_adjacency, csr_path_features
 from repro.graphs.graph import Graph
 from repro.utils.budget import Budget
 
@@ -67,6 +68,12 @@ def path_features(
     """
     if max_edges < 0:
         raise ValueError(f"max_edges must be non-negative, got {max_edges}")
+    if csr_adjacency(graph) is not None:
+        # CSR host under the csr feature core: the array kernel yields
+        # a byte-identical dict (same insertion order, same aggregates).
+        return csr_path_features(
+            graph, max_edges, include_vertices=include_vertices, budget=budget
+        )
     features: dict[tuple, PathOccurrences] = {}
 
     def record(labels: list, start: int) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro.features.kernels import csr_adjacency, csr_edge_list
 from repro.graphs.graph import Graph
 from repro.utils.budget import Budget
 
@@ -40,7 +41,14 @@ def connected_edge_subsets(
     """
     if max_edges < 1:
         return
-    edges: list[Edge] = [(u, v) if u < v else (v, u) for u, v in graph.edges()]
+    if csr_adjacency(graph) is not None:
+        # The ESU core only touches the graph through its edge list;
+        # extract it in one vectorized pass.  Row order matches
+        # ``edges()`` on the same CSR graph, so discovery order is
+        # byte-identical.
+        edges: list[Edge] = csr_edge_list(graph)
+    else:
+        edges = [(u, v) if u < v else (v, u) for u, v in graph.edges()]
     incident: dict[int, list[int]] = {}
     for index, (u, v) in enumerate(edges):
         incident.setdefault(u, []).append(index)

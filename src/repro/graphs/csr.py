@@ -56,6 +56,7 @@ __all__ = [
     "GRAPH_CORES",
     "active_graph_core",
     "as_core_dataset",
+    "as_core_query",
 ]
 
 Label = Hashable
@@ -91,6 +92,25 @@ def as_core_dataset(dataset, core: str | None = None):
     return CSRDataset.from_dataset(dataset)
 
 
+def as_core_query(query, core: str | None = None):
+    """*query* in the active core's representation (idempotent).
+
+    Query admission for the verify path: under the ``csr`` core a
+    builder :class:`~repro.graphs.graph.Graph` is converted once —
+    at the runner / batch-dispatch / daemon boundary — so the matchers
+    and the feature kernels see CSR on *both* sides of every
+    (query, data) pair.  The query gets a private label table; every
+    canonicalized quantity is a function of label objects, not ids, so
+    sharing the dataset's table is unnecessary.  Anything already
+    converted, or any query under the ``dict`` core, passes through.
+    """
+    if core is None:
+        core = active_graph_core()
+    if core != "csr" or isinstance(query, CSRGraph):
+        return query
+    return CSRGraph.from_graph(query)
+
+
 class CSRGraph:
     """One immutable vertex-labeled graph in CSR form.
 
@@ -121,6 +141,7 @@ class CSRGraph:
         "_histogram",
         "_neighbor_label_counts",
         "_label_id_of",
+        "_adjacency_bits",
     )
 
     def __init__(
@@ -145,6 +166,7 @@ class CSRGraph:
         self._histogram: dict[Label, int] | None = None
         self._neighbor_label_counts: list[dict[Label, int]] | None = None
         self._label_id_of: dict[Label, int] | None = None
+        self._adjacency_bits: np.ndarray | None = None
 
     @classmethod
     def from_graph(
@@ -225,6 +247,14 @@ class CSRGraph:
     def neighbors_slice(self, v: int) -> np.ndarray:
         """Raw sorted int64 slice of *v*'s neighbor run (do not write)."""
         return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The raw ``(indptr, indices)`` pair (int64; do not write).
+
+        The handle the feature kernels
+        (:mod:`repro.features.kernels`) dispatch on and iterate over.
+        """
+        return self._indptr, self._indices
 
     def label_ids_array(self) -> np.ndarray:
         """Per-vertex label-table indices (int64; do not write)."""
@@ -337,6 +367,33 @@ class CSRGraph:
         if min_degree > 0:
             mask &= self.degrees_array() >= min_degree
         return tuple(np.nonzero(mask)[0].tolist())
+
+    def adjacency_bitmatrix(self) -> np.ndarray:
+        """The packed adjacency bit matrix (cached; do not write).
+
+        Row ``v`` is ``ceil(order / 64)`` little-endian uint64 words
+        with bit ``w`` set iff ``{v, w}`` is an edge — the structure
+        Ullmann's bitset engine refines domains against, built in one
+        vectorized scatter and amortized across every query verified
+        on this graph.
+        """
+        cached = getattr(self, "_adjacency_bits", None)
+        if cached is None:
+            words = (self._order + 63) // 64 if self._order else 0
+            matrix = np.zeros((self._order, max(words, 1)), dtype=np.uint64)
+            if self._indices.shape[0]:
+                rows = np.repeat(
+                    np.arange(self._order, dtype=np.int64),
+                    np.diff(self._indptr),
+                )
+                cols = self._indices
+                np.bitwise_or.at(
+                    matrix,
+                    (rows, cols >> 6),
+                    np.uint64(1) << (cols & 63).astype(np.uint64),
+                )
+            cached = self._adjacency_bits = matrix
+        return cached
 
     def neighbor_label_counts(self) -> list[dict[Label, int]]:
         """Per-vertex neighbor-label histograms, computed once.

@@ -50,7 +50,14 @@ class Graph:
     'O'
     """
 
-    __slots__ = ("_labels", "_adj", "_size", "graph_id", "_neighbor_cache")
+    __slots__ = (
+        "_labels",
+        "_adj",
+        "_size",
+        "graph_id",
+        "_neighbor_cache",
+        "_label_groups",
+    )
 
     def __init__(
         self,
@@ -63,6 +70,7 @@ class Graph:
         self._size = 0
         self.graph_id = graph_id
         self._neighbor_cache: list[tuple[int, ...] | None] | None = None
+        self._label_groups: dict[Label, tuple[int, ...]] | None = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -262,6 +270,36 @@ class Graph:
             groups.setdefault(label, []).append(v)
         return groups
 
+    def candidate_vertices(self, label: Label, min_degree: int = 0) -> tuple[int, ...]:
+        """Vertices with *label* and degree ≥ *min_degree*, ascending.
+
+        The dict-core twin of
+        :meth:`repro.graphs.csr.CSRGraph.candidate_vertices`, so the
+        matchers' ``getattr`` probe finds the same initial-domain API
+        on both cores.  The by-label grouping is computed once per
+        graph and cached — labels are fixed at construction, so the
+        cache never invalidates — which hoists the per-(query, data)
+        ``vertices_by_label()`` rebuild the matchers' fallback paths
+        used to pay.  Degrees grow under :meth:`add_edge`, so the
+        degree filter runs per call; vertices it drops would fail the
+        matchers' per-vertex degree feasibility checks anyway, making
+        the filter answer-preserving.
+        """
+        groups = self._label_groups
+        if groups is None:
+            fresh: dict[Label, list[int]] = {}
+            for v, lbl in enumerate(self._labels):
+                fresh.setdefault(lbl, []).append(v)
+            groups = self._label_groups = {
+                lbl: tuple(members) for lbl, members in fresh.items()
+            }
+        members = groups.get(label)
+        if members is None:
+            return ()
+        if min_degree <= 0:
+            return members
+        return tuple(v for v in members if len(self._adj[v]) >= min_degree)
+
     def label_histogram(self) -> dict[Label, int]:
         """Map each label to the number of vertices carrying it."""
         histogram: dict[Label, int] = {}
@@ -373,6 +411,7 @@ class Graph:
     def __setstate__(self, state) -> None:
         self._labels, self._adj, self._size, self.graph_id = state
         self._neighbor_cache = None
+        self._label_groups = None
 
     # ------------------------------------------------------------------
     # comparisons / hashing-friendly forms

@@ -9,6 +9,19 @@ data neighbors.  Refinement propagates to a fixpoint, pruning far from
 the failure point — at the cost of touching the whole matrix per node
 of the search tree.
 
+Two engines implement identical semantics:
+
+* **bitset** (default) — candidate domains are packed uint64 rows, one
+  bit per data vertex; refinement is numpy bitwise AND + ``any`` over
+  whole rows, and the data adjacency is a packed bit matrix built once
+  per (query, data) pair.  This is the CSR-era hot path.
+* **set** — the original per-vertex ``set[int]`` domains, kept as the
+  differential oracle: both engines explore the *same* search tree
+  (candidates are iterated ascending, refinement passes visit query
+  vertices in the same order, and a domain emptied at the same step
+  fails at the same step), so accept/reject answers *and* budget poll
+  counts match exactly — pinned by ``tests/test_ullmann.py``.
+
 The library verifies with VF2 everywhere (as every benchmarked system
 does, §2.2); Ullmann exists for the verification-algorithm ablation in
 ``benchmarks/`` and as an independent oracle in tests.  Semantics are
@@ -18,6 +31,8 @@ the paper's Definition 3.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.graphs.graph import Graph
 from repro.utils.budget import Budget
 
@@ -26,11 +41,30 @@ __all__ = ["ullmann_is_subgraph"]
 #: Search-tree nodes between budget polls.
 _BUDGET_POLL_INTERVAL = 512
 
+#: Recognized engines, default first.
+_ENGINES = ("bitset", "set")
+
+_ONE = np.uint64(1)
+_WORD_BITS = 64
+
 
 def ullmann_is_subgraph(
-    query: Graph, data: Graph, budget: Budget | None = None
+    query: Graph,
+    data: Graph,
+    budget: Budget | None = None,
+    engine: str | None = None,
 ) -> bool:
-    """True iff *query* is subgraph-monomorphic to *data* (Def. 3)."""
+    """True iff *query* is subgraph-monomorphic to *data* (Def. 3).
+
+    *engine* selects the domain representation (``bitset`` by default,
+    ``set`` for the legacy sets) — an ablation/testing knob; both
+    engines return identical answers with identical budget semantics.
+    """
+    if engine is None:
+        engine = _ENGINES[0]
+    if engine not in _ENGINES:
+        known = ", ".join(_ENGINES)
+        raise ValueError(f"unknown engine {engine!r}; expected one of {known}")
     if query.order == 0:
         return True
     if query.order > data.order or query.size > data.size:
@@ -39,15 +73,24 @@ def ullmann_is_subgraph(
     candidates = _initial_candidates(query, data)
     if candidates is None:
         return False
-    state = _State(query, data, budget)
-    return state.search(0, candidates, set())
+    if engine == "set":
+        state = _State(query, data, budget)
+        return state.search(0, candidates, set())
+    bitset_state = _BitsetState(query, data, budget)
+    return bitset_state.search(0, bitset_state.pack(candidates), set())
 
 
 def _initial_candidates(query: Graph, data: Graph) -> list[set[int]] | None:
-    """Degree- and label-feasible candidate sets per query vertex."""
+    """Degree- and label-feasible candidate sets per query vertex.
+
+    Computed once per (query, data) pair: both cores expose
+    ``candidate_vertices`` (the CSR core as one vectorized label+degree
+    mask, the dict core over its cached label groups), with a plain
+    ``vertices_by_label`` sweep as the fallback for bare read-API
+    graphs in tests.
+    """
     pick = getattr(data, "candidate_vertices", None)
     if pick is not None:
-        # CSR core: one vectorized label+degree mask per query vertex.
         candidates: list[set[int]] = []
         for u in query.vertices():
             feasible = set(pick(query.label(u), query.degree(u)))
@@ -70,6 +113,8 @@ def _initial_candidates(query: Graph, data: Graph) -> list[set[int]] | None:
 
 
 class _State:
+    """The set-domain engine (differential oracle)."""
+
     __slots__ = ("query", "data", "budget", "nodes")
 
     def __init__(self, query: Graph, data: Graph, budget: Budget | None) -> None:
@@ -135,6 +180,152 @@ class _State:
                         return None
                     changed = True
         return candidates
+
+    def _poll(self) -> None:
+        if self.budget is None:
+            return
+        self.nodes += 1
+        if self.nodes % _BUDGET_POLL_INTERVAL == 0:
+            self.budget.check()
+
+
+class _BitsetState:
+    """The packed-uint64 domain engine (default).
+
+    Domains are a ``(query.order, words)`` uint64 matrix — bit ``d`` of
+    row ``u`` set iff data vertex ``d`` is a candidate for query vertex
+    ``u`` — refined against a data adjacency bit matrix of the same
+    width.  The search tree is identical to the set engine's: bits are
+    iterated ascending (``sorted(candidates[position])``), refinement
+    passes visit query vertices in the same order, and a pass dooms
+    exactly the candidates the set engine's inner loop would.
+    """
+
+    __slots__ = ("query", "data", "budget", "nodes", "words", "adj", "qneighbors")
+
+    def __init__(self, query: Graph, data: Graph, budget: Budget | None) -> None:
+        self.query = query
+        self.data = data
+        self.budget = budget
+        self.nodes = 0
+        self.words = (data.order + _WORD_BITS - 1) // _WORD_BITS
+        self.adj = self._adjacency_matrix(data)
+        #: Query adjacency as plain int lists, for the refinement loop.
+        self.qneighbors = [list(query.neighbors(u)) for u in query.vertices()]
+
+    def _adjacency_matrix(self, data: Graph) -> np.ndarray:
+        # A CSR host carries the packed matrix as a cached structure
+        # (one vectorized scatter, amortized across the workload).
+        cached = getattr(data, "adjacency_bitmatrix", None)
+        if cached is not None:
+            return cached()
+        matrix = np.zeros((data.order, self.words), dtype=np.uint64)
+        edge_list = list(data.edges())
+        if edge_list:
+            half = np.asarray(edge_list, dtype=np.int64)
+            rows = np.concatenate([half[:, 0], half[:, 1]])
+            cols = np.concatenate([half[:, 1], half[:, 0]])
+            np.bitwise_or.at(
+                matrix,
+                (rows, cols >> 6),
+                _ONE << (cols & 63).astype(np.uint64),
+            )
+        return matrix
+
+    def pack(self, candidates: list[set[int]]) -> np.ndarray:
+        """Pack per-vertex candidate sets into domain bit rows."""
+        domains = np.zeros((len(candidates), self.words), dtype=np.uint64)
+        for u, feasible in enumerate(candidates):
+            members = np.fromiter(feasible, dtype=np.int64, count=len(feasible))
+            np.bitwise_or.at(
+                domains[u],
+                members >> 6,
+                _ONE << (members & 63).astype(np.uint64),
+            )
+        return domains
+
+    @staticmethod
+    def _members(row: np.ndarray) -> list[int]:
+        """Set bits of one domain row, ascending — the iteration order
+        ``sorted()`` gives the set engine."""
+        bits = np.unpackbits(row.view(np.uint8), bitorder="little")
+        return np.nonzero(bits)[0].tolist()
+
+    def search(
+        self, position: int, domains: np.ndarray, used: set[int]
+    ) -> bool:
+        if position == self.query.order:
+            return True
+        self._poll()
+        for d in self._members(domains[position]):
+            if d in used:
+                continue
+            narrowed = self._assign(position, d, domains)
+            if narrowed is None:
+                continue
+            used.add(d)
+            if self.search(position + 1, narrowed, used):
+                used.discard(d)
+                return True
+            used.discard(d)
+        return False
+
+    def _assign(
+        self, position: int, d: int, domains: np.ndarray
+    ) -> np.ndarray | None:
+        """Pin query vertex *position* to *d* and refine to fixpoint."""
+        narrowed = domains.copy()
+        narrowed[position] = 0
+        narrowed[position, d >> 6] = _ONE << np.uint64(d & 63)
+        neighbors = self.qneighbors[position]
+        if neighbors:
+            # One slab op: mask every neighbor row to d's data adjacency
+            # and clear bit d (injectivity) in the same pass.
+            narrowed[neighbors] &= self.adj[d]
+            narrowed[neighbors, d >> 6] &= ~(_ONE << np.uint64(d & 63))
+            if not narrowed[neighbors].any(axis=1).all():
+                return None
+        return self._refine(narrowed)
+
+    def _refine(self, domains: np.ndarray) -> np.ndarray | None:
+        """Ullmann refinement to fixpoint via support masks.
+
+        A candidate ``d`` of query vertex ``u`` survives a pass iff,
+        for every query neighbor ``w``, ``d`` is adjacent to some
+        current candidate of ``w`` — i.e. iff bit ``d`` is set in
+        ``support(w)``, the OR of the adjacency rows of ``w``'s
+        candidates.  So a pass is one AND per query edge:
+        ``domains[u] &= support(w)``.  The survival predicate is a pure
+        function of the *current* domains — exactly the set engine's
+        inner loop — so supports are memoized per vertex and
+        invalidated the moment that vertex's domain shrinks, keeping
+        the two engines' search trees identical.
+        """
+        order = self.query.order
+        supports: list[np.ndarray | None] = [None] * order
+        changed = True
+        while changed:
+            changed = False
+            for u in range(order):
+                neighbors = self.qneighbors[u]
+                if not neighbors:
+                    continue
+                row = domains[u]
+                for w in neighbors:
+                    mask = supports[w]
+                    if mask is None:
+                        mask = supports[w] = np.bitwise_or.reduce(
+                            self.adj[self._members(domains[w])], axis=0
+                        )
+                    row = row & mask
+                if np.array_equal(row, domains[u]):
+                    continue
+                if not row.any():
+                    return None
+                domains[u] = row
+                supports[u] = None
+                changed = True
+        return domains
 
     def _poll(self) -> None:
         if self.budget is None:

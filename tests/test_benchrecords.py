@@ -1,0 +1,223 @@
+"""The BENCH_*.json trajectory gate: validation, sealing, tampering.
+
+Every checked-in benchmark record must validate — and a hand-edited
+one must *not*.  The suite covers all three record families (the
+graph-core matcher micro-bench, the serve load records v1/v2, and the
+sealed CSR hot-path record), the digest seal round trip, and the
+``repro report`` wiring that rejects malformed records with exit 2.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.benchrecords import (
+    BenchValidationError,
+    bench_seal,
+    bench_validate,
+    is_bench_record,
+    record_digest,
+    validate_bench_file,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _graph_core_record():
+    return {
+        "bench": "graph-core-matcher",
+        "pr": 6,
+        "graphs": 25,
+        "queries": 8,
+        "hits": 8,
+        "dict_seconds": 0.016,
+        "csr_seconds": 0.008,
+        "speedup": 2.0,
+    }
+
+
+def _hot_path_record():
+    return bench_seal(
+        {
+            "bench": "csr-query-hot-path",
+            "pr": 9,
+            "enum_graphs": 6,
+            "features": 500,
+            "verify_graphs": 6,
+            "verify_queries": 8,
+            "hits": 8,
+            "enumeration_dict_seconds": 0.4,
+            "enumeration_csr_seconds": 0.2,
+            "enumeration_speedup": 2.0,
+            "verify_set_seconds": 0.3,
+            "verify_bitset_seconds": 0.15,
+            "verify_speedup": 2.0,
+        }
+    )
+
+
+def _serve_record():
+    return {
+        "schema": "repro-serve-bench-v1",
+        "scenario": "smoke",
+        "method": "ggsx",
+        "clients": 2,
+        "requests": 10,
+        "rps": 0.0,
+        "q50_ms": 3.0,
+        "q90_ms": 4.0,
+        "q99_ms": 5.0,
+        "mean_ms": 3.5,
+        "max_ms": 5.0,
+        "qps": 100.0,
+        "errors": 0,
+        "seconds": 0.1,
+        "kpis": [{"kpi": "q50_ms <= 2000", "actual": 3.0, "passed": True}],
+        "passed": True,
+    }
+
+
+class TestCheckedInRecords:
+    @pytest.mark.parametrize(
+        "name", sorted(p.name for p in REPO.glob("BENCH_*.json"))
+    )
+    def test_every_checked_in_record_validates(self, name):
+        assert validate_bench_file(REPO / name)
+
+
+class TestRecognition:
+    def test_recognizes_all_families(self):
+        assert is_bench_record(_graph_core_record())
+        assert is_bench_record(_hot_path_record())
+        assert is_bench_record(_serve_record())
+
+    def test_rejects_non_bench_documents(self):
+        assert not is_bench_record({"schema": "repro-sweep-v1"})
+        assert not is_bench_record([1, 2, 3])
+        assert not is_bench_record("text")
+        with pytest.raises(BenchValidationError):
+            bench_validate({"bench": "unknown-kind"})
+
+
+class TestValidation:
+    def test_valid_records_pass(self):
+        assert bench_validate(_graph_core_record()) == "graph-core-matcher"
+        assert bench_validate(_hot_path_record()) == "csr-query-hot-path"
+        assert bench_validate(_serve_record()) == "repro-serve-bench-v1"
+
+    def test_missing_field_rejected(self):
+        record = _graph_core_record()
+        del record["hits"]
+        with pytest.raises(BenchValidationError, match="hits"):
+            bench_validate(record)
+
+    def test_wrong_type_rejected(self):
+        record = _graph_core_record()
+        record["graphs"] = "many"
+        with pytest.raises(BenchValidationError, match="graphs"):
+            bench_validate(record)
+
+    def test_edited_speedup_rejected(self):
+        record = _graph_core_record()
+        record["speedup"] = 7.5  # timings still say 2.0
+        with pytest.raises(BenchValidationError, match="edited"):
+            bench_validate(record)
+
+    def test_negative_timing_rejected(self):
+        record = _graph_core_record()
+        record["csr_seconds"] = -0.1
+        with pytest.raises(BenchValidationError):
+            bench_validate(record)
+
+    def test_flipped_kpi_verdict_rejected(self):
+        record = _serve_record()
+        record["kpis"][0]["passed"] = False
+        with pytest.raises(BenchValidationError, match="verdict"):
+            bench_validate(record)
+
+    def test_kpi_actual_must_match_recorded_metric(self):
+        record = _serve_record()
+        record["kpis"][0]["actual"] = 1.0  # q50_ms says 3.0
+        with pytest.raises(BenchValidationError, match="disagrees"):
+            bench_validate(record)
+
+    def test_overall_passed_must_conjoin_kpis(self):
+        record = _serve_record()
+        record["kpis"][0] = {"kpi": "q50_ms <= 1", "actual": 3.0, "passed": False}
+        with pytest.raises(BenchValidationError, match="conjoin"):
+            bench_validate(record)
+
+    def test_quantile_above_max_rejected(self):
+        record = _serve_record()
+        record["q99_ms"] = 50.0
+        with pytest.raises(BenchValidationError, match="maximum"):
+            bench_validate(record)
+
+    def test_hot_path_record_requires_seal(self):
+        record = _hot_path_record()
+        del record["record_digest"]
+        with pytest.raises(BenchValidationError, match="seal"):
+            bench_validate(record)
+
+
+class TestSealing:
+    def test_seal_round_trips(self):
+        record = _hot_path_record()
+        assert record["record_digest"] == record_digest(record)
+        assert bench_validate(record)
+
+    def test_edit_after_seal_detected(self):
+        record = _hot_path_record()
+        record["hits"] = record["hits"] + 1
+        with pytest.raises(BenchValidationError, match="mismatch"):
+            bench_validate(record)
+
+    def test_reseal_repairs(self):
+        record = _hot_path_record()
+        record["hits"] = record["hits"] + 1
+        assert bench_validate(bench_seal(record))
+
+    def test_seal_is_order_independent(self):
+        record = _hot_path_record()
+        shuffled = dict(reversed(list(record.items())))
+        assert record_digest(shuffled) == record["record_digest"]
+
+    def test_legacy_records_validate_unsealed_but_reject_bad_seals(self):
+        record = _graph_core_record()
+        assert bench_validate(record)  # no digest required
+        record["record_digest"] = "0" * 32
+        with pytest.raises(BenchValidationError, match="mismatch"):
+            bench_validate(record)
+
+
+class TestFileAndCliWiring:
+    def test_validate_bench_file_not_found(self, tmp_path):
+        with pytest.raises(BenchValidationError, match="not found"):
+            validate_bench_file(tmp_path / "BENCH_missing.json")
+
+    def test_validate_bench_file_bad_json(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BenchValidationError, match="JSON"):
+            validate_bench_file(path)
+
+    def test_report_renders_valid_record(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        path = tmp_path / "BENCH_ok.json"
+        path.write_text(json.dumps(_hot_path_record()), encoding="utf-8")
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "csr-query-hot-path" in out
+        assert "sealed:" in out
+
+    def test_report_rejects_tampered_record(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        record = _graph_core_record()
+        record["speedup"] = 9.0
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert main(["report", str(path)]) == 2
+        assert "edited" in capsys.readouterr().err

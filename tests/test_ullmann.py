@@ -94,3 +94,96 @@ class TestBudget:
         assert ullmann_is_subgraph(
             path_graph("AA"), triangle("AAA"), budget=Budget(60.0)
         )
+
+
+class TestEngineDifferential:
+    """Bitset vs set domains: same answers, same search tree.
+
+    The bitset engine promises more than agreement — it explores the
+    *identical* search tree (candidates ascending, refinement passes in
+    the same order, domains emptied at the same step), so the node
+    counters — and therefore budget poll counts — must match exactly.
+    """
+
+    def _both(self, query, data, budget=None):
+        from repro.isomorphism.ullmann import (
+            _BitsetState,
+            _State,
+            _initial_candidates,
+        )
+
+        candidates = _initial_candidates(query, data)
+        if candidates is None:
+            return None, None
+        set_state = _State(query, data, budget)
+        set_answer = set_state.search(0, [set(c) for c in candidates], set())
+        bit_state = _BitsetState(query, data, budget)
+        bit_answer = bit_state.search(0, bit_state.pack(candidates), set())
+        assert bit_answer == set_answer
+        assert bit_state.nodes == set_state.nodes
+        return set_answer, set_state.nodes
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ullmann_is_subgraph(
+                path_graph("AA"), triangle("AAA"), engine="matrix"
+            )
+
+    def test_engines_agree_on_answers_and_poll_counts(self, rng):
+        from repro.graphs.csr import CSRGraph
+
+        positives = nontrivial = 0
+        for _ in range(150):
+            query = random_graph(rng, 1, 4)
+            data = random_graph(rng, 1, 7)
+            expected = ullmann_is_subgraph(query, data, engine="set")
+            assert ullmann_is_subgraph(query, data, engine="bitset") == expected
+            # Same differential over the CSR core (vectorized initial
+            # candidates feed both engines identically).
+            csr_data = CSRGraph.from_graph(data)
+            assert ullmann_is_subgraph(query, csr_data, engine="set") == expected
+            assert ullmann_is_subgraph(query, csr_data, engine="bitset") == expected
+            # Budget polls are driven by the node counter: identical
+            # node counts == identical poll schedules at any interval.
+            answer, nodes = self._both(query, data, budget=Budget(60.0))
+            if answer is not None:
+                nontrivial += 1
+                positives += answer
+        assert nontrivial > 40 and positives > 10
+
+    def test_wide_data_graph_crosses_word_boundaries(self, rng):
+        # > 64 data vertices forces multi-word domain rows.
+        for _ in range(10):
+            data = random_graph(rng, 70, 90, connected=True)
+            vertices = sorted(rng.sample(range(data.order), 4))
+            query, _ = data.induced_subgraph(vertices)
+            assert ullmann_is_subgraph(query, data, engine="bitset")
+            self._both(query, data, budget=Budget(60.0))
+
+    def test_empty_initial_domain_early_exits(self, monkeypatch):
+        """Regression pin: a label with no feasible data vertex returns
+        False before either engine allocates domains or searches."""
+        from repro.isomorphism import ullmann as ullmann_module
+        from repro.isomorphism.ullmann import _initial_candidates
+
+        query = Graph(["A", "Z"], [(0, 1)])
+        data = path_graph("AB")  # no 'Z' anywhere
+        assert _initial_candidates(query, data) is None
+
+        def explode(*args, **kwargs):
+            raise AssertionError("search entered despite empty domain")
+
+        monkeypatch.setattr(ullmann_module._State, "search", explode)
+        monkeypatch.setattr(ullmann_module._BitsetState, "search", explode)
+        for engine in ("bitset", "set"):
+            assert not ullmann_is_subgraph(query, data, engine=engine)
+
+    def test_early_exit_counts_no_nodes(self):
+        # Degree-infeasible: 'A' hub needs degree 3, data max is 2.
+        query = star_graph("A", "BBB")
+        data = path_graph("BAB")
+        from repro.isomorphism.ullmann import _initial_candidates
+
+        assert _initial_candidates(query, data) is None
+        assert not ullmann_is_subgraph(query, data, engine="bitset")
+        assert not ullmann_is_subgraph(query, data, engine="set")
