@@ -7,10 +7,12 @@ import inspect
 from pathlib import Path
 
 from repro.core.arena import ArenaHandle, DatasetArena, cached_dataset
+from repro.core.knobs import passthrough_cli as knob_passthrough_cli
 from repro.core.experiments import (
     density_sweep,
     graph_count_sweep,
     labels_sweep,
+    massive_sweep,
     nodes_sweep,
     real_dataset_experiment,
 )
@@ -28,8 +30,13 @@ from repro.graphs.graph import GraphError
 from repro.graphs.io import read_dataset, write_dataset
 from repro.graphs.statistics import dataset_statistics
 from repro.indexes import ALL_INDEX_CLASSES
-from repro.indexes.persistence import IndexFileError, load_index, save_index
-from repro.indexes.store import materialize_artifact, shared_store
+from repro.indexes.store import (
+    IndexFileError,
+    load_index,
+    materialize_artifact,
+    save_index,
+    shared_store,
+)
 from repro.core.runner import make_method
 from repro.utils.budget import Budget, BudgetExceeded
 
@@ -94,38 +101,20 @@ def _resolve_jobs(jobs: int) -> int | None:
     return jobs if jobs > 0 else None
 
 
-def _apply_graph_core(args: argparse.Namespace) -> None:
-    """Export ``--graph-core`` to the process (and its future workers).
+def _apply_knobs(args: argparse.Namespace) -> None:
+    """Export every knob flag (``--graph-core``, ``--feature-core``,
+    ``--regime``) to the process and its future workers.
 
-    The toggle travels as :data:`repro.graphs.csr.GRAPH_CORE_ENV` —
-    like ``REPRO_SCALE``, worker processes inherit it at spawn, so one
-    flag governs the whole invocation.  No flag leaves the environment
-    (and thus the default) alone.
+    One call per subcommand replaces the per-flag helpers this module
+    used to copy-paste: the toggles travel as their ``REPRO_*``
+    variables — like ``REPRO_SCALE``, worker processes inherit them at
+    spawn, so one flag governs the whole invocation, and no flag leaves
+    the environment (and thus the default) alone.  See
+    :mod:`repro.core.knobs`.
     """
-    core = getattr(args, "graph_core", None)
-    if core is not None:
-        import os
+    from repro.core.knobs import apply_cli_args
 
-        from repro.graphs.csr import GRAPH_CORE_ENV
-
-        os.environ[GRAPH_CORE_ENV] = core
-
-
-def _apply_feature_core(args: argparse.Namespace) -> None:
-    """Export ``--feature-core`` to the process (and its workers).
-
-    Same travel contract as :func:`_apply_graph_core`, carried as
-    :data:`repro.features.kernels.FEATURE_CORE_ENV`: one flag selects
-    the enumeration kernels for the whole invocation, and no flag
-    leaves the environment (and thus the CSR default) alone.
-    """
-    core = getattr(args, "feature_core", None)
-    if core is not None:
-        import os
-
-        from repro.features.kernels import FEATURE_CORE_ENV
-
-        os.environ[FEATURE_CORE_ENV] = core
+    apply_cli_args(args)
 
 
 def _shareable(dataset, jobs: int | None):
@@ -249,14 +238,24 @@ def _query_worker(payload: tuple) -> dict:
 
 
 def _run_query_rows(index, queries, budget_seconds) -> dict:
-    """Query *index* and reduce the outcome to a printable row."""
+    """Query *index* and reduce the outcome to a printable row.
+
+    The answer regime comes from the ``--regime`` knob (read from the
+    environment here, so pool workers resolve it identically): graph
+    ids by default, embedding roots under ``--regime single-graph``.
+    """
+    from repro.core.knobs import REGIME
+
     budget = (
         Budget(budget_seconds, phase=f"{index.name} queries")
         if budget_seconds
         else None
     )
     try:
-        results = [index.query(query, budget=budget) for query in queries]
+        results = [
+            index.query(query, budget=budget, regime=REGIME.active())
+            for query in queries
+        ]
     except BudgetExceeded:
         return {"method": index.name, "status": "timeout"}
     return {
@@ -315,8 +314,7 @@ def cmd_queries(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    _apply_graph_core(args)
-    _apply_feature_core(args)
+    _apply_knobs(args)
     dataset = _load_dataset(args.dataset)
     methods = list(args.method)
     for method in methods:
@@ -417,9 +415,16 @@ def _print_build_row(method: str, num_graphs: int, row: dict) -> None:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    _apply_graph_core(args)
-    _apply_feature_core(args)
+    _apply_knobs(args)
     dataset = _load_dataset(args.dataset)
+    from repro.core.knobs import REGIME
+    from repro.indexes import SINGLE_GRAPH
+
+    if REGIME.active() == SINGLE_GRAPH and len(dataset) != 1:
+        raise CliError(
+            f"--regime single-graph requires a one-graph dataset; "
+            f"{args.dataset} has {len(dataset)} graphs"
+        )
     workload = _load_dataset(args.queries)
     queries = list(workload)
     if not queries:
@@ -500,8 +505,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    _apply_graph_core(args)
-    _apply_feature_core(args)
+    _apply_knobs(args)
     from repro.core.serve import (
         QueryService,
         ServeError,
@@ -545,8 +549,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_serve(args: argparse.Namespace) -> int:
-    _apply_graph_core(args)
-    _apply_feature_core(args)
+    _apply_knobs(args)
     import dataclasses
     import json
     import threading
@@ -833,8 +836,7 @@ def _sweep_json_path(base: str, experiment: str, multiple: bool) -> Path:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    _apply_graph_core(args)
-    _apply_feature_core(args)
+    _apply_knobs(args)
     from repro.core.scheduling import CostHistory
     from repro.core.sharding import (
         ManifestError,
@@ -857,6 +859,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "labels": (labels_sweep, "5"),
         "graphs": (graph_count_sweep, "6"),
         "real": (real_dataset_experiment, "1"),
+        "massive": (massive_sweep, "7"),
     }
     jobs = _resolve_jobs(args.jobs)
     workers = jobs if jobs is not None else "all cores"
@@ -1068,8 +1071,7 @@ def cmd_launch(args: argparse.Namespace) -> int:
     invocations, their manifests are auto-merged, and the merged digest
     is asserted — balanced assignment must never change a result byte.
     A driver run manifest makes the whole launch resumable."""
-    _apply_graph_core(args)
-    _apply_feature_core(args)
+    _apply_knobs(args)
     from repro.core.driver import (
         DriverError,
         DriverRun,
@@ -1258,10 +1260,7 @@ def cmd_launch(args: argparse.Namespace) -> int:
             cli += ["--index-store", args.index_store]
         if args.no_index_reuse:
             cli.append("--no-index-reuse")
-        if args.graph_core:
-            cli += ["--graph-core", args.graph_core]
-        if args.feature_core:
-            cli += ["--feature-core", args.feature_core]
+        cli += knob_passthrough_cli(args)
         if args.resume and shard_manifest.exists():
             cli.append("--resume")
         commands_to_run.append(

@@ -153,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default) or the legacy dict-walk recursion; features are "
         "byte-identical across cores",
     )
+    query.add_argument(
+        "--regime",
+        choices=["transactional", "single-graph"],
+        help="query answer form: transactional graph ids (default) or "
+        "single-graph embedding roots over a one-graph dataset",
+    )
     query.set_defaults(handler=commands.cmd_query)
 
     sweep = subparsers.add_parser(
@@ -161,9 +167,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "experiment",
         nargs="+",
-        choices=["nodes", "density", "labels", "graphs", "real"],
+        choices=["nodes", "density", "labels", "graphs", "real", "massive"],
         help="which parameter sweep(s) to run; several experiments share "
-        "one persistent worker pool",
+        "one persistent worker pool (massive = single-graph R-MAT "
+        "regime, answers are embedding roots)",
     )
     sweep.add_argument(
         "--method",
@@ -178,7 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE[,KEY=VALUE...]",
         help="run only the matching cells (keys: method, x, or the "
-        "sweep's axis name — nodes/density/labels/graphs/dataset; "
+        "sweep's axis name — nodes/density/labels/graphs/dataset/scale; "
         "repeatable, values of one key OR together, keys AND)",
     )
     sweep.add_argument(
@@ -281,7 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     launch.add_argument(
         "experiment",
-        choices=["nodes", "density", "labels", "graphs", "real"],
+        choices=["nodes", "density", "labels", "graphs", "real", "massive"],
         help="which parameter sweep to orchestrate",
     )
     launch.add_argument(

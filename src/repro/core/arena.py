@@ -293,6 +293,8 @@ class SharedCellTask:
     index_store_dir: str | None = None
     #: ``False`` forces paper-faithful rebuilds despite the store.
     reuse_indexes: bool = True
+    #: Query answer form (:data:`repro.indexes.base.REGIMES`).
+    regime: str = "transactional"
 
 
 def share_task(task, handle: ArenaHandle) -> SharedCellTask:
@@ -308,6 +310,7 @@ def share_task(task, handle: ArenaHandle) -> SharedCellTask:
         build_memory_bytes=task.build_memory_bytes,
         index_store_dir=getattr(task, "index_store_dir", None),
         reuse_indexes=getattr(task, "reuse_indexes", True),
+        regime=getattr(task, "regime", "transactional"),
     )
 
 
@@ -331,4 +334,5 @@ def run_shared_cell(task: SharedCellTask):
         index_store_dir=task.index_store_dir,
         reuse_indexes=task.reuse_indexes,
         dataset_digest=task.handle.fingerprint,
+        regime=task.regime,
     )

@@ -110,6 +110,7 @@ _EXPERIMENT_AXES = {
     "labels": ("labels", "label_values"),
     "graphs": ("number of graphs", "graph_count_values"),
     "real": ("dataset", "real_dataset_names"),
+    "massive": ("scale", "massive_scale_values"),
 }
 
 
@@ -132,7 +133,14 @@ def experiment_grid(
         raise DriverError(f"unknown experiment {experiment!r}; expected one of {known}")
     x_name, values_attr = _EXPERIMENT_AXES[experiment]
     x_values = list(getattr(profile, values_attr))
-    method_names = list(methods if methods else profile.method_names())
+    if methods:
+        method_names = list(methods)
+    elif experiment == "massive":
+        # The massive regime has its own default roster (the methods
+        # with single-graph filtering worth measuring).
+        method_names = list(profile.massive_methods)
+    else:
+        method_names = list(profile.method_names())
     if selector is not None:
         x_values, method_names = selector.narrow(x_values, method_names, x_name)
     return x_name, x_values, method_names
@@ -157,6 +165,11 @@ def plan_units(experiment: str, profile: ScaleProfile, x: object) -> float:
         num_graphs = float(spec.num_graphs)
         nodes = spec.avg_nodes
         edges = nodes * spec.avg_degree / 2.0
+    elif experiment == "massive":
+        # One R-MAT graph of 2**scale vertices, edge_factor draws each.
+        num_graphs = 1.0
+        nodes = float(1 << int(x))
+        edges = nodes * profile.massive_edge_factor
     else:
         num_graphs = float(
             x if experiment == "graphs" else profile.default_num_graphs
@@ -167,9 +180,17 @@ def plan_units(experiment: str, profile: ScaleProfile, x: object) -> float:
         )
         edges = density * nodes * (nodes - 1.0) / 2.0
     weight = num_graphs * (1.0 + nodes + edges)
-    query_work = float(
-        sum(size * profile.queries_per_size for size in profile.query_sizes)
-    )
+    if experiment == "massive":
+        query_work = float(
+            sum(
+                size * profile.massive_queries_per_size
+                for size in profile.massive_query_sizes
+            )
+        )
+    else:
+        query_work = float(
+            sum(size * profile.queries_per_size for size in profile.query_sizes)
+        )
     return weight * (1.0 + query_work)
 
 

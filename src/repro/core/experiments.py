@@ -35,8 +35,10 @@ from repro.graphs.dataset import dataset_fingerprint
 from repro.generators.graphgen import GraphGenConfig, generate_dataset
 from repro.generators.queries import generate_queries
 from repro.generators.realsets import make_real_dataset
+from repro.generators.rmat import RMATConfig, generate_massive_dataset
 from repro.graphs.dataset import GraphDataset
 from repro.graphs.statistics import DatasetStatistics, dataset_statistics
+from repro.indexes.base import SINGLE_GRAPH, TRANSACTIONAL
 
 __all__ = [
     "SweepResult",
@@ -44,6 +46,7 @@ __all__ = [
     "density_sweep",
     "labels_sweep",
     "graph_count_sweep",
+    "massive_sweep",
     "real_dataset_experiment",
 ]
 
@@ -294,11 +297,63 @@ def graph_count_sweep(
     )
 
 
+def massive_sweep(
+    profile: ScaleProfile | None = None,
+    methods: Sequence[str] | None = None,
+    values: Sequence[int] | None = None,
+    seed: int = 0,
+    progress: ProgressHook | None = None,
+    jobs: int | None = 1,
+    shared_mem: bool = False,
+    batch_queries: bool = False,
+    runner: ParallelRunner | None = None,
+    plan=None,
+    index_store_dir: str | None = None,
+    reuse_indexes: bool = True,
+) -> SweepResult:
+    """Massive single-graph regime: vary the R-MAT scale.
+
+    Each x value is one graph500-style graph of ``2**scale`` vertices;
+    queries answer with embedding roots instead of graph ids.  The
+    whole engine surface — sharded plans, arenas, query batching, the
+    artifact store — behaves exactly as in the transactional sweeps.
+    """
+    profile = profile or active_profile()
+    return _synthetic_sweep(
+        profile,
+        x_name="scale",
+        values=list(
+            values if values is not None else profile.massive_scale_values
+        ),
+        config_for=lambda x: RMATConfig(
+            scale=x,
+            edge_factor=profile.massive_edge_factor,
+            num_labels=profile.massive_labels,
+        ),
+        methods=list(
+            methods if methods is not None else profile.massive_methods
+        ),
+        seed=seed,
+        progress=progress,
+        jobs=jobs,
+        shared_mem=shared_mem,
+        batch_queries=batch_queries,
+        runner=runner,
+        plan=plan,
+        index_store_dir=index_store_dir,
+        reuse_indexes=reuse_indexes,
+        generate=generate_massive_dataset,
+        query_sizes=profile.massive_query_sizes,
+        queries_per_size=profile.massive_queries_per_size,
+        regime=SINGLE_GRAPH,
+    )
+
+
 def _synthetic_sweep(
     profile: ScaleProfile,
     x_name: str,
     values: list,
-    config_for: Callable[[object], GraphGenConfig],
+    config_for: Callable[[object], object],
     methods: Sequence[str] | None,
     seed: int,
     progress: ProgressHook | None,
@@ -309,6 +364,10 @@ def _synthetic_sweep(
     plan=None,
     index_store_dir: str | None = None,
     reuse_indexes: bool = True,
+    generate: Callable = generate_dataset,
+    query_sizes: tuple[int, ...] | None = None,
+    queries_per_size: int | None = None,
+    regime: str = TRANSACTIONAL,
 ) -> SweepResult:
     method_names = list(methods if methods is not None else profile.method_names())
     xs = list(values)
@@ -316,11 +375,12 @@ def _synthetic_sweep(
     if plan is not None:
         xs, method_names = plan.subgrid(xs, method_names, x_name)
         run_keys = set(plan.cells_to_run(xs, method_names))
+    sizes = profile.query_sizes if query_sizes is None else tuple(query_sizes)
     result = SweepResult(
         x_name=x_name,
         x_values=xs,
         methods=method_names,
-        query_sizes=profile.query_sizes,
+        query_sizes=sizes,
     )
     def tasks():
         for x in xs:
@@ -333,8 +393,11 @@ def _synthetic_sweep(
                 # Every cell of this x is outside the shard or already
                 # completed — skip the dataset generation entirely.
                 continue
-            dataset = generate_dataset(config_for(x), seed=seed)
-            workloads = _make_workloads(dataset, profile, seed)
+            dataset = generate(config_for(x), seed=seed)
+            workloads = _make_workloads(
+                dataset, profile, seed,
+                query_sizes=sizes, queries_per_size=queries_per_size,
+            )
             result.dataset_stats[x] = dataset_statistics(dataset)
             digest = (
                 dataset_fingerprint(dataset)
@@ -344,7 +407,7 @@ def _synthetic_sweep(
             for method in wanted:
                 yield _cell_task(
                     (x, method), method, dataset, workloads, profile,
-                    index_store_dir, reuse_indexes, digest,
+                    index_store_dir, reuse_indexes, digest, regime,
                 )
 
     total = (
@@ -458,6 +521,7 @@ def _cell_task(
     index_store_dir: str | None = None,
     reuse_indexes: bool = True,
     dataset_digest: int | None = None,
+    regime: str = TRANSACTIONAL,
 ) -> CellTask:
     return CellTask(
         key=key,
@@ -470,6 +534,7 @@ def _cell_task(
         index_store_dir=index_store_dir,
         reuse_indexes=reuse_indexes,
         dataset_digest=dataset_digest,
+        regime=regime,
     )
 
 
@@ -680,16 +745,25 @@ def _run_batched(
 
 
 def _make_workloads(
-    dataset: GraphDataset, profile: ScaleProfile, seed: int
+    dataset: GraphDataset,
+    profile: ScaleProfile,
+    seed: int,
+    query_sizes: tuple[int, ...] | None = None,
+    queries_per_size: int | None = None,
 ) -> dict[int, list]:
     """Per-size random-walk workloads; sizes the dataset cannot yield
     (all graphs too small) are skipped, as with 32-edge queries on tiny
-    CI-scale stand-ins."""
+    CI-scale stand-ins.  The massive sweep passes its own sizes/count;
+    everything else inherits the profile's."""
+    sizes = profile.query_sizes if query_sizes is None else query_sizes
+    count = (
+        profile.queries_per_size if queries_per_size is None else queries_per_size
+    )
     workloads: dict[int, list] = {}
-    for size in profile.query_sizes:
+    for size in sizes:
         try:
             workloads[size] = generate_queries(
-                dataset, profile.queries_per_size, size, seed=seed + size
+                dataset, count, size, seed=seed + size
             )
         except ValueError:
             continue

@@ -64,6 +64,21 @@ class ScaleProfile:
     # --- per-method constructor settings (§4.1) ----------------------
     method_configs: dict[str, dict] = field(default_factory=dict)
 
+    # --- massive single-graph regime (R-MAT, graph500-style) ---------
+    #: ``repro sweep massive`` x axis: R-MAT scales (2**scale nodes).
+    massive_scale_values: tuple[int, ...] = (8, 9)
+    #: Edge draws per vertex (Graph500's EF).
+    massive_edge_factor: int = 8
+    #: Label vocabulary size of the massive graph.
+    massive_labels: int = 8
+    #: Query sizes (edges) of the single-graph workloads.
+    massive_query_sizes: tuple[int, ...] = (4, 6)
+    #: Queries per size.
+    massive_queries_per_size: int = 2
+    #: Methods run in the massive regime (every method works; these
+    #: are the ones with single-graph filtering worth measuring).
+    massive_methods: tuple[str, ...] = ("cni", "naive")
+
     def method_names(self) -> tuple[str, ...]:
         """The benchmarked methods, in the paper's presentation order."""
         return tuple(self.method_configs)
@@ -109,6 +124,12 @@ PAPER_PROFILE = ScaleProfile(
         },
         "gcode": {"path_depth": 2, "top_eigenvalues": 2, "counter_buckets": 32},
     },
+    massive_scale_values=(14, 16, 18),
+    massive_edge_factor=16,
+    massive_labels=32,
+    massive_query_sizes=(4, 8, 12),
+    massive_queries_per_size=10,
+    massive_methods=("cni", "naive"),
 )
 
 #: CI-sized twin: same shape, ~1/8 linear scale, seconds-scale budgets.
@@ -144,6 +165,12 @@ CI_PROFILE = ScaleProfile(
         },
         "gcode": {"path_depth": 2, "top_eigenvalues": 2, "counter_buckets": 32},
     },
+    massive_scale_values=(8, 9),
+    massive_edge_factor=8,
+    massive_labels=8,
+    massive_query_sizes=(4, 6),
+    massive_queries_per_size=2,
+    massive_methods=("cni", "naive"),
 )
 
 

@@ -127,6 +127,9 @@ class CellTask:
     #: dispatching parent so the M method-cells over one dataset do not
     #: each re-fingerprint it worker-side (``None`` = compute lazily).
     dataset_digest: int | None = None
+    #: Query answer form (:data:`repro.indexes.base.REGIMES`):
+    #: transactional graph ids, or single-graph embedding roots.
+    regime: str = "transactional"
 
 
 def run_cell(task: CellTask) -> MethodCell:
@@ -148,6 +151,7 @@ def run_cell(task: CellTask) -> MethodCell:
         index_store_dir=task.index_store_dir,
         reuse_indexes=task.reuse_indexes,
         dataset_digest=task.dataset_digest,
+        regime=task.regime,
     )
 
 
@@ -172,6 +176,7 @@ def evaluate_method(
     index_store_dir: str | None = None,
     reuse_indexes: bool = True,
     dataset_digest: int | None = None,
+    regime: str = "transactional",
 ) -> MethodCell:
     """Build one method over *dataset* and run every workload.
 
@@ -197,6 +202,11 @@ def evaluate_method(
         ``cell.provenance``.  Build budgets are not re-enforced on
         reuse.  *dataset_digest* skips re-fingerprinting when the
         caller (e.g. an arena handle) already knows it.
+    regime:
+        The query answer form every workload runs under —
+        ``"transactional"`` graph ids (the default) or
+        ``"single-graph"`` embedding roots over a one-graph dataset.
+        Building and the artifact store are regime-independent.
 
     Never raises for method failures; statuses record them.
     """
@@ -231,7 +241,7 @@ def evaluate_method(
                     "built_at": provenance.created_at,
                     "library_version": provenance.library_version,
                 }
-                _run_workloads(cell, index, workloads, query_budget_seconds)
+                _run_workloads(cell, index, workloads, query_budget_seconds, regime)
                 return cell
 
     build_budget = (
@@ -269,7 +279,7 @@ def evaluate_method(
         else:
             cell.provenance = {"reused": False, "artifact": address}
 
-    _run_workloads(cell, index, workloads, query_budget_seconds)
+    _run_workloads(cell, index, workloads, query_budget_seconds, regime)
     return cell
 
 
@@ -278,6 +288,7 @@ def _run_workloads(
     index: GraphIndex,
     workloads: Mapping[int, Sequence[Graph]],
     query_budget_seconds: float | None,
+    regime: str = "transactional",
 ) -> None:
     """Run every workload through a built *index*, recording per-size
     statistics and statuses on *cell* (shared by the fresh-build and
@@ -293,7 +304,10 @@ def _run_workloads(
         # (queries arrive from generators/IO as builder dict graphs).
         admitted = [as_core_query(query) for query in queries]
         try:
-            results = [index.query(query, budget=query_budget) for query in admitted]
+            results = [
+                index.query(query, budget=query_budget, regime=regime)
+                for query in admitted
+            ]
         except BudgetExceeded:
             cell.per_size[size] = SizeStats(status=STATUS_TIMEOUT)
             continue

@@ -286,6 +286,8 @@ class QueryBatch:
     index_store_dir: str | None = None
     #: ``False`` keeps reuse cell-local (paper-faithful build timings).
     reuse_indexes: bool = True
+    #: Query answer form (:data:`repro.indexes.base.REGIMES`).
+    regime: str = "transactional"
 
 
 @dataclass(frozen=True, slots=True)
@@ -362,6 +364,7 @@ def split_cell(
             build_memory_bytes=task.build_memory_bytes,
             index_store_dir=getattr(task, "index_store_dir", None),
             reuse_indexes=getattr(task, "reuse_indexes", True),
+            regime=getattr(task, "regime", "transactional"),
         )
         for i in range(count)
     ]
@@ -529,7 +532,11 @@ def run_batch(batch: QueryBatch) -> BatchOutcome:
             # Query admission, as in the runner: each part's queries
             # convert to the active core once before answering.
             records = tuple(
-                record_of(index.query(as_core_query(query), budget=budget))
+                record_of(
+                    index.query(
+                        as_core_query(query), budget=budget, regime=batch.regime
+                    )
+                )
                 for query in part.queries
             )
         except BudgetExceeded:

@@ -103,6 +103,7 @@ _AXIS_KEYS = {
     "labels": "labels",
     "number of graphs": "graphs",
     "dataset": "dataset",
+    "scale": "scale",
 }
 
 #: Every key the selector language accepts.

@@ -30,7 +30,6 @@ dict-walk regardless of the toggle.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Iterator
 
 import numpy as np
@@ -48,7 +47,9 @@ __all__ = [
     "csr_simple_cycles",
 ]
 
-#: Environment variable selecting the feature-enumeration core.
+#: Environment variable selecting the feature-enumeration core
+#: (mirrors :data:`repro.core.knobs.FEATURE_CORE`, the declaration of
+#: record; duplicated as a literal to avoid a package import cycle).
 FEATURE_CORE_ENV = "REPRO_FEATURE_CORE"
 #: Recognized core names, default first.
 FEATURE_CORES = ("csr", "dict")
@@ -57,13 +58,16 @@ FEATURE_CORES = ("csr", "dict")
 def active_feature_core() -> str:
     """The selected feature core: ``csr`` (default) or ``dict``.
 
-    Read from :data:`FEATURE_CORE_ENV` on every call — mirroring
-    :func:`repro.graphs.csr.active_graph_core` — so tests and the CLI
+    Delegates to :data:`repro.core.knobs.FEATURE_CORE` — read from the
+    environment on every call, mirroring
+    :func:`repro.graphs.csr.active_graph_core`, so tests and the CLI
     can flip cores without touching module state; unrecognized values
-    fall back to the default.
+    fall back to the default.  Imported lazily: the index modules pull
+    this module in during ``repro.core`` package init.
     """
-    value = os.environ.get(FEATURE_CORE_ENV, FEATURE_CORES[0]).strip().lower()
-    return value if value in FEATURE_CORES else FEATURE_CORES[0]
+    from repro.core.knobs import FEATURE_CORE
+
+    return FEATURE_CORE.active()
 
 
 def csr_adjacency(graph) -> tuple[np.ndarray, np.ndarray] | None:

@@ -1,0 +1,141 @@
+"""Graph500-style R-MAT generation for the massive single-graph regime.
+
+The paper's experiments stop at transaction databases of small graphs;
+the billion-node literature it motivates (STwig, CNI) runs on *one*
+massive power-law graph.  The community-standard generator for that
+shape is Graph500's Kronecker/R-MAT sampler: edges land in the
+adjacency matrix by recursive quadrant descent with skewed
+probabilities ``(a, b, c, d)``, giving ``2**scale`` vertices and
+``edge_factor * 2**scale`` edge draws — the ``GRAPH500-SCALE_N-EF_16``
+datasets of the benchmarking repos.
+
+Reproduction choices, pinned for determinism:
+
+* the Graph500 reference parameters ``a=0.57, b=0.19, c=0.19``
+  (``d = 1 - a - b - c = 0.05``) are the defaults;
+* duplicate draws and self-loops are *dropped, not redrawn* (the
+  Graph500 kernel builds a multigraph; our :class:`Graph` is simple),
+  so the realized edge count sits a little under the draw count —
+  exactly as deduplicated Graph500 imports do;
+* only :mod:`random` primitives drive sampling (via
+  :func:`repro.utils.rng.make_rng`), so a fixed seed reproduces the
+  same graph on every platform — the property sharded massive sweeps
+  assert when they compare merged digests;
+* vertex labels are drawn uniformly from ``L0 .. L<num_labels-1>``
+  after the topology, from the same stream.
+
+The output is a one-graph :class:`GraphDataset`, which is what the
+single-graph regime requires; everything downstream (CSR conversion,
+arena sharing, the artifact store) treats it like any other dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.utils.rng import make_rng
+
+__all__ = ["RMATConfig", "generate_massive_dataset", "rmat_edges"]
+
+
+@dataclass(frozen=True, slots=True)
+class RMATConfig:
+    """Parameters of one R-MAT graph (Graph500 reference defaults)."""
+
+    #: ``2**scale`` vertices.
+    scale: int = 14
+    #: Edge draws per vertex (Graph500's default 16).
+    edge_factor: int = 16
+    #: Size of the uniform label vocabulary.
+    num_labels: int = 32
+    #: Quadrant probabilities; ``d`` is the remainder ``1 - a - b - c``.
+    a: float = 0.57
+    b: float = 0.19
+    c: float = 0.19
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.scale <= 30:
+            raise ValueError(f"scale must be in [1, 30], got {self.scale}")
+        if self.edge_factor < 1:
+            raise ValueError(
+                f"edge_factor must be >= 1, got {self.edge_factor}"
+            )
+        if self.num_labels < 1:
+            raise ValueError(f"num_labels must be >= 1, got {self.num_labels}")
+        if min(self.a, self.b, self.c) < 0.0 or self.a + self.b + self.c >= 1.0:
+            raise ValueError(
+                "quadrant probabilities must be non-negative with "
+                f"a + b + c < 1, got ({self.a}, {self.b}, {self.c})"
+            )
+
+    @property
+    def num_vertices(self) -> int:
+        return 1 << self.scale
+
+    @property
+    def num_edge_draws(self) -> int:
+        return self.edge_factor * self.num_vertices
+
+    def labels(self) -> list[str]:
+        """The label vocabulary: ``L0 .. L<num_labels-1>``."""
+        return [f"L{i}" for i in range(self.num_labels)]
+
+
+def rmat_edges(config: RMATConfig, rng: random.Random) -> set[frozenset[int]]:
+    """Draw the R-MAT edge set: quadrant descent per draw, deduplicated.
+
+    Each draw walks ``scale`` levels of the recursive adjacency-matrix
+    partition, picking a quadrant per level with probabilities
+    ``(a, b, c, d)``; the leaf is one ``(row, column)`` cell.
+    Self-loops and repeat cells are dropped.
+    """
+    ab = config.a + config.b
+    abc = ab + config.c
+    edges: set[frozenset[int]] = set()
+    for _ in range(config.num_edge_draws):
+        row = column = 0
+        for _level in range(config.scale):
+            row <<= 1
+            column <<= 1
+            draw = rng.random()
+            if draw < config.a:
+                pass
+            elif draw < ab:
+                column |= 1
+            elif draw < abc:
+                row |= 1
+            else:
+                row |= 1
+                column |= 1
+        if row != column:
+            edges.add(frozenset((row, column)))
+    return edges
+
+
+def generate_massive_dataset(
+    config: RMATConfig,
+    seed: int | random.Random | None = 0,
+    name: str = "",
+) -> GraphDataset:
+    """Generate the one-graph dataset of the massive regime."""
+    rng = make_rng(seed)
+    edge_list = sorted(
+        (min(edge), max(edge)) for edge in rmat_edges(config, rng)
+    )
+    labels = config.labels()
+    vertex_labels = [
+        rng.choice(labels) for _ in range(config.num_vertices)
+    ]
+    graph = Graph(vertex_labels, edge_list)
+    dataset = GraphDataset(
+        name=name
+        or (
+            f"rmat(scale={config.scale}, ef={config.edge_factor}, "
+            f"L={config.num_labels})"
+        )
+    )
+    dataset.add(graph)
+    return dataset

@@ -34,7 +34,6 @@ surfaced on the CLI as ``--graph-core``.
 
 from __future__ import annotations
 
-import os
 import pickle
 import struct
 from collections.abc import Hashable, Iterable, Iterator
@@ -61,7 +60,9 @@ __all__ = [
 
 Label = Hashable
 
-#: Environment variable selecting the in-memory graph representation.
+#: Environment variable selecting the in-memory graph representation
+#: (mirrors :data:`repro.core.knobs.GRAPH_CORE`, the declaration of
+#: record; duplicated as a literal to avoid a package import cycle).
 GRAPH_CORE_ENV = "REPRO_GRAPH_CORE"
 #: Recognized core names, default first.
 GRAPH_CORES = ("csr", "dict")
@@ -70,12 +71,15 @@ GRAPH_CORES = ("csr", "dict")
 def active_graph_core() -> str:
     """The selected graph core: ``csr`` (default) or ``dict``.
 
-    Read from :data:`GRAPH_CORE_ENV` on every call, so tests and the
-    CLI can flip cores without touching module state; unrecognized
-    values fall back to the default.
+    Delegates to :data:`repro.core.knobs.GRAPH_CORE` — read from the
+    environment on every call, so tests and the CLI can flip cores
+    without touching module state; unrecognized values fall back to the
+    default.  Imported lazily: ``repro.core`` imports this module at
+    package init.
     """
-    value = os.environ.get(GRAPH_CORE_ENV, GRAPH_CORES[0]).strip().lower()
-    return value if value in GRAPH_CORES else GRAPH_CORES[0]
+    from repro.core.knobs import GRAPH_CORE
+
+    return GRAPH_CORE.active()
 
 
 def as_core_dataset(dataset, core: str | None = None):

@@ -1,4 +1,4 @@
-"""The six benchmarked subgraph-query indexes plus the naive baseline.
+"""The six benchmarked subgraph-query indexes plus two baselines.
 
 Every method follows the filter-and-verify contract of
 :class:`~repro.indexes.base.GraphIndex`:
@@ -14,16 +14,30 @@ gCode [28]         paths       exhaustive           spectral vertex
                                                     signatures
 gIndex [21]        subgraphs   frequent mining      DFS-code table
 Tree+Δ [27]        trees (+Δ)  frequent mining      hash table
+CNI                vertex      one adjacency pass   neighborhood
+                   signatures                       bitmasks
 NaiveIndex         —           —                    — (full scan)
 =================  ==========  ===================  =================
 
 All indexes share the query pipeline: ``filter`` produces a candidate
 id set (never dropping a true answer), ``verify`` runs first-match VF2
 over the candidates, and ``query`` reports candidates, answers and
-per-stage timings so the harness can compute the paper's metrics.
+per-stage timings so the harness can compute the paper's metrics.  In
+the single-graph regime the same pipeline runs per-vertex: candidate
+*domains* in, verified *embedding roots* out (see
+:mod:`repro.indexes.base`); the CNI index is the method built for that
+regime.
 """
 
-from repro.indexes.base import BuildReport, GraphIndex, QueryResult
+from repro.indexes.base import (
+    REGIMES,
+    SINGLE_GRAPH,
+    TRANSACTIONAL,
+    BuildReport,
+    GraphIndex,
+    QueryResult,
+)
+from repro.indexes.cni import CNIIndex
 from repro.indexes.ctindex import CTIndex
 from repro.indexes.gcode import GCodeIndex
 from repro.indexes.ggsx import GraphGrepSXIndex
@@ -40,6 +54,7 @@ ALL_INDEX_CLASSES = {
     GIndex.name: GIndex,
     TreeDeltaIndex.name: TreeDeltaIndex,
     GCodeIndex.name: GCodeIndex,
+    CNIIndex.name: CNIIndex,
     NaiveIndex.name: NaiveIndex,
 }
 
@@ -47,6 +62,9 @@ __all__ = [
     "GraphIndex",
     "BuildReport",
     "QueryResult",
+    "TRANSACTIONAL",
+    "SINGLE_GRAPH",
+    "REGIMES",
     "NaiveIndex",
     "GraphGrepSXIndex",
     "GrapesIndex",
@@ -54,5 +72,6 @@ __all__ = [
     "GCodeIndex",
     "GIndex",
     "TreeDeltaIndex",
+    "CNIIndex",
     "ALL_INDEX_CLASSES",
 ]

@@ -23,6 +23,22 @@ names the constructor parameters that shape the built structure, and
 (trie, fingerprints, id lists, ...) from the instance, so a built index
 can be serialized and content-addressed without pickling the whole
 object — or the dataset it was built over.
+
+**Regimes.**  The paper's experiments run the *transactional* regime:
+a database of many small graphs, answers are the ids of graphs
+containing the query.  The same contract generalizes to the
+*single-graph* regime of the billion-node-graph literature (Sun et
+al.'s STwig decomposition, Nabti & Seba's compact neighborhood
+indexes): one massive graph, filtering produces per-query-vertex
+candidate **domains**, verification enumerates **embedding roots** —
+data vertices hosting the query's anchor vertex in at least one
+embedding.  :meth:`GraphIndex.query` takes a ``regime`` argument and
+:class:`QueryResult` carries the answer form; every index inherits a
+working single-graph path (label/degree domains + STwig pruning +
+domain-constrained Ullmann) and may override
+:meth:`GraphIndex._filter_vertices` to narrow domains with its own
+structure.  Transactional results — their pickled bytes included —
+are unchanged.
 """
 
 from __future__ import annotations
@@ -32,12 +48,34 @@ from dataclasses import dataclass, field
 
 from repro.graphs.dataset import DatasetDelta, GraphDataset, apply_delta
 from repro.graphs.graph import Graph
+from repro.isomorphism.decompose import (
+    embedding_root,
+    initial_domains,
+    prune_domains,
+)
+from repro.isomorphism.ullmann import ullmann_is_subgraph
 from repro.isomorphism.vf2 import SubgraphMatcher
 from repro.utils.budget import Budget
 from repro.utils.sizeof import deep_sizeof
 from repro.utils.timing import Timer
 
-__all__ = ["GraphIndex", "BuildReport", "QueryResult"]
+__all__ = [
+    "GraphIndex",
+    "BuildReport",
+    "QueryResult",
+    "TRANSACTIONAL",
+    "SINGLE_GRAPH",
+    "REGIMES",
+]
+
+#: The paper's regime: many small graphs, answers are graph ids
+#: (mirrors :data:`repro.core.knobs.TRANSACTIONAL`, duplicated as a
+#: literal to avoid a package import cycle).
+TRANSACTIONAL = "transactional"
+#: The massive regime: one huge graph, answers are embedding roots.
+SINGLE_GRAPH = "single-graph"
+#: Recognized regimes, default first.
+REGIMES = (TRANSACTIONAL, SINGLE_GRAPH)
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,16 +92,71 @@ class BuildReport:
 
 @dataclass(frozen=True, slots=True)
 class QueryResult:
-    """Outcome of one query through the filter-and-verify pipeline."""
+    """Outcome of one query through the filter-and-verify pipeline.
 
-    #: Graph ids surviving the filtering stage.
+    The answer form is regime-polymorphic.  In the transactional
+    regime (the default), ``candidates`` and ``answers`` hold *graph
+    ids* and ``domains`` is ``None``.  In the single-graph regime they
+    hold *data-vertex ids* — candidates and verified embedding roots
+    for the query's anchor vertex — and ``domains`` carries the full
+    per-query-vertex candidate domains the filter produced.  The
+    derived metrics (:attr:`false_positive_ratio` et al.) read the
+    same either way.
+
+    Serialization contract: results with default ``regime``/``domains``
+    pickle to bytes identical to the four-field layout every prior
+    release produced, and four-field pickles load with the new fields
+    defaulted — sealed bench records stay valid both ways.
+    """
+
+    #: Filter survivors: graph ids, or anchor-vertex candidates.
     candidates: frozenset[int]
-    #: Graph ids actually containing the query (after verification).
+    #: Verified answers: graph ids, or embedding roots.
     answers: frozenset[int]
     #: Wall-clock seconds spent filtering.
     filter_seconds: float
     #: Wall-clock seconds spent verifying candidates.
     verify_seconds: float
+    #: Which answer form this result carries.
+    regime: str = TRANSACTIONAL
+    #: Per-query-vertex candidate domains (single-graph regime only).
+    domains: tuple[frozenset[int], ...] | None = None
+
+    def __getstate__(self) -> list:
+        # The dataclass-generated state for a frozen slots class is the
+        # list of field values in declaration order.  Emit the legacy
+        # four-item list whenever the new fields sit at their defaults,
+        # keeping transactional pickles byte-identical across releases.
+        state = [
+            self.candidates,
+            self.answers,
+            self.filter_seconds,
+            self.verify_seconds,
+        ]
+        if self.regime != TRANSACTIONAL or self.domains is not None:
+            state += [self.regime, self.domains]
+        return state
+
+    def __setstate__(self, state: list) -> None:
+        values = list(state)
+        if len(values) == 4:
+            values += [TRANSACTIONAL, None]
+        for name, value in zip(
+            ("candidates", "answers", "filter_seconds", "verify_seconds",
+             "regime", "domains"),
+            values,
+        ):
+            object.__setattr__(self, name, value)
+
+    @property
+    def embedding_roots(self) -> frozenset[int]:
+        """The verified embedding roots (single-graph regime only)."""
+        if self.regime != SINGLE_GRAPH:
+            raise ValueError(
+                "embedding_roots is defined only in the single-graph "
+                f"regime, not {self.regime!r}"
+            )
+        return self.answers
 
     @property
     def total_seconds(self) -> float:
@@ -251,11 +344,116 @@ class GraphIndex(ABC):
         return SubgraphMatcher(query, graph, budget=budget).exists()
 
     # ------------------------------------------------------------------
+    # stage (b'): single-graph filtering — per-vertex candidate domains
+    # ------------------------------------------------------------------
+
+    def filter_vertices(
+        self, query: Graph, budget: Budget | None = None
+    ) -> list[set[int]]:
+        """Candidate domains for *query* over the regime's one graph.
+
+        ``domains[u]`` holds every data vertex that may host query
+        vertex ``u`` in an embedding — guaranteed a superset of the
+        vertices that actually do (the single-graph twin of the
+        no-false-negatives invariant).  The method-specific narrowing
+        (:meth:`_filter_vertices`) runs first, then the generic
+        STwig-cover pruning tightens every method's domains the same
+        way.
+        """
+        self._require_built()
+        data = self._single_graph()
+        domains = self._filter_vertices(query, data, budget)
+        return prune_domains(query, data, domains)
+
+    def _filter_vertices(
+        self, query: Graph, data: Graph, budget: Budget | None
+    ) -> list[set[int]]:
+        """Method-specific domain filtering; default is label+degree.
+
+        Override to narrow domains with the index structure (the CNI
+        index intersects neighborhood signatures here).  Must preserve
+        the superset invariant.
+        """
+        return initial_domains(query, data)
+
+    # ------------------------------------------------------------------
+    # stage (c'): single-graph verification — embedding roots
+    # ------------------------------------------------------------------
+
+    def verify_embeddings(
+        self,
+        query: Graph,
+        domains: list[set[int]],
+        budget: Budget | None = None,
+    ) -> set[int]:
+        """Data vertices hosting the query's anchor in some embedding.
+
+        First-match semantics per root: each candidate of the anchor
+        vertex (the STwig decomposition's first root) is pinned and the
+        domain-constrained Ullmann search stops at its first embedding.
+        """
+        self._require_built()
+        data = self._single_graph()
+        if query.order == 0 or any(not domain for domain in domains):
+            return set()
+        root = embedding_root(query, data)
+        answers = set()
+        for vertex in sorted(domains[root]):
+            if budget is not None:
+                budget.check()
+            if self._verify_root(query, data, root, vertex, domains, budget):
+                answers.add(vertex)
+        return answers
+
+    def _verify_root(
+        self,
+        query: Graph,
+        data: Graph,
+        root: int,
+        vertex: int,
+        domains: list[set[int]],
+        budget: Budget | None,
+    ) -> bool:
+        """Does some embedding map query vertex *root* onto *vertex*?"""
+        pinned = [set(domain) for domain in domains]
+        pinned[root] = {vertex}
+        return ullmann_is_subgraph(query, data, budget=budget, domains=pinned)
+
+    def _single_graph(self) -> Graph:
+        """The regime's one data graph; rejects multi-graph datasets."""
+        assert self._dataset is not None
+        if len(self._dataset) != 1:
+            raise ValueError(
+                f"{self.name}: the single-graph regime requires a "
+                f"one-graph dataset, got {len(self._dataset)} graphs"
+            )
+        return self._dataset[0]
+
+    # ------------------------------------------------------------------
     # the full pipeline
     # ------------------------------------------------------------------
 
-    def query(self, query: Graph, budget: Budget | None = None) -> QueryResult:
-        """Run filter + verify for *query* and report the paper metrics."""
+    def query(
+        self,
+        query: Graph,
+        budget: Budget | None = None,
+        regime: str | None = None,
+    ) -> QueryResult:
+        """Run filter + verify for *query* and report the paper metrics.
+
+        *regime* selects the answer form: ``"transactional"`` (the
+        default, also chosen by ``None``) filters and verifies graph
+        ids; ``"single-graph"`` produces candidate domains and verified
+        embedding roots over the dataset's one graph.
+        """
+        if regime is None:
+            regime = TRANSACTIONAL
+        if regime == SINGLE_GRAPH:
+            return self._query_single_graph(query, budget)
+        if regime != TRANSACTIONAL:
+            raise ValueError(
+                f"unknown regime {regime!r}; expected one of {REGIMES}"
+            )
         with Timer() as filter_timer:
             candidates = self.filter(query, budget)
         with Timer() as verify_timer:
@@ -265,6 +463,29 @@ class GraphIndex(ABC):
             answers=frozenset(answers),
             filter_seconds=filter_timer.elapsed,
             verify_seconds=verify_timer.elapsed,
+        )
+
+    def _query_single_graph(
+        self, query: Graph, budget: Budget | None
+    ) -> QueryResult:
+        """The single-graph pipeline: domains in, embedding roots out."""
+        self._require_built()
+        data = self._single_graph()
+        with Timer() as filter_timer:
+            domains = self.filter_vertices(query, budget)
+        with Timer() as verify_timer:
+            answers = self.verify_embeddings(query, domains, budget)
+        if query.order:
+            candidates = frozenset(domains[embedding_root(query, data)])
+        else:
+            candidates = frozenset()
+        return QueryResult(
+            candidates=candidates,
+            answers=frozenset(answers),
+            filter_seconds=filter_timer.elapsed,
+            verify_seconds=verify_timer.elapsed,
+            regime=SINGLE_GRAPH,
+            domains=tuple(frozenset(domain) for domain in domains),
         )
 
     # ------------------------------------------------------------------
@@ -362,5 +583,16 @@ class GraphIndex(ABC):
         # Build state comes from _build_report, not _dataset: a failed
         # budgeted build assigns _dataset before raising and leaves the
         # index unusable, which must not read as "built".
-        state = "built" if self._build_report is not None else "empty"
-        return f"{type(self).__name__}({state})"
+        if self._build_report is None:
+            return f"{type(self).__name__}(empty)"
+        # Render whatever detail counters the build actually recorded —
+        # never index into ``details``: maintenance rebuilds and adopted
+        # payloads carry different key sets than a cold build, and a
+        # repr must not raise over a missing counter.
+        details = self._build_report.details or {}
+        rendered = ", ".join(
+            f"{key}={details[key]!r}" for key in sorted(details, key=str)
+        )
+        if rendered:
+            return f"{type(self).__name__}(built, {rendered})"
+        return f"{type(self).__name__}(built)"

@@ -1,0 +1,181 @@
+"""CNI: compact per-vertex neighborhood-signature index.
+
+Nabti & Seba ("Querying massive graph data: a compact graph index",
+and the survey lineage behind it) answer subgraph queries over massive
+graphs without feature mining: every data vertex carries a *compact
+neighborhood signature* — its label, degree, and a fixed-width bitmask
+of the labels in its neighborhood — and filtering is pure signature
+dominance.  A data vertex can host a query vertex only if its label
+matches, its degree is at least as large, and its mask covers the
+query vertex's mask bit-for-bit; no candidate hosting an embedding is
+ever dropped, because an embedding maps neighbors onto distinct
+same-labeled neighbors.
+
+This is the first index here built *for* the single-graph regime: its
+:meth:`CNIIndex._filter_vertices` narrows the per-query-vertex domains
+with signature dominance before the generic STwig pruning runs.  The
+transactional regime works too — a graph survives filtering iff every
+query vertex is dominated by some vertex of that graph — so the same
+class passes the same contract suites as the six paper methods.
+
+Reproduces: the compact-neighborhood-index family of Nabti & Seba
+(CNI; signature = label + degree + neighborhood-label bitmask, with an
+optional radius-2 mask that ORs the neighbors' masks).
+
+Feature class: per-vertex neighborhood signatures — no enumeration, no
+mining; construction is one pass over the adjacency per radius.
+
+Known deviations: label bits are assigned by a stable blake2b hash of
+the label's ``repr`` (the original hashes into a fixed-width map the
+same way but does not pin the hash function); signatures are kept as
+plain ints rather than the paper's packed C arrays.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+
+from repro.graphs.dataset import GraphDataset
+from repro.graphs.graph import Graph
+from repro.indexes.base import GraphIndex
+from repro.utils.budget import Budget
+
+__all__ = ["CNIIndex", "label_bit"]
+
+#: Signature radii the index knows how to build.
+_RADII = (1, 2)
+
+
+def label_bit(label: object, mask_bits: int) -> int:
+    """The bit position a label hashes to, stable across processes.
+
+    ``blake2b`` of the label's ``repr`` — never the builtin ``hash()``,
+    which is salted per process and would make signatures (and thus
+    sweep digests) differ across shards.
+    """
+    digest = blake2b(repr(label).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % mask_bits
+
+
+class CNIIndex(GraphIndex):
+    """Compact neighborhood signatures with dominance filtering."""
+
+    name = "cni"
+
+    def __init__(self, mask_bits: int = 64, radius: int = 1) -> None:
+        super().__init__()
+        if mask_bits <= 0:
+            raise ValueError(f"mask_bits must be positive, got {mask_bits}")
+        if radius not in _RADII:
+            raise ValueError(f"radius must be one of {_RADII}, got {radius}")
+        self.mask_bits = mask_bits
+        self.radius = radius
+        #: graph id -> per-vertex signature rows
+        #: ``(label, degree, mask[, mask2])``.
+        self._signatures: dict[int, list[tuple]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def _signature_rows(self, graph: Graph) -> list[tuple]:
+        bit_of: dict = {}
+
+        def bit(label: object) -> int:
+            cached = bit_of.get(label)
+            if cached is None:
+                cached = bit_of[label] = 1 << label_bit(label, self.mask_bits)
+            return cached
+
+        masks = []
+        for v in graph.vertices():
+            mask = 0
+            for w in graph.neighbors(v):
+                mask |= bit(graph.label(w))
+            masks.append(mask)
+        if self.radius == 1:
+            return [
+                (graph.label(v), graph.degree(v), masks[v])
+                for v in graph.vertices()
+            ]
+        rows = []
+        for v in graph.vertices():
+            mask2 = 0
+            for w in graph.neighbors(v):
+                mask2 |= masks[w]
+            rows.append((graph.label(v), graph.degree(v), masks[v], mask2))
+        return rows
+
+    def _build(self, dataset: GraphDataset, budget: Budget | None) -> dict:
+        self._signatures = {}
+        vertices = 0
+        for graph in dataset:
+            if budget is not None:
+                budget.check()
+            self._signatures[graph.graph_id] = self._signature_rows(graph)
+            vertices += graph.order
+        return {
+            "num_graphs": len(dataset),
+            "signature_vertices": vertices,
+            "mask_bits": self.mask_bits,
+            "radius": self.radius,
+        }
+
+    def _size_payload(self) -> object:
+        return self._signatures
+
+    # -- filtering -------------------------------------------------------
+
+    def _dominates(self, data_row: tuple, query_row: tuple) -> bool:
+        """May the data vertex of *data_row* host *query_row*'s vertex?"""
+        if data_row[0] != query_row[0] or data_row[1] < query_row[1]:
+            return False
+        if query_row[2] & ~data_row[2]:
+            return False
+        if self.radius == 2 and query_row[3] & ~data_row[3]:
+            return False
+        return True
+
+    def _filter(self, query: Graph, budget: Budget | None) -> set[int]:
+        """Transactional dominance: every query vertex needs a host."""
+        assert self._dataset is not None
+        query_rows = self._signature_rows(query)
+        candidates = set()
+        for graph_id, rows in self._signatures.items():
+            if budget is not None:
+                budget.check()
+            if all(
+                any(self._dominates(row, qrow) for row in rows)
+                for qrow in query_rows
+            ):
+                candidates.add(graph_id)
+        return candidates
+
+    def _filter_vertices(
+        self, query: Graph, data: Graph, budget: Budget | None
+    ) -> list[set[int]]:
+        """Single-graph dominance: per-vertex domains from signatures.
+
+        Starts from the generic label+degree domains and keeps only the
+        data vertices whose stored signature dominates the query
+        vertex's — a pure narrowing, so the superset invariant holds.
+        """
+        rows = self._signatures[data.graph_id]
+        query_rows = self._signature_rows(query)
+        domains = super()._filter_vertices(query, data, budget)
+        return [
+            {v for v in domain if self._dominates(rows[v], query_rows[u])}
+            for u, domain in enumerate(domains)
+        ]
+
+    # -- artifact contract ----------------------------------------------
+
+    def _index_params(self) -> dict:
+        return {"mask_bits": self.mask_bits, "radius": self.radius}
+
+    def _export_payload(self) -> object:
+        return self._signatures
+
+    def _import_payload(self, payload: object) -> None:
+        assert isinstance(payload, dict)
+        # Queries never mutate signature rows, but one in-memory payload
+        # may back several instances — copy the outer mapping.
+        self._signatures = dict(payload)

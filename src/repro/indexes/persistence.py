@@ -1,92 +1,45 @@
-"""Saving and loading built indexes — a compat shim over the store.
+"""Deprecated alias module — the single-file API lives in the store.
 
-§6 notes that these indexes are meant to reside in main memory, but a
-practical deployment builds once and reuses across processes.  The
-machinery lives in :mod:`repro.indexes.store`: indexes serialize as
-content-addressed **artifacts** (header + structure payload, per the
-:class:`~repro.indexes.base.GraphIndex` artifact contract).  This
-module keeps the original single-file ``save_index`` / ``load_index``
-API as a thin wrapper: the file is one store artifact with the packed
-dataset appended, so a saved index remains standalone — loading it
-reconstructs both the dataset and the index structure.
-
-Dataset identity is the one content digest the whole system shares:
-:func:`repro.graphs.dataset.dataset_fingerprint` (a BLAKE2b digest of
-the flat-array packed form), the same value that keys the shared-memory
-arena caches, the index store, and shard-manifest artifact records.
-The old weak histogram hash is gone.
-
-Security note: artifact payloads are pickles.  Only load index files
-you produced yourself — the same trust model as the original systems'
-binary index files.
+``save_index`` / ``load_index`` / ``IndexFileError`` (and the
+re-exported ``dataset_fingerprint``) moved to
+:mod:`repro.indexes.store`, which has owned the actual machinery since
+the artifact contract landed.  This stub keeps old imports working and
+warns **once per process** on first attribute access; it will be
+removed in a future release — import from ``repro.indexes.store`` (or
+``repro.graphs.dataset`` for ``dataset_fingerprint``).
 """
 
 from __future__ import annotations
 
-from pathlib import Path
-
-from repro.graphs.dataset import (
-    GraphDataset,
-    dataset_fingerprint,
-    pack_dataset,
-    unpack_dataset,
-)
-from repro.indexes.base import GraphIndex
-from repro.indexes.store import (
-    IndexStoreError,
-    artifact_from_index,
-    materialize_artifact,
-    read_artifact,
-    write_artifact,
-)
+import warnings
 
 __all__ = ["save_index", "load_index", "dataset_fingerprint", "IndexFileError"]
 
-#: The historical error type; store failures re-raise as this.
-IndexFileError = IndexStoreError
+_warned = False
 
 
-def save_index(index: GraphIndex, path: str | Path) -> None:
-    """Persist a built index (including its dataset) to *path*.
-
-    The file is a standalone store artifact: header with provenance,
-    the index structure payload, and the packed dataset.
-
-    Raises
-    ------
-    RuntimeError
-        If the index has not been built.
-    """
-    dataset = index.dataset  # raises RuntimeError when unbuilt
-    artifact = artifact_from_index(index, dataset_fingerprint(dataset))
-    write_artifact(path, artifact, dataset_blob=pack_dataset(dataset))
-
-
-def load_index(
-    path: str | Path, expect_dataset: GraphDataset | None = None
-) -> GraphIndex:
-    """Load an index persisted by :func:`save_index`.
-
-    Parameters
-    ----------
-    expect_dataset:
-        When given, the stored dataset content digest must match this
-        dataset's; a mismatch raises :class:`IndexFileError` (querying
-        an index built over different data silently returns wrong ids).
-        The returned index is attached to *expect_dataset* when given,
-        otherwise to the dataset packed into the file.
-    """
-    expect_digest = (
-        dataset_fingerprint(expect_dataset) if expect_dataset is not None else None
+def _warn_once() -> None:
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        "repro.indexes.persistence is deprecated; import save_index/"
+        "load_index/IndexFileError from repro.indexes.store instead",
+        DeprecationWarning,
+        stacklevel=3,
     )
-    artifact, dataset_blob = read_artifact(path, expect_digest=expect_digest)
-    if expect_dataset is not None:
-        dataset = expect_dataset
-    elif dataset_blob is not None:
-        dataset = unpack_dataset(dataset_blob)
-    else:
-        raise IndexFileError(
-            f"{path}: artifact carries no dataset; pass expect_dataset "
-            "(store-tier artifacts are dataset-free by design)"
-        )
-    return materialize_artifact(artifact, dataset)
+
+
+def __getattr__(name: str):
+    if name in ("save_index", "load_index", "IndexFileError"):
+        _warn_once()
+        from repro.indexes import store
+
+        return getattr(store, name)
+    if name == "dataset_fingerprint":
+        _warn_once()
+        from repro.graphs.dataset import dataset_fingerprint
+
+        return dataset_fingerprint
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

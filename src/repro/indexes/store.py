@@ -49,7 +49,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import __version__
-from repro.graphs.dataset import GraphDataset
+from repro.graphs.dataset import (
+    GraphDataset,
+    dataset_fingerprint,
+    pack_dataset,
+    unpack_dataset,
+)
 from repro.indexes import ALL_INDEX_CLASSES
 from repro.indexes.base import BuildReport, GraphIndex
 from repro.utils.hashing import stable_hash
@@ -60,13 +65,16 @@ __all__ = [
     "IndexStore",
     "IndexStoreError",
     "StoreStats",
+    "IndexFileError",
     "artifact_address",
     "artifact_from_index",
     "clear_stores",
     "lineage_address",
+    "load_index",
     "materialize_artifact",
     "read_artifact",
     "read_artifact_header",
+    "save_index",
     "shared_store",
     "strip_lineage",
     "write_artifact",
@@ -634,3 +642,59 @@ def clear_stores() -> None:
         for store in _ACTIVE.values():
             store.clear_memory()
         _ACTIVE.clear()
+
+
+# ----------------------------------------------------------------------
+# standalone index files (the retired persistence module's API)
+# ----------------------------------------------------------------------
+
+#: The historical error type of the single-file API; one class with the
+#: store's, so ``except`` clauses written against either name work.
+IndexFileError = IndexStoreError
+
+
+def save_index(index: GraphIndex, path: str | Path) -> None:
+    """Persist a built index (including its dataset) to *path*.
+
+    The file is a standalone store artifact: header with provenance,
+    the index structure payload, and the packed dataset — unlike
+    store-tier artifacts, which are dataset-free by design.
+
+    Raises
+    ------
+    RuntimeError
+        If the index has not been built.
+    """
+    dataset = index.dataset  # raises RuntimeError when unbuilt
+    artifact = artifact_from_index(index, dataset_fingerprint(dataset))
+    write_artifact(path, artifact, dataset_blob=pack_dataset(dataset))
+
+
+def load_index(
+    path: str | Path, expect_dataset: GraphDataset | None = None
+) -> GraphIndex:
+    """Load an index persisted by :func:`save_index`.
+
+    Parameters
+    ----------
+    expect_dataset:
+        When given, the stored dataset content digest must match this
+        dataset's; a mismatch raises :class:`IndexFileError` (querying
+        an index built over different data silently returns wrong ids).
+        The returned index is attached to *expect_dataset* when given,
+        otherwise to the dataset packed into the file.
+    """
+    expect_digest = (
+        dataset_fingerprint(expect_dataset) if expect_dataset is not None else None
+    )
+    artifact, dataset_blob = read_artifact(path, expect_digest=expect_digest)
+    if expect_dataset is not None:
+        dataset = expect_dataset
+    elif dataset_blob is not None:
+        dataset = unpack_dataset(dataset_blob)
+    else:
+        raise IndexFileError(
+            f"{path}: artifact carries no dataset; pass expect_dataset "
+            "(store-tier artifacts are dataset-free by design)"
+        )
+    return materialize_artifact(artifact, dataset)

@@ -53,12 +53,19 @@ def ullmann_is_subgraph(
     data: Graph,
     budget: Budget | None = None,
     engine: str | None = None,
+    domains: list[set[int]] | None = None,
 ) -> bool:
     """True iff *query* is subgraph-monomorphic to *data* (Def. 3).
 
     *engine* selects the domain representation (``bitset`` by default,
     ``set`` for the legacy sets) — an ablation/testing knob; both
     engines return identical answers with identical budget semantics.
+
+    *domains*, when given, constrains the search: query vertex ``u``
+    may only map into ``domains[u]`` (intersected with the built-in
+    label/degree feasibility).  The single-graph regime pins embedding
+    roots and narrows candidates this way; ``None`` leaves the classic
+    search — and its budget poll counts — untouched.
     """
     if engine is None:
         engine = _ENGINES[0]
@@ -73,6 +80,16 @@ def ullmann_is_subgraph(
     candidates = _initial_candidates(query, data)
     if candidates is None:
         return False
+    if domains is not None:
+        if len(domains) != query.order:
+            raise ValueError(
+                f"domains carries {len(domains)} entries for a "
+                f"{query.order}-vertex query"
+            )
+        for u, feasible in enumerate(candidates):
+            feasible &= domains[u]
+            if not feasible:
+                return False
     if engine == "set":
         state = _State(query, data, budget)
         return state.search(0, candidates, set())

@@ -163,6 +163,7 @@ class TestHelpTextDrift:
 
 
 INDEX_MODULES = (
+    "cni",
     "ctindex",
     "gcode",
     "ggsx",

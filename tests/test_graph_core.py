@@ -52,7 +52,7 @@ from repro.graphs.graph import Graph
 from repro.indexes import ALL_INDEX_CLASSES
 from repro.isomorphism import SubgraphMatcher, ullmann_is_subgraph
 
-#: All seven benchmarked methods, with settings small enough that each
+#: All benchmarked methods, with settings small enough that each
 #: build stays well under a second on the module dataset.
 METHOD_CONFIGS = {
     "naive": {},
@@ -62,6 +62,7 @@ METHOD_CONFIGS = {
     "gcode": {"path_depth": 2, "top_eigenvalues": 2, "counter_buckets": 16},
     "gindex": {"max_fragment_edges": 3, "support_ratio": 0.25},
     "tree+delta": {"max_feature_edges": 3, "support_ratio": 0.25},
+    "cni": {"mask_bits": 64, "radius": 1},
 }
 
 assert set(METHOD_CONFIGS) == set(ALL_INDEX_CLASSES)

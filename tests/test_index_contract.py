@@ -25,6 +25,7 @@ from repro.generators.graphgen import GraphGenConfig, generate_dataset
 from repro.generators.queries import generate_queries
 from repro.graphs.graph import Graph
 from repro.indexes import (
+    CNIIndex,
     CTIndex,
     GCodeIndex,
     GIndex,
@@ -43,6 +44,7 @@ INDEX_FACTORIES = {
     "gcode": lambda: GCodeIndex(),
     "gindex": lambda: GIndex(max_fragment_edges=4, support_ratio=0.2),
     "tree+delta": lambda: TreeDeltaIndex(max_feature_edges=4, support_ratio=0.2),
+    "cni": lambda: CNIIndex(mask_bits=64, radius=1),
 }
 
 

@@ -40,6 +40,7 @@ def pipeline(tmp_path_factory):
         "tree+delta": {"max_feature_edges": 4, "support_ratio": 0.25},
         "gcode": {},
         "naive": {},
+        "cni": {"mask_bits": 64, "radius": 1},
     }
     for name, cls in ALL_INDEX_CLASSES.items():
         index = cls(**configs[name])

@@ -1,5 +1,7 @@
 """Tests for index persistence (save/load with dataset fingerprinting)."""
 
+import warnings
+
 import pytest
 
 from repro.generators.graphgen import GraphGenConfig, generate_dataset
@@ -12,12 +14,8 @@ from repro.indexes import (
     GrapesIndex,
     TreeDeltaIndex,
 )
-from repro.indexes.persistence import (
-    IndexFileError,
-    dataset_fingerprint,
-    load_index,
-    save_index,
-)
+from repro.graphs.dataset import dataset_fingerprint
+from repro.indexes.store import IndexFileError, load_index, save_index
 
 FACTORIES = {
     "ggsx": lambda: GraphGrepSXIndex(max_path_edges=3),
@@ -97,3 +95,24 @@ def test_fingerprint_sensitive_to_content(dataset):
         seed=56,
     )
     assert dataset_fingerprint(dataset) != dataset_fingerprint(other)
+
+
+class TestDeprecatedShim:
+    def test_shim_warns_once_and_delegates(self):
+        import importlib
+
+        from repro.indexes import persistence, store
+
+        importlib.reload(persistence)  # reset the warn-once latch
+        with pytest.warns(DeprecationWarning, match="repro.indexes.store"):
+            assert persistence.save_index is store.save_index
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second access must not warn
+            assert persistence.load_index is store.load_index
+            assert persistence.IndexFileError is store.IndexFileError
+
+    def test_shim_rejects_unknown_attribute(self):
+        from repro.indexes import persistence
+
+        with pytest.raises(AttributeError):
+            persistence.does_not_exist

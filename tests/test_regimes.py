@@ -1,0 +1,221 @@
+"""Regime-polymorphic query contract: wire stability and answer laws.
+
+Two families of guarantees:
+
+1. **Wire stability** — a transactional ``QueryResult`` pickles to the
+   exact bytes it produced before the regime fields existed (pinned hex
+   per protocol), and legacy 4-field payloads load with the defaults
+   ``regime="transactional"`` / ``domains=None``.  Sealed benchmark
+   records from earlier runs must keep deserializing unchanged.
+2. **Answer laws over both regimes × every index class** — candidates
+   are a superset of true answers (no false negatives), and verified
+   answers equal the naive oracle's, whether answers are graph ids
+   (transactional) or embedding roots (single-graph).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.generators.graphgen import GraphGenConfig, generate_dataset
+from repro.generators.queries import generate_queries
+from repro.generators.rmat import RMATConfig, generate_massive_dataset
+from repro.indexes import (
+    SINGLE_GRAPH,
+    TRANSACTIONAL,
+    CNIIndex,
+    CTIndex,
+    GCodeIndex,
+    GIndex,
+    GraphGrepSXIndex,
+    GrapesIndex,
+    NaiveIndex,
+    TreeDeltaIndex,
+)
+from repro.indexes.base import QueryResult
+from repro.isomorphism.decompose import embedding_root
+
+INDEX_FACTORIES = {
+    "naive": lambda: NaiveIndex(),
+    "ggsx": lambda: GraphGrepSXIndex(max_path_edges=3),
+    "grapes": lambda: GrapesIndex(max_path_edges=3, workers=2),
+    "ctindex": lambda: CTIndex(fingerprint_bits=512, feature_edges=3),
+    "gcode": lambda: GCodeIndex(),
+    "gindex": lambda: GIndex(max_fragment_edges=4, support_ratio=0.2),
+    "tree+delta": lambda: TreeDeltaIndex(max_feature_edges=4, support_ratio=0.2),
+    "cni": lambda: CNIIndex(mask_bits=64, radius=1),
+}
+
+# Fragment mining on a single dense R-MAT graph is exponential in the
+# feature-edge cap; trim the miners so the fixture builds in seconds.
+_SINGLE_GRAPH_OVERRIDES = {
+    "ctindex": lambda: CTIndex(fingerprint_bits=256, feature_edges=2),
+    "gindex": lambda: GIndex(max_fragment_edges=3, support_ratio=0.2),
+    "tree+delta": lambda: TreeDeltaIndex(max_feature_edges=3, support_ratio=0.2),
+}
+
+# pickle.dumps(QueryResult(frozenset({3, 1, 2}), frozenset({1, 2}), 0.5, 0.25))
+# captured at PR 9, before the regime/domains fields existed.  These pins
+# are the compatibility contract for sealed benchmark records.
+_PICKLE_PINS = {
+    2: (
+        "800263726570726f2e696e64657865732e626173650a5175657279526573756c"
+        "740a7100298171015d710228635f5f6275696c74696e5f5f0a66726f7a656e73"
+        "65740a71035d7104284b014b024b036585710552710668035d7107284b014b02"
+        "65857108527109473fe0000000000000473fd000000000000065622e"
+    ),
+    3: (
+        "800363726570726f2e696e64657865732e626173650a5175657279526573756c"
+        "740a7100298171015d710228636275696c74696e730a66726f7a656e7365740a"
+        "71035d7104284b014b024b036585710552710668035d7107284b014b02658571"
+        "08527109473fe0000000000000473fd000000000000065622e"
+    ),
+    4: (
+        "80049550000000000000008c12726570726f2e696e64657865732e6261736594"
+        "8c0b5175657279526573756c749493942981945d9428284b014b024b03919428"
+        "4b014b029194473fe0000000000000473fd000000000000065622e"
+    ),
+    5: (
+        "80059550000000000000008c12726570726f2e696e64657865732e6261736594"
+        "8c0b5175657279526573756c749493942981945d9428284b014b024b03919428"
+        "4b014b029194473fe0000000000000473fd000000000000065622e"
+    ),
+}
+
+
+class TestWireStability:
+    @pytest.mark.parametrize("protocol", sorted(_PICKLE_PINS))
+    def test_transactional_bytes_pinned(self, protocol):
+        result = QueryResult(frozenset({3, 1, 2}), frozenset({1, 2}), 0.5, 0.25)
+        assert pickle.dumps(result, protocol=protocol).hex() == _PICKLE_PINS[protocol]
+
+    @pytest.mark.parametrize("protocol", sorted(_PICKLE_PINS))
+    def test_legacy_payload_loads_with_defaults(self, protocol):
+        loaded = pickle.loads(bytes.fromhex(_PICKLE_PINS[protocol]))
+        assert loaded.candidates == frozenset({1, 2, 3})
+        assert loaded.answers == frozenset({1, 2})
+        assert loaded.regime == TRANSACTIONAL
+        assert loaded.domains is None
+
+    def test_single_graph_result_round_trips(self):
+        result = QueryResult(
+            frozenset({0, 4}),
+            frozenset({4}),
+            0.1,
+            0.2,
+            regime=SINGLE_GRAPH,
+            domains=(frozenset({0, 4}), frozenset({1})),
+        )
+        loaded = pickle.loads(pickle.dumps(result))
+        assert loaded == result
+        assert loaded.embedding_roots == frozenset({4})
+
+    def test_embedding_roots_guards_regime(self):
+        result = QueryResult(frozenset({1}), frozenset({1}), 0.0, 0.0)
+        with pytest.raises(ValueError, match="single-graph"):
+            result.embedding_roots
+
+
+@pytest.fixture(scope="module")
+def transactional_dataset():
+    config = GraphGenConfig(
+        num_graphs=25, mean_nodes=11, mean_density=0.22, num_labels=4, nodes_stddev=3
+    )
+    return generate_dataset(config, seed=19)
+
+
+@pytest.fixture(scope="module")
+def massive_dataset():
+    config = RMATConfig(scale=7, edge_factor=4, num_labels=6)
+    return generate_massive_dataset(config, seed=19)
+
+
+@pytest.fixture(scope="module")
+def built(transactional_dataset, massive_dataset):
+    out = {}
+    for name, factory in INDEX_FACTORIES.items():
+        for regime, dataset in (
+            (TRANSACTIONAL, transactional_dataset),
+            (SINGLE_GRAPH, massive_dataset),
+        ):
+            if regime == SINGLE_GRAPH:
+                factory = _SINGLE_GRAPH_OVERRIDES.get(name, factory)
+            index = factory()
+            index.build(dataset)
+            out[name, regime] = index
+    return out
+
+
+@pytest.fixture(scope="module")
+def oracle_answers(built, transactional_dataset, massive_dataset):
+    answers = {}
+    for regime, dataset in (
+        (TRANSACTIONAL, transactional_dataset),
+        (SINGLE_GRAPH, massive_dataset),
+    ):
+        oracle = built["naive", regime]
+        for size in (3, 4, 5):
+            for seed in range(3):
+                for i, query in enumerate(generate_queries(dataset, 2, size, seed=seed)):
+                    key = (regime, size, seed, i)
+                    answers[key] = (query, oracle.query(query, regime=regime).answers)
+    return answers
+
+
+@pytest.mark.parametrize("name", sorted(INDEX_FACTORIES))
+@pytest.mark.parametrize("regime", [TRANSACTIONAL, SINGLE_GRAPH])
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    size=st.sampled_from([3, 4, 5]),
+    seed=st.integers(min_value=0, max_value=2),
+    pick=st.integers(min_value=0, max_value=1),
+)
+def test_candidate_superset_and_answer_equivalence(
+    name, regime, built, oracle_answers, size, seed, pick
+):
+    query, truth = oracle_answers[regime, size, seed, pick]
+    result = built[name, regime].query(query, regime=regime)
+    assert result.regime == regime
+    assert truth <= result.candidates, (
+        f"{name}/{regime}: false negatives {truth - result.candidates}"
+    )
+    assert result.answers == truth
+    assert result.answers <= result.candidates
+
+
+@pytest.mark.parametrize("name", sorted(INDEX_FACTORIES))
+def test_single_graph_domains_cover_answers(name, built, massive_dataset):
+    index = built[name, SINGLE_GRAPH]
+    for query in generate_queries(massive_dataset, 3, 4, seed=5):
+        result = index.query(query, regime=SINGLE_GRAPH)
+        assert result.domains is not None
+        assert len(result.domains) == query.order
+        root = embedding_root(query, massive_dataset[0])
+        assert result.candidates == result.domains[root]
+        assert result.embedding_roots <= result.domains[root]
+
+
+def test_cni_domains_subset_of_naive(built, massive_dataset):
+    cni = built["cni", SINGLE_GRAPH]
+    naive = built["naive", SINGLE_GRAPH]
+    for query in generate_queries(massive_dataset, 3, 5, seed=9):
+        cni_result = cni.query(query, regime=SINGLE_GRAPH)
+        naive_result = naive.query(query, regime=SINGLE_GRAPH)
+        for cni_dom, naive_dom in zip(cni_result.domains, naive_result.domains):
+            assert cni_dom <= naive_dom
+        assert cni_result.answers == naive_result.answers
+
+
+def test_unknown_regime_rejected(built):
+    from repro.graphs.graph import Graph
+
+    index = built["naive", TRANSACTIONAL]
+    q = Graph(["A", "A"], [(0, 1)])
+    with pytest.raises(ValueError, match="regime"):
+        index.query(q, regime="nonsense")
